@@ -1,0 +1,158 @@
+//===- bench/components.cpp - google-benchmark microbenchmarks --------------===//
+//
+// Component-level throughput: monitor transitions, monitor serialization,
+// the parser, full verification of representative corpus programs, RA
+// machine step enumeration, and graph happens-before closures. These are
+// engineering benchmarks (no paper counterpart) used to track the cost of
+// the primitives underlying the Figure 7 runtimes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/ExecutionGraph.h"
+#include "lang/Parser.h"
+#include "litmus/Corpus.h"
+#include "memory/RAMachine.h"
+#include "monitor/SCMState.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rocker;
+
+namespace {
+
+Program benchProgram() {
+  return findCorpusEntry("ticketlock4").parse();
+}
+
+void BM_MonitorSteps(benchmark::State &State) {
+  Program P = benchProgram();
+  SCMonitor Mon(P, /*Abstract=*/false);
+  SCMState S = Mon.initial();
+  unsigned I = 0;
+  for (auto _ : State) {
+    LocId X = static_cast<LocId>(I % P.numLocs());
+    ThreadId T = static_cast<ThreadId>(I % P.numThreads());
+    Mon.stepWrite(S, T, X, static_cast<Val>(I % P.NumVals), false);
+    Mon.stepRead(S, static_cast<ThreadId>((I + 1) % P.numThreads()), X,
+                 false);
+    ++I;
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_MonitorSteps);
+
+void BM_MonitorStepsAbstract(benchmark::State &State) {
+  Program P = benchProgram();
+  SCMonitor Mon(P, /*Abstract=*/true);
+  SCMState S = Mon.initial();
+  unsigned I = 0;
+  for (auto _ : State) {
+    LocId X = static_cast<LocId>(I % P.numLocs());
+    ThreadId T = static_cast<ThreadId>(I % P.numThreads());
+    Mon.stepWrite(S, T, X, static_cast<Val>(I % P.NumVals), false);
+    Mon.stepRead(S, static_cast<ThreadId>((I + 1) % P.numThreads()), X,
+                 false);
+    ++I;
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_MonitorStepsAbstract);
+
+void BM_MonitorSerialize(benchmark::State &State) {
+  Program P = benchProgram();
+  SCMonitor Mon(P, /*Abstract=*/true);
+  SCMState S = Mon.initial();
+  std::string Out;
+  for (auto _ : State) {
+    Out.clear();
+    Mon.serialize(S, Out);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetBytesProcessed(State.iterations() * Out.size());
+}
+BENCHMARK(BM_MonitorSerialize);
+
+void BM_ParsePeterson(benchmark::State &State) {
+  const CorpusEntry &E = findCorpusEntry("peterson-ra");
+  for (auto _ : State) {
+    ParseResult R = parseProgram(E.Source);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ParsePeterson);
+
+void BM_VerifySpinlock4(benchmark::State &State) {
+  Program P = findCorpusEntry("spinlock4").parse();
+  RockerOptions O;
+  O.RecordTrace = false;
+  for (auto _ : State) {
+    RockerReport R = checkRobustness(P, O);
+    benchmark::DoNotOptimize(R.Robust);
+  }
+}
+BENCHMARK(BM_VerifySpinlock4);
+
+void BM_VerifyPetersonRa(benchmark::State &State) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerOptions O;
+  O.RecordTrace = false;
+  for (auto _ : State) {
+    RockerReport R = checkRobustness(P, O);
+    benchmark::DoNotOptimize(R.Robust);
+  }
+}
+BENCHMARK(BM_VerifyPetersonRa);
+
+void BM_RAMachineEnumerate(benchmark::State &State) {
+  Program P = parseProgramOrDie(
+      "vals 3\nlocs x y\nthread a\n  x := 1\nthread b\n  y := 1\n");
+  RAMachine RA(P);
+  RAMachine::State S = RA.initial();
+  // Grow a few messages so enumeration has real work.
+  MemAccess W{};
+  W.K = MemAccess::Kind::Write;
+  for (unsigned I = 0; I != 4; ++I) {
+    W.Loc = static_cast<LocId>(I % 2);
+    W.WriteVal = static_cast<Val>(I % 3);
+    RAMachine::State Next = S;
+    RA.enumerate(S, static_cast<ThreadId>(I % 2), W,
+                 [&](const Label &, RAMachine::State &&S2) {
+                   Next = std::move(S2);
+                 });
+    S = std::move(Next);
+  }
+  MemAccess R{};
+  R.K = MemAccess::Kind::Read;
+  R.Loc = 0;
+  for (auto _ : State) {
+    unsigned Count = 0;
+    RA.enumerate(S, 0, R, [&](const Label &, RAMachine::State &&S2) {
+      benchmark::DoNotOptimize(S2);
+      ++Count;
+    });
+    benchmark::DoNotOptimize(Count);
+  }
+}
+BENCHMARK(BM_RAMachineEnumerate);
+
+void BM_GraphHbClosure(benchmark::State &State) {
+  ExecutionGraph G = ExecutionGraph::initial(2);
+  for (unsigned I = 0; I != 40; ++I) {
+    LocId X = static_cast<LocId>(I % 2);
+    if (I % 3 == 0)
+      G.add(static_cast<ThreadId>(I % 3), Label::write(X, 1), G.moMax(X));
+    else
+      G.add(static_cast<ThreadId>(I % 3),
+            Label::read(X, G.event(G.moMax(X)).L.ValW), G.moMax(X));
+  }
+  for (auto _ : State) {
+    ReachMatrix M = G.computeHb();
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_GraphHbClosure);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+//===- bench/fig7_table.cpp - Regenerate Figure 7 ---------------------------===//
+//
+// For every Figure 7 program: Rocker's robustness verdict and time, the
+// plain-SC baseline time, and the TSO baseline ("Trencher") verdict and
+// time. Expected (paper) verdicts are printed next to the measured ones;
+// the shapes to compare are the verdict columns and the relative cost of
+// instrumented vs plain exploration (absolute times differ: we use our
+// own explicit-state checker instead of Spin, on different hardware).
+//
+// Usage: fig7_table [program-name ...]   (default: the whole table)
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+#include "tso/TSORobustness.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rocker;
+
+static const char *mark(bool B) { return B ? "yes" : "no "; }
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Only(argv + 1, argv + argc);
+  bool Verbose = false;
+  for (auto It = Only.begin(); It != Only.end();) {
+    if (*It == "-v") {
+      Verbose = true;
+      It = Only.erase(It);
+    } else {
+      ++It;
+    }
+  }
+
+  std::printf("%-22s | %-3s %-4s | %2s | %4s | %9s %8s | %8s | %-4s %8s\n",
+              "Program", "Res", "(exp)", "#T", "LoC", "States", "Time[s]",
+              "SC[s]", "TSO", "(exp)");
+  std::printf("%s\n", std::string(102, '-').c_str());
+
+  unsigned Mismatches = 0;
+  for (const CorpusEntry &E : figure7Programs()) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      continue;
+    Program P = E.parse();
+
+    RockerOptions RO;
+    RO.RecordTrace = Verbose;
+    RO.MaxStates = 4'000'000;
+    RockerReport R = checkRobustness(P, RO);
+
+    RockerOptions SO;
+    SO.RecordTrace = false;
+    SO.MaxStates = 4'000'000;
+    RockerReport SC = exploreSC(P, SO);
+
+    TSOOptions TO;
+    TO.TrencherMode = true;
+    TO.MaxStates = 4'000'000;
+    TSORobustnessResult Tso = checkTSORobustness(P, TO);
+
+    bool ResMatch = R.Robust == E.ExpectRobust;
+    // Starred rows: the paper's Trencher verdict reflects its trace-based
+    // robustness notion on lowered blocking instructions; our state-based
+    // baseline reproduces it only when the difference is state-visible,
+    // so starred rows are informational.
+    bool TsoMatch = !E.ExpectTsoTrencher.has_value() || E.TrencherStar ||
+                    Tso.Robust == *E.ExpectTsoTrencher;
+    if (!ResMatch || !TsoMatch)
+      ++Mismatches;
+
+    std::printf("%-22s | %-3s (%s)%s | %2u | %4u | %9llu %8.3f | %8.3f | "
+                "%-4s (%s%s)%s\n",
+                E.Name.c_str(), mark(R.Robust), mark(E.ExpectRobust),
+                ResMatch ? " " : "!", P.numThreads(), P.linesOfCode(),
+                static_cast<unsigned long long>(R.Stats.NumStates),
+                R.Stats.Seconds, SC.Stats.Seconds, mark(Tso.Robust),
+                E.ExpectTsoTrencher ? mark(*E.ExpectTsoTrencher) : "-- ",
+                E.TrencherStar ? "*" : "", TsoMatch ? " " : "!");
+
+    if (Verbose && !R.Robust)
+      std::printf("\n%s\n", R.FirstViolationText.c_str());
+    if (!R.Complete)
+      std::printf("  (incomplete: state budget hit)\n");
+    if (!SC.Robust)
+      std::printf("  (SC baseline found violations: %s)\n",
+                  SC.FirstViolationText.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", std::string(102, '-').c_str());
+  std::printf("verdict mismatches vs paper: %u\n", Mismatches);
+  std::printf("(* = paper marks the Trencher verdict as an artifact of "
+              "lowering blocking instructions)\n");
+  return Mismatches == 0 ? 0 : 1;
+}

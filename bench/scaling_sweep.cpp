@@ -1,0 +1,85 @@
+//===- bench/scaling_sweep.cpp - Corollary 5.4 scaling behavior -------------===//
+//
+// Verifying execution-graph robustness is PSPACE-complete (Corollary
+// 5.4): the SCM state is polynomial in the program, but the explored
+// state space can grow exponentially with threads and the value domain.
+// This bench sweeps the spinlock and ticket-lock families over the
+// thread count to exhibit that growth, and sweeps the value-domain size
+// of a ticket lock to show the critical-value dependence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "monitor/SCMState.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace rocker;
+
+namespace {
+
+std::string spinlockProgram(unsigned N) {
+  std::string S = "program spinlock\nvals " + std::to_string(N + 1) +
+                  "\nlocs lock data\n";
+  for (unsigned T = 0; T != N; ++T) {
+    std::string V = std::to_string(T + 1);
+    S += "\nthread t" + std::to_string(T) + "\n  BCAS(lock, 0 => 1)\n" +
+         "  data := " + V + "\n  rd := data\n  assert(rd == " + V +
+         ")\n  lock := 0\n";
+  }
+  return S;
+}
+
+std::string ticketlockProgram(unsigned N, unsigned ExtraVals) {
+  std::string S = "program ticketlock\nvals " +
+                  std::to_string(N + 1 + ExtraVals) +
+                  "\nlocs next serving data\n";
+  for (unsigned T = 0; T != N; ++T) {
+    std::string V = std::to_string(T + 1);
+    S += "\nthread t" + std::to_string(T) + "\n  my := FADD(next, 1)\n" +
+         "  wait(serving == my)\n  data := " + V + "\n  rd := data\n" +
+         "  assert(rd == " + V + ")\n  sv := my + 1\n  serving := sv\n";
+  }
+  return S;
+}
+
+void run(const std::string &Tag, const std::string &Src) {
+  Program P = parseProgramOrDie(Src);
+  RockerOptions O;
+  O.RecordTrace = false;
+  O.MaxStates = 10'000'000;
+  RockerReport R = checkRobustness(P, O);
+  auto MonBytes = [&](bool Abstract) {
+    SCMonitor Mon(P, Abstract);
+    std::string Out;
+    Mon.serialize(Mon.initial(), Out);
+    return Out.size();
+  };
+  std::printf("%-24s | %2u threads | %9llu states | %8.3fs | "
+              "meta %3zu->%3zuB | %s%s\n",
+              Tag.c_str(), P.numThreads(),
+              static_cast<unsigned long long>(R.Stats.NumStates),
+              R.Stats.Seconds, MonBytes(false), MonBytes(true),
+              R.Robust ? "robust" : "NOT ROBUST",
+              R.Complete ? "" : " (budget hit)");
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main() {
+  std::printf("-- thread-count sweep --\n");
+  for (unsigned N = 2; N <= 5; ++N)
+    run("spinlock/" + std::to_string(N), spinlockProgram(N));
+  for (unsigned N = 2; N <= 5; ++N)
+    run("ticketlock/" + std::to_string(N), ticketlockProgram(N, 0));
+
+  std::printf("\n-- value-domain sweep (ticketlock, 3 threads; every value "
+              "is critical for 'serving') --\n");
+  for (unsigned Extra = 0; Extra <= 12; Extra += 4)
+    run("ticketlock/vals=" + std::to_string(4 + Extra),
+        ticketlockProgram(3, Extra));
+  return 0;
+}

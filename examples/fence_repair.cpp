@@ -1,0 +1,45 @@
+//===- examples/fence_repair.cpp - Automatic robustness enforcement ---------===//
+//
+// Demonstrates the enforcement loop the paper motivates: take the
+// original (SC-designed) algorithms of Figure 7, let the tool place SC
+// fences / strengthen writes into RMWs automatically, and compare the
+// machine-found repair with the hand-placed ones of the -tso/-ra
+// variants. Every repair below is machine-verified: the strengthened
+// program passes the Theorem 5.3 check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Printer.h"
+#include "litmus/Corpus.h"
+#include "repair/FenceInsertion.h"
+
+#include <cstdio>
+
+using namespace rocker;
+
+int main() {
+  const char *Targets[] = {"SB", "IRIW", "2+2W", "peterson-sc",
+                           "dekker-sc", "barrier-loop"};
+  for (const char *Name : Targets) {
+    Program P = findCorpusEntry(Name).parse();
+    std::printf("== %s ==\n", Name);
+
+    RepairOptions O;
+    O.AllowRmwStrengthening = Name == std::string("peterson-sc");
+    RepairResult R = enforceRobustness(P, O);
+    if (!R.Success) {
+      std::printf("  enforcement failed: %s\n\n", R.Detail.c_str());
+      continue;
+    }
+    if (R.Repairs.empty()) {
+      std::printf("  already robust, nothing to do\n\n");
+      continue;
+    }
+    std::printf("  minimal repair (%u verifier calls):\n",
+                R.VerificationsUsed);
+    for (const Repair &Rep : R.Repairs)
+      std::printf("    %s\n", toString(P, Rep).c_str());
+    std::printf("  => strengthened program verified robust against RA\n\n");
+  }
+  return 0;
+}

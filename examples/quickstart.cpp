@@ -1,0 +1,71 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ------------===//
+//
+// Parse a program, check robustness against release/acquire, inspect the
+// counterexample, strengthen the program, and re-verify — the workflow
+// the paper proposes for porting SC algorithms to RA.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <cstdio>
+
+using namespace rocker;
+
+int main() {
+  // The store-buffering idiom: each thread publishes its flag and then
+  // checks the other's. Under SC one thread must see the other's write;
+  // under RA both may read the initial value (Example 3.1).
+  const char *Source = R"(
+program SB
+vals 2
+locs x y
+
+thread t0
+  x := 1
+  a := y
+
+thread t1
+  y := 1
+  b := x
+)";
+
+  Program P = parseProgramOrDie(Source);
+  std::printf("== checking %s ==\n", P.Name.c_str());
+  RockerReport R = checkRobustness(P);
+  std::printf("robust against RA: %s  (%llu states explored)\n",
+              R.Robust ? "yes" : "NO",
+              static_cast<unsigned long long>(R.Stats.NumStates));
+  if (!R.Robust)
+    std::printf("\n%s\n", R.FirstViolationText.c_str());
+
+  // The fix from Example 3.6: RMWs on one shared location act as SC
+  // fences under RA (the `fence` keyword expands to exactly that).
+  const char *Fixed = R"(
+program SB-fenced
+vals 2
+locs x y
+
+thread t0
+  x := 1
+  fence
+  a := y
+
+thread t1
+  y := 1
+  fence
+  b := x
+)";
+
+  Program P2 = parseProgramOrDie(Fixed);
+  std::printf("== checking %s ==\n", P2.Name.c_str());
+  RockerReport R2 = checkRobustness(P2);
+  std::printf("robust against RA: %s  (%llu states explored)\n",
+              R2.Robust ? "yes" : "NO",
+              static_cast<unsigned long long>(R2.Stats.NumStates));
+  std::printf("\nA robust program has only SC behaviors, so any SC-based\n"
+              "verification of %s now carries over to RA.\n",
+              P2.Name.c_str());
+  return R.Robust || !R2.Robust; // Expect: SB non-robust, fixed robust.
+}

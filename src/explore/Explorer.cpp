@@ -1,0 +1,47 @@
+//===- explore/Explorer.cpp - Non-template explorer helpers ----------------===//
+
+#include "explore/Explorer.h"
+
+using namespace rocker;
+
+const char *rocker::violationKindName(Violation::Kind K) {
+  switch (K) {
+  case Violation::Kind::AssertFail:
+    return "assertion failure";
+  case Violation::Kind::Robustness:
+    return "robustness violation";
+  case Violation::Kind::Race:
+    return "data race";
+  case Violation::Kind::MemoryViolation:
+    return "memory-model violation";
+  }
+  return "violation";
+}
+
+std::string rocker::formatViolation(const Program &P, const Violation &V,
+                                    const std::vector<TraceStep> &Trace) {
+  std::string Out;
+  Out += std::string(violationKindName(V.K)) + " in thread t" +
+         std::to_string(V.Thread) + " at pc " + std::to_string(V.Pc);
+  if (V.K == Violation::Kind::Robustness) {
+    Out += ": under RA, ";
+    Out += V.Type == AccessType::RMW ? "an RMW of '" : "a read of '";
+    Out += P.locName(V.Loc) + "'";
+    if (V.Witness != 0xff)
+      Out += " could observe stale value " + std::to_string(V.Witness);
+    else
+      Out += " could observe a stale (non-critical) value";
+    Out += " not readable under SC";
+  }
+  if (!V.Detail.empty())
+    Out += ": " + V.Detail;
+  Out += "\n";
+  if (!Trace.empty()) {
+    Out += "trace (SC interleaving reaching the witness state):\n";
+    for (const TraceStep &S : Trace) {
+      Out += "  t" + std::to_string(S.Thread) +
+             (S.Internal ? " (internal) " : "  ") + S.Text + "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,487 @@
+//===- explore/Explorer.h - Explicit-state product explorer ----*- C++ -*-===//
+///
+/// \file
+/// A breadth-first explicit-state model checker over the product of a
+/// concurrent program (Section 2.2 LTS) and a memory subsystem
+/// (Definition 2.4 concurrent system). This replaces Spin in the paper's
+/// tool pipeline: Rocker reduces robustness to reachability under the
+/// instrumented-SC subsystem SCM, so one generic reachability engine
+/// serves SC, SCM, RA, TSO and the execution-graph subsystems alike.
+///
+/// A memory subsystem MemSys provides:
+///   using State;                    // copyable, ==
+///   State initial() const;
+///   void enumerate(const State&, ThreadId, const MemAccess&, Fn) const;
+///       // Fn(const Label&, State&&) for every allowed transition
+///   void enumerateInternal(const State&, Fn) const;
+///       // Fn(ThreadId, State&&) for internal steps (e.g. TSO flushes)
+///   void serialize(const State&, std::string&) const;
+///
+/// The explorer performs: deduplication via a hashed visited set of
+/// serialized product states, optional parent tracking for counterexample
+/// traces, assertion checking, the Definition 6.1 data-race check on
+/// non-atomic locations, a per-access hook (used for the Theorem 5.3
+/// robustness conditions), and optional collection of reachable
+/// program-state projections (used by the state-robustness oracles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_EXPLORE_EXPLORER_H
+#define ROCKER_EXPLORE_EXPLORER_H
+
+#include "lang/Printer.h"
+#include "lang/Program.h"
+#include "lang/Step.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rocker {
+
+/// What went wrong (or was detected) in an explored state.
+struct Violation {
+  enum class Kind : uint8_t {
+    AssertFail,     ///< assert(e) evaluated to 0 (under SC).
+    Robustness,     ///< Theorem 5.3 condition failed (non-robust).
+    Race,           ///< Definition 6.1 racy state on a non-atomic location.
+    MemoryViolation ///< Subsystem-specific (e.g. RAG+NA ⊥ transition).
+  };
+  Kind K;
+  uint64_t StateId;
+  ThreadId Thread;
+  uint32_t Pc;
+  LocId Loc = 0;
+  /// For robustness: the witnessing readable-but-stale value (0xff when
+  /// the witness is a non-critical value tracked only disjunctively).
+  Val Witness = 0;
+  AccessType Type = AccessType::R;
+  std::string Detail;
+};
+
+/// One step of a counterexample trace.
+struct TraceStep {
+  ThreadId Thread;
+  bool Internal;  ///< Memory-internal step (e.g. TSO buffer flush).
+  bool IsAccess;  ///< True when L holds the access label of this step.
+  Label L;        ///< Valid when IsAccess.
+  std::string Text;
+};
+
+/// Exploration statistics.
+struct ExploreStats {
+  uint64_t NumStates = 0;
+  uint64_t NumTransitions = 0;
+  /// States where no thread can step although not all have halted —
+  /// blocked wait/BCAS instructions that can never be satisfied from
+  /// there. Not an error (blocking is legal, Section 2.3), but useful
+  /// diagnostics for protocol encodings.
+  uint64_t NumDeadlockStates = 0;
+  double Seconds = 0;
+  bool Truncated = false; ///< Hit the state budget: result is partial.
+};
+
+/// Search order for the exploration.
+enum class SearchOrder : uint8_t {
+  BFS, ///< Breadth-first: counterexample traces are shortest (default).
+  DFS  ///< Depth-first: Spin's default order; typically finds *some*
+       ///< violation faster on non-robust programs, with longer traces.
+};
+
+/// Exploration options.
+struct ExploreOptions {
+  uint64_t MaxStates = UINT64_MAX;
+  SearchOrder Order = SearchOrder::BFS;
+  /// When non-zero, use Spin-style bitstate hashing with 2^k bits
+  /// instead of storing full state keys: memory drops to 2^k/8 bytes,
+  /// but hash collisions may prune reachable states, making "no
+  /// violation" results approximate (violations found remain real).
+  unsigned BitstateLog2 = 0;
+  bool RecordParents = true;
+  bool StopOnViolation = true;
+  bool CheckAssertions = true;
+  bool CheckRaces = false;
+  /// Collect the program-state projections (pcs + registers) of all
+  /// reachable states, for state-robustness comparisons.
+  bool CollectProgramStates = false;
+  /// Collapse deterministic chains of thread-local (ε) steps into single
+  /// transitions. Sound for violation detection — local steps neither
+  /// touch memory nor change any thread's enabled accesses — but it
+  /// changes the set of *stored* program states, so it must not be
+  /// combined with CollectProgramStates.
+  bool CollapseLocalSteps = false;
+};
+
+/// Result of an exploration.
+struct ExploreResult {
+  ExploreStats Stats;
+  /// True when bitstate hashing was used: absence of violations is then
+  /// approximate (Spin's -DBITSTATE caveat).
+  bool Approximate = false;
+  std::vector<Violation> Violations;
+  /// Serialized program-state projections (when requested).
+  std::unordered_set<std::string, StateKeyHash> ProgramStates;
+
+  bool hasViolation() const { return !Violations.empty(); }
+};
+
+/// The product explorer. \p AccessHook is called for every pending access
+/// of every expanded state with (MemState, ThreadId, Pc, MemAccess) and
+/// may return a Violation-like payload via std::optional<Violation>.
+template <typename MemSys> class ProductExplorer {
+public:
+  using MemState = typename MemSys::State;
+
+  ProductExplorer(const Program &P, const MemSys &Mem, ExploreOptions Opts)
+      : P(P), Mem(Mem), Opts(Opts) {}
+
+  /// A full product state.
+  struct ProductState {
+    std::vector<ThreadState> Threads;
+    MemState M;
+  };
+
+  /// Runs the exploration with an access hook (see class comment). Use
+  /// run() when no hook is needed.
+  template <typename AccessHook>
+  ExploreResult runWithHook(AccessHook Hook) {
+    auto Start = std::chrono::steady_clock::now();
+    ExploreResult Res;
+
+    if (Opts.BitstateLog2) {
+      Res.Approximate = true;
+      Bitstate.assign((static_cast<size_t>(1) << Opts.BitstateLog2) / 64,
+                      0);
+    }
+
+    ProductState Init;
+    Init.Threads.reserve(P.numThreads());
+    for (const SequentialProgram &S : P.Threads)
+      Init.Threads.push_back(ThreadState::initial(S));
+    Init.M = Mem.initial();
+    intern(std::move(Init), Res);
+
+    if (Opts.Order == SearchOrder::BFS) {
+      for (uint64_t Id = 0; Id != States.size(); ++Id) {
+        if (States.size() >= Opts.MaxStates) {
+          Res.Stats.Truncated = true;
+          break;
+        }
+        expand(Id, Res, Hook);
+        if (!Res.Violations.empty() && Opts.StopOnViolation)
+          break;
+      }
+    } else {
+      DfsStack.push_back(0);
+      while (!DfsStack.empty()) {
+        if (States.size() >= Opts.MaxStates) {
+          Res.Stats.Truncated = true;
+          break;
+        }
+        uint64_t Id = DfsStack.back();
+        DfsStack.pop_back();
+        expand(Id, Res, Hook);
+        if (!Res.Violations.empty() && Opts.StopOnViolation)
+          break;
+      }
+    }
+
+    Res.Stats.NumStates = States.size();
+    Res.Stats.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    return Res;
+  }
+
+  ExploreResult run() {
+    return runWithHook([](const MemState &, ThreadId, uint32_t,
+                          const MemAccess &) -> std::optional<Violation> {
+      return std::nullopt;
+    });
+  }
+
+  /// Reconstructs the trace (root to violation state) for a violation.
+  std::vector<TraceStep> trace(const Violation &V) const {
+    std::vector<TraceStep> Steps;
+    if (!Opts.RecordParents)
+      return Steps;
+    uint64_t Id = V.StateId;
+    while (Id != 0) {
+      const ParentEdge &E = Parents[Id];
+      Steps.push_back(TraceStep{E.Thread, E.Internal, E.IsAccess, E.L,
+                                E.Text});
+      Id = E.Parent;
+    }
+    std::reverse(Steps.begin(), Steps.end());
+    return Steps;
+  }
+
+  /// Renders a violation plus its trace for humans.
+  std::string report(const Violation &V) const;
+
+  /// Access to a stored state (e.g. for debugging and tests).
+  const ProductState &state(uint64_t Id) const { return States[Id]; }
+  uint64_t numStates() const { return States.size(); }
+
+private:
+  struct ParentEdge {
+    uint64_t Parent = 0;
+    ThreadId Thread = 0;
+    bool Internal = false;
+    bool IsAccess = false;
+    Label L{};
+    std::string Text;
+  };
+
+  std::string keyOf(const ProductState &S) const {
+    std::string Key;
+    Key.reserve(64);
+    for (const ThreadState &TS : S.Threads) {
+      Key.push_back(static_cast<char>(TS.Pc & 0xff));
+      Key.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
+      Key.append(reinterpret_cast<const char *>(TS.Regs.data()),
+                 TS.Regs.size());
+    }
+    Mem.serialize(S.M, Key);
+    return Key;
+  }
+
+  /// Adds a state if new; returns its id (or the existing one). Under
+  /// bitstate hashing, "new" is approximated by two independent hash
+  /// bits (Spin's double-bit scheme); colliding states are treated as
+  /// visited and their ids are not reusable (returns NoId).
+  static constexpr uint64_t NoId = ~static_cast<uint64_t>(0);
+
+  uint64_t intern(ProductState &&S, ExploreResult &Res) {
+    std::string Key = keyOf(S);
+    if (Opts.BitstateLog2) {
+      uint64_t H = hashBytes(
+          reinterpret_cast<const uint8_t *>(Key.data()), Key.size());
+      uint64_t Mask = (static_cast<uint64_t>(1) << Opts.BitstateLog2) - 1;
+      uint64_t B1 = H & Mask;
+      uint64_t B2 = (H >> 32 ^ H * 0x9e3779b97f4a7c15ull) & Mask;
+      bool Seen = (Bitstate[B1 / 64] >> (B1 % 64)) & 1 &&
+                  (Bitstate[B2 / 64] >> (B2 % 64)) & 1;
+      if (Seen)
+        return NoId;
+      Bitstate[B1 / 64] |= static_cast<uint64_t>(1) << (B1 % 64);
+      Bitstate[B2 / 64] |= static_cast<uint64_t>(1) << (B2 % 64);
+      States.push_back(std::move(S));
+      if (Opts.RecordParents)
+        Parents.emplace_back();
+      if (Opts.Order == SearchOrder::DFS && States.size() > 1)
+        DfsStack.push_back(States.size() - 1);
+      return States.size() - 1;
+    }
+    auto [It, New] = Visited.emplace(std::move(Key), States.size());
+    if (!New)
+      return It->second;
+    if (Opts.CollectProgramStates) {
+      std::string PKey;
+      for (const ThreadState &TS : S.Threads) {
+        PKey.push_back(static_cast<char>(TS.Pc & 0xff));
+        PKey.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
+        PKey.append(reinterpret_cast<const char *>(TS.Regs.data()),
+                    TS.Regs.size());
+      }
+      Res.ProgramStates.insert(std::move(PKey));
+    }
+    States.push_back(std::move(S));
+    if (Opts.RecordParents)
+      Parents.emplace_back();
+    if (Opts.Order == SearchOrder::DFS && States.size() > 1)
+      DfsStack.push_back(States.size() - 1);
+    return States.size() - 1;
+  }
+
+  void link(uint64_t Child, uint64_t Parent, ThreadId T, bool Internal,
+            std::string Text, const Label *L = nullptr) {
+    if (Child == NoId || !Opts.RecordParents ||
+        Child != States.size() - 1 || Child == 0)
+      return;
+    ParentEdge E;
+    E.Parent = Parent;
+    E.Thread = T;
+    E.Internal = Internal;
+    if (L) {
+      E.IsAccess = true;
+      E.L = *L;
+    }
+    E.Text = std::move(Text);
+    Parents[Child] = E;
+  }
+
+  template <typename AccessHook>
+  void expand(uint64_t Id, ExploreResult &Res, AccessHook &Hook) {
+    // Pending NA accesses for the Definition 6.1 race check.
+    struct NaAccess {
+      ThreadId T;
+      LocId Loc;
+      bool IsWrite;
+      uint32_t Pc;
+    };
+    std::vector<NaAccess> NaAccesses;
+    bool AnyStep = false;
+    bool AllHalted = true;
+
+    for (unsigned T = 0; T != P.numThreads(); ++T) {
+      // The state vector may reallocate during expansion; re-index.
+      ThreadStep Step = inspectThread(P, static_cast<ThreadId>(T),
+                                      States[Id].Threads[T]);
+      if (Step.K != ThreadStep::Kind::Halted)
+        AllHalted = false;
+      switch (Step.K) {
+      case ThreadStep::Kind::Halted:
+        break;
+      case ThreadStep::Kind::Local: {
+        ProductState Next;
+        Next.Threads = States[Id].Threads;
+        Next.M = States[Id].M;
+        uint32_t FromPc = Next.Threads[T].Pc;
+        Next.Threads[T] = Step.Next;
+        unsigned Collapsed = 1;
+        if (Opts.CollapseLocalSteps) {
+          // Follow the deterministic ε-chain to its end (bounded, in case
+          // of a local-only infinite loop such as `l: goto l`).
+          while (Collapsed < 4096) {
+            ThreadStep More = inspectThread(P, static_cast<ThreadId>(T),
+                                            Next.Threads[T]);
+            if (More.K != ThreadStep::Kind::Local)
+              break;
+            Next.Threads[T] = More.Next;
+            ++Collapsed;
+          }
+        }
+        ++Res.Stats.NumTransitions;
+        uint64_t C = intern(std::move(Next), Res);
+        link(C, Id, static_cast<ThreadId>(T), false,
+             (Collapsed > 1 ? "local x" + std::to_string(Collapsed) + ": "
+                            : "local: ") +
+                 toString(P, static_cast<ThreadId>(T),
+                          P.Threads[T].Insts[FromPc]));
+        AnyStep = true;
+        break;
+      }
+      case ThreadStep::Kind::AssertFail:
+        if (Opts.CheckAssertions) {
+          Violation V;
+          V.K = Violation::Kind::AssertFail;
+          V.StateId = Id;
+          V.Thread = static_cast<ThreadId>(T);
+          V.Pc = States[Id].Threads[T].Pc;
+          V.Detail = "assertion failed: " +
+                     toString(P, static_cast<ThreadId>(T),
+                              P.Threads[T].Insts[V.Pc]);
+          Res.Violations.push_back(std::move(V));
+          if (Opts.StopOnViolation)
+            return;
+        }
+        break;
+      case ThreadStep::Kind::Access: {
+        const MemAccess A = Step.A;
+        uint32_t Pc = States[Id].Threads[T].Pc;
+        if (Opts.CheckRaces && A.IsNA)
+          NaAccesses.push_back(NaAccess{static_cast<ThreadId>(T), A.Loc,
+                                        A.isWriteOnly(), Pc});
+        if (std::optional<Violation> V =
+                Hook(States[Id].M, static_cast<ThreadId>(T), Pc, A)) {
+          V->StateId = Id;
+          V->Thread = static_cast<ThreadId>(T);
+          V->Pc = Pc;
+          Res.Violations.push_back(std::move(*V));
+          if (Opts.StopOnViolation)
+            return;
+        }
+        Mem.enumerate(
+            States[Id].M, static_cast<ThreadId>(T), A,
+            [&](const Label &L, MemState &&M2) {
+              AnyStep = true;
+              ProductState Next;
+              Next.Threads = States[Id].Threads;
+              Next.Threads[T] = applyAccess(P, static_cast<ThreadId>(T),
+                                            States[Id].Threads[T], A, L);
+              Next.M = std::move(M2);
+              ++Res.Stats.NumTransitions;
+              uint64_t C = intern(std::move(Next), Res);
+              link(C, Id, static_cast<ThreadId>(T), false, toString(P, L),
+                   &L);
+            });
+        break;
+      }
+      }
+    }
+
+    // Definition 6.1: racy iff two threads concurrently enable accesses to
+    // the same NA location, at least one writing.
+    if (Opts.CheckRaces) {
+      for (unsigned I = 0; I != NaAccesses.size(); ++I) {
+        for (unsigned J = I + 1; J != NaAccesses.size(); ++J) {
+          if (NaAccesses[I].Loc != NaAccesses[J].Loc)
+            continue;
+          if (!NaAccesses[I].IsWrite && !NaAccesses[J].IsWrite)
+            continue;
+          Violation V;
+          V.K = Violation::Kind::Race;
+          V.StateId = Id;
+          V.Thread = NaAccesses[I].T;
+          V.Pc = NaAccesses[I].Pc;
+          V.Loc = NaAccesses[I].Loc;
+          V.Detail = "data race on non-atomic '" +
+                     P.locName(NaAccesses[I].Loc) + "' between t" +
+                     std::to_string(NaAccesses[I].T) + " and t" +
+                     std::to_string(NaAccesses[J].T);
+          Res.Violations.push_back(std::move(V));
+          if (Opts.StopOnViolation)
+            return;
+        }
+      }
+    }
+
+    // Memory-internal steps (e.g. TSO store-buffer flushes).
+    Mem.enumerateInternal(States[Id].M, [&](ThreadId T, MemState &&M2) {
+      AnyStep = true;
+      ProductState Next;
+      Next.Threads = States[Id].Threads;
+      Next.M = std::move(M2);
+      ++Res.Stats.NumTransitions;
+      uint64_t C = intern(std::move(Next), Res);
+      link(C, Id, T, true, "flush");
+    });
+
+    if (!AnyStep && !AllHalted)
+      ++Res.Stats.NumDeadlockStates;
+  }
+
+  const Program &P;
+  const MemSys &Mem;
+  ExploreOptions Opts;
+  std::deque<ProductState> States;
+  std::vector<ParentEdge> Parents;
+  std::unordered_map<std::string, uint64_t, StateKeyHash> Visited;
+  std::vector<uint64_t> Bitstate; ///< Bitstate-hashing visited bits.
+  std::vector<uint64_t> DfsStack;
+};
+
+/// Renders a violation kind for reports.
+const char *violationKindName(Violation::Kind K);
+
+/// Renders a violation + trace (standalone helper used by report()).
+std::string formatViolation(const Program &P, const Violation &V,
+                            const std::vector<TraceStep> &Trace);
+
+template <typename MemSys>
+std::string ProductExplorer<MemSys>::report(const Violation &V) const {
+  return formatViolation(P, V, trace(V));
+}
+
+} // namespace rocker
+
+#endif // ROCKER_EXPLORE_EXPLORER_H

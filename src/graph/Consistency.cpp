@@ -1,0 +1,147 @@
+//===- graph/Consistency.cpp - Declarative consistency checks --------------===//
+
+#include "graph/Consistency.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace rocker;
+
+namespace {
+
+/// A small directed graph over event ids with Kahn-style acyclicity check.
+class EdgeGraph {
+public:
+  explicit EdgeGraph(unsigned N) : Adj(N), InDeg(N, 0) {}
+
+  void addEdge(EventId From, EventId To) {
+    Adj[From].push_back(To);
+    ++InDeg[To];
+  }
+
+  bool isAcyclic() const {
+    std::vector<unsigned> Deg = InDeg;
+    std::vector<EventId> Work;
+    for (EventId E = 0; E != Adj.size(); ++E)
+      if (Deg[E] == 0)
+        Work.push_back(E);
+    unsigned Seen = 0;
+    while (!Work.empty()) {
+      EventId E = Work.back();
+      Work.pop_back();
+      ++Seen;
+      for (EventId S : Adj[E])
+        if (--Deg[S] == 0)
+          Work.push_back(S);
+    }
+    return Seen == Adj.size();
+  }
+
+private:
+  std::vector<std::vector<EventId>> Adj;
+  std::vector<unsigned> InDeg;
+};
+
+/// Adds po-immediate and rf edges.
+void addPoRfEdges(const ExecutionGraph &G, EdgeGraph &E) {
+  unsigned NumInit = 0;
+  while (NumInit != G.numEvents() && G.event(NumInit).isInit())
+    ++NumInit;
+  for (EventId Ev = 0; Ev != G.numEvents(); ++Ev) {
+    if (G.event(Ev).isInit())
+      continue;
+    if (G.poPred(Ev) != ExecutionGraph::NoEvent)
+      E.addEdge(G.poPred(Ev), Ev);
+    else
+      for (EventId I = 0; I != NumInit; ++I)
+        E.addEdge(I, Ev);
+    if (G.rf(Ev) != ExecutionGraph::NoEvent)
+      E.addEdge(G.rf(Ev), Ev);
+  }
+}
+
+/// Adds mo-immediate edges and (transitively sufficient) fr edges: for a
+/// read r from w, an edge to the mo-immediate successor of w (skipping r
+/// itself, per fr = (rf⁻¹;mo) \ id; later writes follow by mo).
+void addMoFrEdges(const ExecutionGraph &G, EdgeGraph &E, unsigned NumLocs) {
+  for (unsigned L = 0; L != NumLocs; ++L) {
+    const std::vector<EventId> &M = G.mo(static_cast<LocId>(L));
+    for (unsigned I = 0; I + 1 < M.size(); ++I)
+      E.addEdge(M[I], M[I + 1]);
+  }
+  for (EventId R = 0; R != G.numEvents(); ++R) {
+    EventId W = G.rf(R);
+    if (W == ExecutionGraph::NoEvent)
+      continue;
+    const std::vector<EventId> &M = G.mo(G.loc(R));
+    unsigned Pos = G.moPos(W) + 1;
+    if (Pos < M.size() && M[Pos] == R)
+      ++Pos; // Skip the RMW itself (identity is subtracted from fr).
+    if (Pos < M.size())
+      E.addEdge(R, M[Pos]);
+  }
+}
+
+} // namespace
+
+bool rocker::isSCConsistent(const ExecutionGraph &G) {
+  unsigned NumLocs = 0;
+  for (EventId E = 0; E != G.numEvents() && G.event(E).isInit(); ++E)
+    ++NumLocs;
+  EdgeGraph E(G.numEvents());
+  addPoRfEdges(G, E);
+  addMoFrEdges(G, E, NumLocs);
+  return E.isAcyclic();
+}
+
+bool rocker::isRAConsistent(const ExecutionGraph &G) {
+  ReachMatrix Hb = G.computeHb();
+
+  // Write coherence: mo;hb irreflexive — no write may happen-before an
+  // mo-earlier write to the same location.
+  unsigned NumLocs = 0;
+  for (EventId E = 0; E != G.numEvents() && G.event(E).isInit(); ++E)
+    ++NumLocs;
+  for (unsigned L = 0; L != NumLocs; ++L) {
+    const std::vector<EventId> &M = G.mo(static_cast<LocId>(L));
+    for (unsigned I = 0; I != M.size(); ++I)
+      for (unsigned J = I + 1; J != M.size(); ++J)
+        if (Hb.reaches(M[J], M[I]))
+          return false;
+  }
+
+  // Read coherence and atomicity: for each read r from w, no write
+  // strictly mo-after w (other than r) may happen-before-or-equal r
+  // (fr;hb), and for RMWs nothing may sit mo-between w and r (fr;mo).
+  for (EventId R = 0; R != G.numEvents(); ++R) {
+    EventId W = G.rf(R);
+    if (W == ExecutionGraph::NoEvent)
+      continue;
+    const std::vector<EventId> &M = G.mo(G.loc(R));
+    for (unsigned Pos = G.moPos(W) + 1; Pos != M.size(); ++Pos) {
+      EventId B = M[Pos];
+      if (B == R)
+        continue;
+      if (Hb.reaches(B, R))
+        return false; // fr;hb cycle at R.
+      if (G.event(R).L.Type == AccessType::RMW && Pos < G.moPos(R))
+        return false; // fr;mo cycle at R (atomicity).
+    }
+  }
+  return true;
+}
+
+bool rocker::isRAConsistentPerLoc(const ExecutionGraph &G) {
+  ReachMatrix Hb = G.computeHb();
+  unsigned NumLocs = 0;
+  for (EventId E = 0; E != G.numEvents() && G.event(E).isInit(); ++E)
+    ++NumLocs;
+  EdgeGraph E(G.numEvents());
+  // hb restricted to same-location pairs.
+  for (EventId A = 0; A != G.numEvents(); ++A)
+    for (EventId B = 0; B != G.numEvents(); ++B)
+      if (A != B && G.loc(A) == G.loc(B) && Hb.reaches(A, B))
+        E.addEdge(A, B);
+  addMoFrEdges(G, E, NumLocs);
+  return E.isAcyclic();
+}

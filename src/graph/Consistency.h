@@ -1,0 +1,36 @@
+//===- graph/Consistency.h - Declarative consistency checks ----*- C++ -*-===//
+///
+/// \file
+/// Declarative SC- and RA-consistency (Appendix A):
+///
+///  * SC-consistency (Definition A.7, after Shasha & Snir): the relation
+///    hbSC = (hb ∪ mo ∪ fr)+ is irreflexive, i.e. po ∪ rf ∪ mo ∪ fr is
+///    acyclic.
+///  * RA-consistency (Definition A.12): hb, mo;hb, fr;hb and fr;mo are
+///    all irreflexive. Lemma A.13's equivalent per-location formulation
+///    is provided as a cross-check.
+///
+/// where fr = (rf⁻¹ ; mo) \ id (from-read / reads-before).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_GRAPH_CONSISTENCY_H
+#define ROCKER_GRAPH_CONSISTENCY_H
+
+#include "graph/ExecutionGraph.h"
+
+namespace rocker {
+
+/// Is hbSC = (po ∪ rf ∪ mo ∪ fr)+ irreflexive?
+bool isSCConsistent(const ExecutionGraph &G);
+
+/// Definition A.12 (hb / write coherence / read coherence / atomicity).
+bool isRAConsistent(const ExecutionGraph &G);
+
+/// Lemma A.13: irreflexivity of (hb|loc ∪ mo ∪ fr)+. Must agree with
+/// isRAConsistent; used as a property-test cross-check.
+bool isRAConsistentPerLoc(const ExecutionGraph &G);
+
+} // namespace rocker
+
+#endif // ROCKER_GRAPH_CONSISTENCY_H

@@ -1,0 +1,142 @@
+//===- graph/ExecutionGraph.cpp - Execution graphs --------------------------===//
+
+#include "graph/ExecutionGraph.h"
+
+#include "lang/Printer.h"
+
+#include <cassert>
+
+using namespace rocker;
+
+ExecutionGraph ExecutionGraph::initial(unsigned NumLocs) {
+  ExecutionGraph G;
+  G.Mo.resize(NumLocs);
+  for (unsigned L = 0; L != NumLocs; ++L) {
+    EventId E = G.Events.size();
+    G.Events.push_back(
+        Event{Event::InitTid, 0, Label::write(static_cast<LocId>(L), 0)});
+    G.Rf.push_back(NoEvent);
+    G.MoPos.push_back(0);
+    G.PoPred.push_back(NoEvent);
+    G.Mo[L].push_back(E);
+  }
+  return G;
+}
+
+EventId ExecutionGraph::add(ThreadId T, const Label &L, EventId Pred) {
+  assert(Pred != NoEvent && isWrite(Pred) && loc(Pred) == L.Loc &&
+         "predecessor must be a write to the same location");
+  EventId E = Events.size();
+  if (T >= ThreadLast.size())
+    ThreadLast.resize(T + 1, NoEvent);
+
+  Event Ev;
+  Ev.Tid = T;
+  Ev.Sn = threadSize(T) + 1;
+  Ev.L = L;
+  Events.push_back(Ev);
+  PoPred.push_back(ThreadLast[T]);
+  ThreadLast[T] = E;
+
+  Rf.push_back(L.isRead() ? Pred : NoEvent);
+  MoPos.push_back(0);
+  if (L.isWrite()) {
+    std::vector<EventId> &M = Mo[L.Loc];
+    unsigned Pos = MoPos[Pred] + 1;
+    M.insert(M.begin() + Pos, E);
+    for (unsigned I = Pos; I != M.size(); ++I)
+      MoPos[M[I]] = I;
+  }
+  return E;
+}
+
+ReachMatrix ExecutionGraph::computeHb(const BitSet64 *NaLocs) const {
+  ReachMatrix R(numEvents());
+  // Events are in topological order of po ∪ rf; one forward sweep.
+  for (EventId E = 0; E != numEvents(); ++E) {
+    const Event &Ev = Events[E];
+    if (Ev.isInit())
+      continue;
+    if (PoPred[E] != NoEvent) {
+      R.addEdge(PoPred[E], E);
+    } else {
+      // Initialization events precede all non-initialization events; it
+      // suffices to order them before each thread's first event.
+      for (EventId I = 0; I != numEvents() && Events[I].isInit(); ++I)
+        R.addEdge(I, E);
+    }
+    if (Rf[E] != NoEvent) {
+      bool Synchronizes = !NaLocs || !NaLocs->contains(Ev.L.Loc);
+      if (Synchronizes)
+        R.addEdge(Rf[E], E);
+    }
+  }
+  return R;
+}
+
+void ExecutionGraph::serialize(std::string &Out) const {
+  // Events in insertion order identify po and labels; rf and mo-positions
+  // complete the graph.
+  for (EventId E = 0; E != numEvents(); ++E) {
+    const Event &Ev = Events[E];
+    Out.push_back(static_cast<char>(Ev.Tid));
+    Out.push_back(static_cast<char>(Ev.L.Type));
+    Out.push_back(static_cast<char>(Ev.L.Loc));
+    Out.push_back(static_cast<char>(Ev.L.ValR));
+    Out.push_back(static_cast<char>(Ev.L.ValW));
+    uint32_t RfId = Rf[E] == NoEvent ? 0xffff : Rf[E];
+    Out.push_back(static_cast<char>(RfId & 0xff));
+    Out.push_back(static_cast<char>((RfId >> 8) & 0xff));
+    Out.push_back(static_cast<char>(isWrite(E) ? MoPos[E] : 0xff));
+  }
+}
+
+static std::string eventLabelString(const ExecutionGraph &G, EventId E,
+                                    const Program *P) {
+  const Label &L = G.event(E).L;
+  return P ? toString(*P, L) : toString(L);
+}
+
+std::string ExecutionGraph::toString(const Program *P) const {
+  std::string Out;
+  for (EventId E = 0; E != numEvents(); ++E) {
+    const Event &Ev = Events[E];
+    Out += "e" + std::to_string(E) + ": ";
+    if (Ev.isInit())
+      Out += "[init] ";
+    else
+      Out += "[t" + std::to_string(Ev.Tid) + "." + std::to_string(Ev.Sn) +
+             "] ";
+    Out += eventLabelString(*this, E, P);
+    if (Rf[E] != NoEvent)
+      Out += "  rf<-e" + std::to_string(Rf[E]);
+    if (isWrite(E))
+      Out += "  mo#" + std::to_string(MoPos[E]);
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string ExecutionGraph::toDot(const Program *P) const {
+  std::string Out = "digraph G {\n  rankdir=TB;\n";
+  for (EventId E = 0; E != numEvents(); ++E) {
+    const Event &Ev = Events[E];
+    std::string Name = "e" + std::to_string(E);
+    Out += "  " + Name + " [label=\"" + eventLabelString(*this, E, P) +
+           "\", shape=" + (Ev.isInit() ? "box" : "ellipse") + "];\n";
+  }
+  for (EventId E = 0; E != numEvents(); ++E) {
+    if (PoPred[E] != NoEvent)
+      Out += "  e" + std::to_string(PoPred[E]) + " -> e" +
+             std::to_string(E) + " [label=\"po\"];\n";
+    if (Rf[E] != NoEvent)
+      Out += "  e" + std::to_string(Rf[E]) + " -> e" + std::to_string(E) +
+             " [label=\"rf\", color=green];\n";
+  }
+  for (const std::vector<EventId> &M : Mo)
+    for (unsigned I = 0; I + 1 < M.size(); ++I)
+      Out += "  e" + std::to_string(M[I]) + " -> e" +
+             std::to_string(M[I + 1]) + " [label=\"mo\", color=blue];\n";
+  Out += "}\n";
+  return Out;
+}

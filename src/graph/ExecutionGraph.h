@@ -1,0 +1,172 @@
+//===- graph/ExecutionGraph.h - C/C++11-style execution graphs -*- C++ -*-===//
+///
+/// \file
+/// Execution graphs of Section 4 (Definition 4.3): a set of events (with
+/// initialization writes), a reads-from mapping, and a per-location
+/// modification order. Graphs are grown incrementally by the add operation
+/// of Notation 4.4 (append an event reading from / mo-inserted right after
+/// a designated predecessor write), which is exactly how the SCG and RAG
+/// memory subsystems step.
+///
+/// Events are stored in insertion order, which is always a topological
+/// order of po ∪ rf (a read's writer precedes it), so happens-before
+/// closures are computed by one forward sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_GRAPH_EXECUTIONGRAPH_H
+#define ROCKER_GRAPH_EXECUTIONGRAPH_H
+
+#include "lang/Label.h"
+#include "lang/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rocker {
+
+/// An event ⟨τ, s, l⟩ of Definition 4.1. Initialization events use
+/// Tid == InitTid and Sn == 0.
+struct Event {
+  static constexpr ThreadId InitTid = 0xff;
+
+  ThreadId Tid;
+  uint32_t Sn;
+  Label L;
+
+  bool isInit() const { return Tid == InitTid; }
+
+  friend bool operator==(const Event &A, const Event &B) {
+    return A.Tid == B.Tid && A.Sn == B.Sn && A.L == B.L;
+  }
+};
+
+/// Index of an event within an ExecutionGraph.
+using EventId = uint32_t;
+
+/// A reachability matrix over events: Reach[e] is a bit set (packed into
+/// 64-bit words) of the events strictly before e in the relation's
+/// transitive closure.
+class ReachMatrix {
+public:
+  ReachMatrix(unsigned NumEvents)
+      : N(NumEvents), Words((NumEvents + 63) / 64),
+        Bits(static_cast<size_t>(Words) * NumEvents, 0) {}
+
+  void addEdge(EventId From, EventId To) {
+    // Incorporate From and all its predecessors into To's set.
+    // (Valid when edges are added in topological order of To.)
+    uint64_t *DstW = row(To);
+    const uint64_t *SrcW = row(From);
+    for (unsigned I = 0; I != Words; ++I)
+      DstW[I] |= SrcW[I];
+    DstW[From / 64] |= static_cast<uint64_t>(1) << (From % 64);
+  }
+
+  bool reaches(EventId From, EventId To) const {
+    const uint64_t *W = row(To);
+    return (W[From / 64] >> (From % 64)) & 1;
+  }
+
+  /// Strictly-before-or-equal.
+  bool reachesOrEq(EventId From, EventId To) const {
+    return From == To || reaches(From, To);
+  }
+
+private:
+  uint64_t *row(EventId E) {
+    return Bits.data() + static_cast<size_t>(E) * Words;
+  }
+  const uint64_t *row(EventId E) const {
+    return Bits.data() + static_cast<size_t>(E) * Words;
+  }
+  unsigned N;
+  unsigned Words;
+  std::vector<uint64_t> Bits;
+};
+
+/// An execution graph G = ⟨E, rf, mo⟩.
+class ExecutionGraph {
+public:
+  static constexpr EventId NoEvent = ~static_cast<EventId>(0);
+
+  /// The initial graph G0: one initialization write per location.
+  static ExecutionGraph initial(unsigned NumLocs);
+
+  unsigned numEvents() const { return Events.size(); }
+  const Event &event(EventId E) const { return Events[E]; }
+
+  bool isWrite(EventId E) const { return Events[E].L.isWrite(); }
+  bool isRead(EventId E) const { return Events[E].L.isRead(); }
+  bool isRmw(EventId E) const {
+    return Events[E].L.Type == AccessType::RMW;
+  }
+  LocId loc(EventId E) const { return Events[E].L.Loc; }
+
+  /// The writer a read event reads from (NoEvent for non-reads).
+  EventId rf(EventId E) const { return Rf[E]; }
+
+  /// The modification order of location \p L as an ordered list of write
+  /// event ids (initialization write first).
+  const std::vector<EventId> &mo(LocId L) const { return Mo[L]; }
+
+  /// The mo-maximal write to \p L (Definition: G.wmax).
+  EventId moMax(LocId L) const { return Mo[L].back(); }
+
+  /// Position of a write event in its location's modification order.
+  unsigned moPos(EventId E) const { return MoPos[E]; }
+
+  /// The number of events of thread \p T (serial numbers are 1-based).
+  unsigned threadSize(ThreadId T) const {
+    return T < ThreadLast.size() && ThreadLast[T] != NoEvent
+               ? Events[ThreadLast[T]].Sn
+               : 0;
+  }
+
+  /// The last (po-maximal) event of thread \p T, or NoEvent.
+  EventId threadLast(ThreadId T) const {
+    return T < ThreadLast.size() ? ThreadLast[T] : NoEvent;
+  }
+
+  /// Notation 4.4: appends a new event of thread \p T with label \p L,
+  /// with predecessor write \p Pred — the rf source for reads, the mo
+  /// insertion point for writes (immediately after \p Pred), and both for
+  /// RMWs. Returns the new event's id.
+  EventId add(ThreadId T, const Label &L, EventId Pred);
+
+  /// The happens-before closure hb = (po ∪ rf)+ (Section 4.2). When
+  /// \p NaRfSynchronizes is false, rf edges on non-atomic locations do not
+  /// synchronize (the Section 6 variant); pass the program's NA set then.
+  ReachMatrix computeHb(const BitSet64 *NaLocs = nullptr) const;
+
+  /// Canonical byte encoding (used as explorer state key).
+  void serialize(std::string &Out) const;
+
+  /// Multi-line rendering "e3: [t1] W(x,1)  rf<-e0  mo-pos 1".
+  std::string toString(const Program *P = nullptr) const;
+
+  /// Graphviz rendering with po/rf/mo edges.
+  std::string toDot(const Program *P = nullptr) const;
+
+  friend bool operator==(const ExecutionGraph &A, const ExecutionGraph &B) {
+    return A.Events == B.Events && A.Rf == B.Rf && A.Mo == B.Mo;
+  }
+
+private:
+  std::vector<Event> Events;
+  std::vector<EventId> Rf;                ///< Per event; NoEvent if none.
+  std::vector<std::vector<EventId>> Mo;   ///< Per location.
+  std::vector<unsigned> MoPos;            ///< Per event (writes only).
+  std::vector<EventId> ThreadLast;        ///< Last event per thread.
+  std::vector<EventId> PoPred;            ///< Po-immediate predecessor.
+
+public:
+  /// Po-immediate predecessor of an event (NoEvent for thread-first;
+  /// initialization events precede everything).
+  EventId poPred(EventId E) const { return PoPred[E]; }
+};
+
+} // namespace rocker
+
+#endif // ROCKER_GRAPH_EXECUTIONGRAPH_H

@@ -1,0 +1,6 @@
+//===- graph/GraphSemantics.cpp - SCG/RAG (header-only; anchor TU) ---------===//
+
+#include "graph/GraphSemantics.h"
+
+// The graph memory subsystems are header-only templates; this translation
+// unit anchors the library target.

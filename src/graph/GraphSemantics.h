@@ -1,0 +1,195 @@
+//===- graph/GraphSemantics.h - SCG and RAG memory subsystems --*- C++ -*-===//
+///
+/// \file
+/// The execution-graph-based memory subsystems of Section 4: SCG (4.1)
+/// whose steps always use the mo-maximal write as predecessor, and RAG
+/// (4.2) whose steps may pick any predecessor write the thread has not
+/// observed past, subject to the RMW-atomicity guard. Both follow the
+/// explorer's memory-subsystem interface with State = ExecutionGraph.
+///
+/// RAGraphMem optionally implements the RAG+NA extension of Section 6:
+/// non-atomic accesses must read the mo-maximal write and are racy (the ⊥
+/// state) when the accessing thread has not observed it in hb — exposed
+/// via naRace() so the oracle can flag races rather than transition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_GRAPH_GRAPHSEMANTICS_H
+#define ROCKER_GRAPH_GRAPHSEMANTICS_H
+
+#include "graph/ExecutionGraph.h"
+#include "lang/Step.h"
+
+#include <string>
+
+namespace rocker {
+
+/// Common plumbing for graph-based memory subsystems.
+class GraphMemBase {
+public:
+  using State = ExecutionGraph;
+
+  explicit GraphMemBase(const Program &P)
+      : NumVals(P.NumVals), NumLocs(P.numLocs()), NaLocs(P.NaLocs) {}
+
+  State initial() const { return ExecutionGraph::initial(NumLocs); }
+
+  void serialize(const State &S, std::string &Out) const {
+    S.serialize(Out);
+  }
+
+protected:
+  unsigned NumVals;
+  unsigned NumLocs;
+  BitSet64 NaLocs;
+};
+
+/// SCG: reads read from, and writes insert after, the mo-maximal write.
+class SCGraphMem : public GraphMemBase {
+public:
+  using GraphMemBase::GraphMemBase;
+
+  template <typename Fn>
+  void enumerate(const State &G, ThreadId T, const MemAccess &A, Fn F) const {
+    EventId WMax = G.moMax(A.Loc);
+    if (A.K == MemAccess::Kind::Write) {
+      State Next = G;
+      Label L = Label::write(A.Loc, A.WriteVal, A.IsNA);
+      Next.add(T, L, WMax);
+      F(L, std::move(Next));
+      return;
+    }
+    Val V = G.event(WMax).L.ValW;
+    ReadOutcome O = classifyRead(A, V);
+    if (O == ReadOutcome::Blocked)
+      return;
+    Label L = O == ReadOutcome::Rmw
+                  ? Label::rmw(A.Loc, V, rmwWriteVal(A, V, NumVals))
+                  : Label::read(A.Loc, V, A.IsNA);
+    State Next = G;
+    Next.add(T, L, WMax);
+    F(L, std::move(Next));
+  }
+
+  template <typename Fn>
+  void enumerateInternal(const State &, Fn) const {}
+};
+
+/// RAG (and RAG+NA): predecessor writes range over every write the thread
+/// has not observed past.
+class RAGraphMem : public GraphMemBase {
+public:
+  RAGraphMem(const Program &P, bool NaExtension)
+      : GraphMemBase(P), NaExtension(NaExtension) {}
+
+  /// The mo position below which thread T may no longer pick predecessor
+  /// writes for location L: the maximal position of a write to L with an
+  /// hb?-path into T's events (condition w ∉ dom(mo ; hb? ; [G.Eτ])).
+  unsigned maxObservedPos(const State &G, const ReachMatrix &Hb, ThreadId T,
+                          LocId L) const {
+    EventId Last = G.threadLast(T);
+    if (Last == ExecutionGraph::NoEvent)
+      return 0; // Only initialization writes constrain nothing.
+    const std::vector<EventId> &M = G.mo(L);
+    for (unsigned Pos = M.size(); Pos-- > 0;)
+      if (Hb.reachesOrEq(M[Pos], Last))
+        return Pos;
+    return 0;
+  }
+
+  template <typename Fn>
+  void enumerate(const State &G, ThreadId T, const MemAccess &A, Fn F) const {
+    // Non-atomic accesses under the Section 6 extension behave like SC
+    // accesses; races are reported separately via naRace().
+    if (NaExtension && A.IsNA) {
+      enumerateNa(G, T, A, F);
+      return;
+    }
+
+    ReachMatrix Hb = G.computeHb(NaExtension ? &NaLocs : nullptr);
+    const std::vector<EventId> &M = G.mo(A.Loc);
+    unsigned From = maxObservedPos(G, Hb, T, A.Loc);
+
+    if (A.K == MemAccess::Kind::Write) {
+      Label L = Label::write(A.Loc, A.WriteVal, A.IsNA);
+      for (unsigned Pos = From; Pos != M.size(); ++Pos) {
+        if (Pos + 1 < M.size() && G.isRmw(M[Pos + 1]))
+          continue; // w ∈ dom(mo|imm ; [RMW]) is forbidden for writes.
+        State Next = G;
+        Next.add(T, L, M[Pos]);
+        F(L, std::move(Next));
+      }
+      return;
+    }
+
+    for (unsigned Pos = From; Pos != M.size(); ++Pos) {
+      EventId W = M[Pos];
+      Val V = G.event(W).L.ValW;
+      ReadOutcome O = classifyRead(A, V);
+      if (O == ReadOutcome::Blocked)
+        continue;
+      if (O == ReadOutcome::PlainRead) {
+        Label L = Label::read(A.Loc, V, A.IsNA);
+        State Next = G;
+        Next.add(T, L, W);
+        F(L, std::move(Next));
+        continue;
+      }
+      if (Pos + 1 < M.size() && G.isRmw(M[Pos + 1]))
+        continue; // RMWs must extend a write not yet read by an RMW.
+      Label L = Label::rmw(A.Loc, V, rmwWriteVal(A, V, NumVals));
+      State Next = G;
+      Next.add(T, L, W);
+      F(L, std::move(Next));
+    }
+  }
+
+  template <typename Fn>
+  void enumerateInternal(const State &, Fn) const {}
+
+  /// Section 6: a non-atomic access is racy (moves RAG+NA to ⊥) when the
+  /// thread has not observed the mo-maximal write to the location in hb.
+  bool naRace(const State &G, ThreadId T, const MemAccess &A) const {
+    if (!NaExtension || !A.IsNA)
+      return false;
+    return !observedMax(G, T, A.Loc);
+  }
+
+private:
+  bool observedMax(const State &G, ThreadId T, LocId L) const {
+    EventId WMax = G.moMax(L);
+    if (G.event(WMax).isInit())
+      return true; // Initialization writes are observed by all threads.
+    EventId Last = G.threadLast(T);
+    if (Last == ExecutionGraph::NoEvent)
+      return false;
+    ReachMatrix Hb = G.computeHb(&NaLocs);
+    return Hb.reachesOrEq(WMax, Last);
+  }
+
+  template <typename Fn>
+  void enumerateNa(const State &G, ThreadId T, const MemAccess &A,
+                   Fn F) const {
+    if (naRace(G, T, A))
+      return; // The oracle reports the ⊥ transition via naRace().
+    EventId WMax = G.moMax(A.Loc);
+    if (A.K == MemAccess::Kind::Write) {
+      Label L = Label::write(A.Loc, A.WriteVal, /*NA=*/true);
+      State Next = G;
+      Next.add(T, L, WMax);
+      F(L, std::move(Next));
+      return;
+    }
+    Val V = G.event(WMax).L.ValW;
+    Label L = Label::read(A.Loc, V, /*NA=*/true);
+    State Next = G;
+    Next.add(T, L, WMax);
+    F(L, std::move(Next));
+  }
+
+  bool NaExtension;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_GRAPH_GRAPHSEMANTICS_H

@@ -1,0 +1,23 @@
+//===- lang/CriticalValues.cpp - Critical value analysis -------------------===//
+
+#include "lang/CriticalValues.h"
+
+using namespace rocker;
+
+std::vector<BitSet64> rocker::computeCriticalValues(const Program &P) {
+  std::vector<BitSet64> Crit(P.numLocs());
+  for (const SequentialProgram &S : P.Threads) {
+    for (const Inst &I : S.Insts) {
+      // Plain loads, stores, FADD and XCHG never discriminate on the read
+      // value (every value is enabled with the same access type), so only
+      // CAS/BCAS/wait contribute (Definition 5.5).
+      if (const auto *Cas = std::get_if<CasInst>(&I))
+        Crit[Cas->Loc] |= Cas->Expected.possibleValues(P.NumVals);
+      else if (const auto *Bcas = std::get_if<BcasInst>(&I))
+        Crit[Bcas->Loc] |= Bcas->Expected.possibleValues(P.NumVals);
+      else if (const auto *Wait = std::get_if<WaitInst>(&I))
+        Crit[Wait->Loc] |= Wait->Expected.possibleValues(P.NumVals);
+    }
+  }
+  return Crit;
+}

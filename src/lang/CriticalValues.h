@@ -1,0 +1,30 @@
+//===- lang/CriticalValues.h - Critical value analysis ---------*- C++ -*-===//
+///
+/// \file
+/// The critical value analysis of Section 5.1 (Definition 5.5): a value v
+/// is critical for location x if some thread state enables a read/RMW of x
+/// that discriminates on v — i.e. x is the target of a wait, CAS or BCAS
+/// whose expected expression can evaluate to v. Only critical values need
+/// to be tracked individually by the monitor; the rest can be summarized
+/// disjunctively (Appendix C), shrinking SCM states considerably.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_CRITICALVALUES_H
+#define ROCKER_LANG_CRITICALVALUES_H
+
+#include "lang/Program.h"
+
+#include <vector>
+
+namespace rocker {
+
+/// Val(P,x) for every location x (indexed by LocId). Exact for constant
+/// expected expressions; conservatively the full domain when the expected
+/// expression mentions registers (as in the paper: "r := CAS(x, r' => e)"
+/// makes all values critical).
+std::vector<BitSet64> computeCriticalValues(const Program &P);
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_CRITICALVALUES_H

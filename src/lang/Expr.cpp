@@ -1,0 +1,232 @@
+//===- lang/Expr.cpp - Expression implementation --------------------------===//
+
+#include "lang/Expr.h"
+
+#include <cassert>
+
+using namespace rocker;
+
+struct Expr::Node {
+  Kind K;
+  Val ConstVal = 0;
+  RegId Reg = 0;
+  BinOp B = BinOp::Add;
+  UnOp U = UnOp::Not;
+  Expr L, R;
+};
+
+Expr Expr::makeConst(Val V) {
+  auto N = std::make_shared<Node>();
+  N->K = Kind::Const;
+  N->ConstVal = V;
+  return Expr(std::move(N));
+}
+
+Expr Expr::makeReg(RegId R) {
+  auto N = std::make_shared<Node>();
+  N->K = Kind::Reg;
+  N->Reg = R;
+  return Expr(std::move(N));
+}
+
+Expr Expr::makeBinary(BinOp Op, Expr L, Expr R) {
+  assert(!L.isNull() && !R.isNull() && "binary over null expression");
+  auto N = std::make_shared<Node>();
+  N->K = Kind::Binary;
+  N->B = Op;
+  N->L = std::move(L);
+  N->R = std::move(R);
+  return Expr(std::move(N));
+}
+
+Expr Expr::makeUnary(UnOp Op, Expr E) {
+  assert(!E.isNull() && "unary over null expression");
+  auto N = std::make_shared<Node>();
+  N->K = Kind::Unary;
+  N->U = Op;
+  N->L = std::move(E);
+  return Expr(std::move(N));
+}
+
+Expr::Kind Expr::kind() const {
+  assert(Root && "kind() of null expression");
+  return Root->K;
+}
+
+Val Expr::constValue() const {
+  assert(kind() == Kind::Const && "not a constant");
+  return Root->ConstVal;
+}
+
+RegId Expr::regId() const {
+  assert(kind() == Kind::Reg && "not a register");
+  return Root->Reg;
+}
+
+Expr::BinOp Expr::binOp() const {
+  assert(kind() == Kind::Binary && "not a binary expression");
+  return Root->B;
+}
+
+Expr::UnOp Expr::unOp() const {
+  assert(kind() == Kind::Unary && "not a unary expression");
+  return Root->U;
+}
+
+const Expr &Expr::lhs() const {
+  assert(kind() == Kind::Binary && "not a binary expression");
+  return Root->L;
+}
+
+const Expr &Expr::rhs() const {
+  assert(kind() == Kind::Binary && "not a binary expression");
+  return Root->R;
+}
+
+const Expr &Expr::operand() const {
+  assert(kind() == Kind::Unary && "not a unary expression");
+  return Root->L;
+}
+
+static Val wrap(unsigned V, unsigned Modulus) {
+  assert(Modulus >= 1 && "empty value domain");
+  return static_cast<Val>(V % Modulus);
+}
+
+Val Expr::evaluate(const RegFile &Regs, unsigned Modulus) const {
+  assert(Root && "evaluate() of null expression");
+  switch (Root->K) {
+  case Kind::Const:
+    return wrap(Root->ConstVal, Modulus);
+  case Kind::Reg:
+    assert(Root->Reg < Regs.size() && "register out of range");
+    return Regs[Root->Reg];
+  case Kind::Unary: {
+    Val V = Root->L.evaluate(Regs, Modulus);
+    return wrap(V == 0 ? 1 : 0, Modulus);
+  }
+  case Kind::Binary: {
+    unsigned A = Root->L.evaluate(Regs, Modulus);
+    unsigned B = Root->R.evaluate(Regs, Modulus);
+    switch (Root->B) {
+    case BinOp::Add:
+      return wrap(A + B, Modulus);
+    case BinOp::Sub:
+      return wrap(A + Modulus - (B % Modulus), Modulus);
+    case BinOp::Mul:
+      return wrap(A * B, Modulus);
+    case BinOp::Eq:
+      return wrap(A == B, Modulus);
+    case BinOp::Ne:
+      return wrap(A != B, Modulus);
+    case BinOp::Lt:
+      return wrap(A < B, Modulus);
+    case BinOp::Le:
+      return wrap(A <= B, Modulus);
+    case BinOp::Gt:
+      return wrap(A > B, Modulus);
+    case BinOp::Ge:
+      return wrap(A >= B, Modulus);
+    case BinOp::And:
+      return wrap(A != 0 && B != 0, Modulus);
+    case BinOp::Or:
+      return wrap(A != 0 || B != 0, Modulus);
+    }
+    break;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return 0;
+}
+
+std::optional<Val> Expr::tryConstFold(unsigned Modulus) const {
+  BitSet64 Regs;
+  collectRegs(Regs);
+  if (!Regs.empty())
+    return std::nullopt;
+  return evaluate(RegFile(), Modulus);
+}
+
+BitSet64 Expr::possibleValues(unsigned Modulus) const {
+  if (auto C = tryConstFold(Modulus)) {
+    BitSet64 S;
+    S.insert(*C);
+    return S;
+  }
+  return BitSet64::allBelow(Modulus);
+}
+
+void Expr::collectRegs(BitSet64 &Out) const {
+  assert(Root && "collectRegs() of null expression");
+  switch (Root->K) {
+  case Kind::Const:
+    return;
+  case Kind::Reg:
+    Out.insert(Root->Reg);
+    return;
+  case Kind::Unary:
+    Root->L.collectRegs(Out);
+    return;
+  case Kind::Binary:
+    Root->L.collectRegs(Out);
+    Root->R.collectRegs(Out);
+    return;
+  }
+}
+
+std::optional<RegId> Expr::maxReg() const {
+  BitSet64 Regs;
+  collectRegs(Regs);
+  if (Regs.empty())
+    return std::nullopt;
+  RegId Max = 0;
+  for (unsigned R : Regs)
+    Max = static_cast<RegId>(R);
+  return Max;
+}
+
+static const char *binOpSpelling(Expr::BinOp Op) {
+  switch (Op) {
+  case Expr::BinOp::Add:
+    return "+";
+  case Expr::BinOp::Sub:
+    return "-";
+  case Expr::BinOp::Mul:
+    return "*";
+  case Expr::BinOp::Eq:
+    return "==";
+  case Expr::BinOp::Ne:
+    return "!=";
+  case Expr::BinOp::Lt:
+    return "<";
+  case Expr::BinOp::Le:
+    return "<=";
+  case Expr::BinOp::Gt:
+    return ">";
+  case Expr::BinOp::Ge:
+    return ">=";
+  case Expr::BinOp::And:
+    return "&&";
+  case Expr::BinOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+std::string Expr::toString(const std::vector<std::string> &RegNames) const {
+  assert(Root && "toString() of null expression");
+  switch (Root->K) {
+  case Kind::Const:
+    return std::to_string(Root->ConstVal);
+  case Kind::Reg:
+    if (Root->Reg < RegNames.size() && !RegNames[Root->Reg].empty())
+      return RegNames[Root->Reg];
+    return "r" + std::to_string(Root->Reg);
+  case Kind::Unary:
+    return "!(" + Root->L.toString(RegNames) + ")";
+  case Kind::Binary:
+    return "(" + Root->L.toString(RegNames) + " " + binOpSpelling(Root->B) +
+           " " + Root->R.toString(RegNames) + ")";
+  }
+  return "?";
+}

@@ -1,0 +1,88 @@
+//===- lang/Expr.h - Expressions of the toy language -----------*- C++ -*-===//
+///
+/// \file
+/// Expressions over registers and values (Figure 1). Arithmetic wraps
+/// modulo the program's value-domain size, as in Example 2.2 ("possibly
+/// overflowing sum"); comparisons yield 0/1. Expressions are immutable
+/// trees with shared structure, so they are cheap to copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_EXPR_H
+#define ROCKER_LANG_EXPR_H
+
+#include "lang/Ids.h"
+#include "support/BitSet64.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rocker {
+
+/// A register file: one value per register of the enclosing thread.
+using RegFile = std::vector<Val>;
+
+/// An arithmetic/boolean expression over registers and constants.
+class Expr {
+public:
+  enum class Kind : uint8_t { Const, Reg, Binary, Unary };
+  enum class BinOp : uint8_t { Add, Sub, Mul, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+  enum class UnOp : uint8_t { Not };
+
+  Expr() = default;
+
+  static Expr makeConst(Val V);
+  static Expr makeReg(RegId R);
+  static Expr makeBinary(BinOp Op, Expr L, Expr R);
+  static Expr makeUnary(UnOp Op, Expr E);
+
+  /// True if this expression holds no node (default constructed).
+  bool isNull() const { return !Root; }
+
+  Kind kind() const;
+
+  /// Evaluates the expression under the given register file. All
+  /// intermediate and final results are reduced modulo \p Modulus.
+  Val evaluate(const RegFile &Regs, unsigned Modulus) const;
+
+  /// If the expression mentions no registers, returns its value (under the
+  /// given modulus); otherwise std::nullopt.
+  std::optional<Val> tryConstFold(unsigned Modulus) const;
+
+  /// The set of values this expression may evaluate to, over all register
+  /// files whose entries range over {0..Modulus-1}. Used by the critical
+  /// value analysis (Definition 5.5). Exact for constants; conservatively
+  /// "all values" as soon as a register occurs (as in the paper).
+  BitSet64 possibleValues(unsigned Modulus) const;
+
+  /// Adds every register mentioned by the expression to \p Out.
+  void collectRegs(BitSet64 &Out) const;
+
+  /// The largest register id mentioned, or std::nullopt if none.
+  std::optional<RegId> maxReg() const;
+
+  /// Renders the expression with register names from \p RegNames (falls
+  /// back to "r<i>" when a name is missing).
+  std::string toString(const std::vector<std::string> &RegNames) const;
+  std::string toString() const { return toString({}); }
+
+  // Accessors (valid only for the matching kind; asserted).
+  Val constValue() const;
+  RegId regId() const;
+  BinOp binOp() const;
+  UnOp unOp() const;
+  const Expr &lhs() const;
+  const Expr &rhs() const;
+  const Expr &operand() const;
+
+private:
+  struct Node;
+  explicit Expr(std::shared_ptr<const Node> N) : Root(std::move(N)) {}
+  std::shared_ptr<const Node> Root;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_EXPR_H

@@ -1,0 +1,40 @@
+//===- lang/Ids.h - Core identifier types ----------------------*- C++ -*-===//
+///
+/// \file
+/// Basic identifier types for the toy concurrent programming language of
+/// the paper (Section 2.1): values, shared locations, registers and thread
+/// identifiers, together with the global limits enforced by the program
+/// validator (the monitor packs sets of locations/values into 64-bit
+/// words, see support/BitSet64.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_IDS_H
+#define ROCKER_LANG_IDS_H
+
+#include <cstdint>
+
+namespace rocker {
+
+/// A value from the bounded data domain Val = {0, ..., NumVals-1}.
+using Val = uint8_t;
+
+/// A shared memory location. Release/acquire locations are numbered
+/// before non-atomic locations (see Program::numRaLocs()).
+using LocId = uint8_t;
+
+/// A thread-local register.
+using RegId = uint8_t;
+
+/// A thread identifier (index into the program's thread list).
+using ThreadId = uint8_t;
+
+/// Global limits (checked by Program::validate()).
+inline constexpr unsigned MaxVals = 64;
+inline constexpr unsigned MaxLocs = 64;
+inline constexpr unsigned MaxRegs = 64;
+inline constexpr unsigned MaxThreads = 16;
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_IDS_H

@@ -1,0 +1,100 @@
+//===- lang/Inst.h - Instructions of the toy language ----------*- C++ -*-===//
+///
+/// \file
+/// The instruction set of Figure 1: assignments, conditional branches,
+/// stores, loads, fetch-and-add, compare-and-swap, and the blocking
+/// primitives wait and BCAS (whose inclusion as primitives yields a more
+/// expressive robustness notion, Section 2.3). We additionally provide
+/// XCHG (atomic exchange, needed for the peterson-ra-dmitriy benchmark of
+/// Figure 7, where plain writes are strengthened into RMWs) and an assert
+/// instruction (Rocker verifies standard assertions under SC alongside
+/// robustness, Section 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_INST_H
+#define ROCKER_LANG_INST_H
+
+#include "lang/Expr.h"
+#include "lang/Ids.h"
+
+#include <variant>
+
+namespace rocker {
+
+/// r := e
+struct AssignInst {
+  RegId Dst;
+  Expr E;
+};
+
+/// if e goto Target (jump when e evaluates to non-zero)
+struct IfGotoInst {
+  Expr Cond;
+  uint32_t Target;
+};
+
+/// x := e (release store; non-atomic when Loc is a non-atomic location)
+struct StoreInst {
+  LocId Loc;
+  Expr E;
+};
+
+/// r := x (acquire load; non-atomic when Loc is a non-atomic location)
+struct LoadInst {
+  RegId Dst;
+  LocId Loc;
+};
+
+/// r := FADD(x, e) — atomic fetch-and-add; the destination register is
+/// optional (a fetch-and-add with discarded result encodes an SC fence,
+/// Example 3.6).
+struct FaddInst {
+  RegId Dst;
+  bool HasDst;
+  LocId Loc;
+  Expr Add;
+};
+
+/// r := XCHG(x, e) — atomic exchange (always-successful RMW).
+struct XchgInst {
+  RegId Dst;
+  bool HasDst;
+  LocId Loc;
+  Expr New;
+};
+
+/// r := CAS(x, eR => eW) — on success r gets eR, on failure the read value.
+struct CasInst {
+  RegId Dst;
+  bool HasDst;
+  LocId Loc;
+  Expr Expected;
+  Expr Desired;
+};
+
+/// wait(x == e) — blocks until the value of e is loaded from x.
+struct WaitInst {
+  LocId Loc;
+  Expr Expected;
+};
+
+/// BCAS(x, eR => eW) — blocks until a successful CAS from eR to eW.
+struct BcasInst {
+  LocId Loc;
+  Expr Expected;
+  Expr Desired;
+};
+
+/// assert(e) — reports a verification error when e evaluates to 0.
+struct AssertInst {
+  Expr Cond;
+};
+
+using Inst = std::variant<AssignInst, IfGotoInst, StoreInst, LoadInst,
+                          FaddInst, XchgInst, CasInst, WaitInst, BcasInst,
+                          AssertInst>;
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_INST_H

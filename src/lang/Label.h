@@ -1,0 +1,58 @@
+//===- lang/Label.h - Memory access labels ---------------------*- C++ -*-===//
+///
+/// \file
+/// Labels of the memory interface (Definition 2.1): R(x,v), W(x,v) and
+/// RMW(x,vR,vW), extended with a non-atomic flag for the Section 6
+/// extension. Labels are what programs exchange with memory subsystems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_LABEL_H
+#define ROCKER_LANG_LABEL_H
+
+#include "lang/Ids.h"
+
+#include <string>
+
+namespace rocker {
+
+/// The three access types of Definition 2.1.
+enum class AccessType : uint8_t { R, W, RMW };
+
+/// A memory access label. For R labels only ValR is meaningful, for W
+/// labels only ValW, and for RMW labels both.
+struct Label {
+  AccessType Type;
+  LocId Loc;
+  Val ValR;
+  Val ValW;
+  /// True for accesses to non-atomic locations (Section 6).
+  bool IsNA;
+
+  static Label read(LocId L, Val V, bool NA = false) {
+    return {AccessType::R, L, V, 0, NA};
+  }
+  static Label write(LocId L, Val V, bool NA = false) {
+    return {AccessType::W, L, 0, V, NA};
+  }
+  static Label rmw(LocId L, Val VR, Val VW) {
+    return {AccessType::RMW, L, VR, VW, false};
+  }
+
+  /// True if the label reads (R or RMW).
+  bool isRead() const { return Type != AccessType::W; }
+  /// True if the label writes (W or RMW).
+  bool isWrite() const { return Type != AccessType::R; }
+
+  friend bool operator==(const Label &A, const Label &B) {
+    return A.Type == B.Type && A.Loc == B.Loc && A.ValR == B.ValR &&
+           A.ValW == B.ValW && A.IsNA == B.IsNA;
+  }
+};
+
+/// Renders a label as, e.g., "R(x2,1)" or "RMW(x0,0,1)".
+std::string toString(const Label &L);
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_LABEL_H

@@ -1,0 +1,803 @@
+//===- lang/Parser.cpp - Text front-end implementation ---------------------===//
+//
+// A hand-written lexer and recursive-descent parser. The grammar is line
+// oriented: every instruction occupies one line; labels are `ident:` lines
+// (or prefixes). Branch targets are resolved per thread in a second pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace rocker;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  Ident,
+  Number,
+  Assign,   // :=
+  Colon,    // :
+  LParen,
+  RParen,
+  Comma,
+  Arrow,    // =>
+  Plus,
+  Minus,
+  Star,
+  EqEq,     // == (also accepts =)
+  NotEq,    // !=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,
+  OrOr,
+  Not,
+  Newline,
+  Eof
+};
+
+struct Token {
+  TokKind K;
+  std::string Text;
+  unsigned Line;
+  unsigned Col;
+  unsigned Value = 0; // for Number
+};
+
+/// Splits the input into tokens; newlines are significant.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  Token next() {
+    skipBlanks();
+    unsigned L = Line, C = Col;
+    if (Pos >= Text.size())
+      return {TokKind::Eof, "", L, C};
+    char Ch = Text[Pos];
+    if (Ch == '\n') {
+      advance();
+      return {TokKind::Newline, "\\n", L, C};
+    }
+    if (isIdentStart(Ch)) {
+      std::string S;
+      while (Pos < Text.size() && isIdentChar(Text[Pos])) {
+        S += Text[Pos];
+        advance();
+      }
+      return {TokKind::Ident, S, L, C};
+    }
+    if (Ch >= '0' && Ch <= '9') {
+      unsigned V = 0;
+      std::string S;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        V = V * 10 + (Text[Pos] - '0');
+        S += Text[Pos];
+        advance();
+      }
+      Token T{TokKind::Number, S, L, C};
+      T.Value = V;
+      return T;
+    }
+    // Punctuation / operators.
+    auto two = [&](char A, char B) {
+      return Ch == A && Pos + 1 < Text.size() && Text[Pos + 1] == B;
+    };
+    if (two(':', '=')) {
+      advance(); advance();
+      return {TokKind::Assign, ":=", L, C};
+    }
+    if (two('=', '>')) {
+      advance(); advance();
+      return {TokKind::Arrow, "=>", L, C};
+    }
+    if (two('=', '=')) {
+      advance(); advance();
+      return {TokKind::EqEq, "==", L, C};
+    }
+    if (two('!', '=')) {
+      advance(); advance();
+      return {TokKind::NotEq, "!=", L, C};
+    }
+    if (two('<', '=')) {
+      advance(); advance();
+      return {TokKind::Le, "<=", L, C};
+    }
+    if (two('>', '=')) {
+      advance(); advance();
+      return {TokKind::Ge, ">=", L, C};
+    }
+    if (two('&', '&')) {
+      advance(); advance();
+      return {TokKind::AndAnd, "&&", L, C};
+    }
+    if (two('|', '|')) {
+      advance(); advance();
+      return {TokKind::OrOr, "||", L, C};
+    }
+    advance();
+    switch (Ch) {
+    case ':':
+      return {TokKind::Colon, ":", L, C};
+    case '(':
+      return {TokKind::LParen, "(", L, C};
+    case ')':
+      return {TokKind::RParen, ")", L, C};
+    case ',':
+      return {TokKind::Comma, ",", L, C};
+    case '+':
+      return {TokKind::Plus, "+", L, C};
+    case '-':
+      return {TokKind::Minus, "-", L, C};
+    case '*':
+      return {TokKind::Star, "*", L, C};
+    case '=':
+      return {TokKind::EqEq, "=", L, C};
+    case '<':
+      return {TokKind::Lt, "<", L, C};
+    case '>':
+      return {TokKind::Gt, ">", L, C};
+    case '!':
+      return {TokKind::Not, "!", L, C};
+    default:
+      return {TokKind::Eof, std::string(1, Ch), L, C}; // reported by parser
+    }
+  }
+
+private:
+  static bool isIdentStart(char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+  }
+  static bool isIdentChar(char C) {
+    return isIdentStart(C) || (C >= '0' && C <= '9');
+  }
+
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void skipBlanks() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == ' ' || C == '\t' || C == '\r') {
+        advance();
+        continue;
+      }
+      if (C == '#' || (C == '/' && Pos + 1 < Text.size() &&
+                       Text[Pos + 1] == '/')) {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          advance();
+        continue;
+      }
+      if (C == ';') { // permit `;` as a no-op separator
+        advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+/// A branch whose textual target label still needs resolution.
+struct PendingBranch {
+  unsigned InstIndex;
+  std::string TargetLabel;
+  unsigned Line, Col;
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Lex(Text) { bump(); }
+
+  ParseResult run() {
+    parseHeader();
+    while (Tok.K != TokKind::Eof) {
+      if (Tok.K == TokKind::Newline) {
+        bump();
+        continue;
+      }
+      if (Tok.K == TokKind::Ident && Tok.Text == "thread") {
+        parseThread();
+        continue;
+      }
+      error("expected 'thread'");
+      skipLine();
+    }
+    finishThread();
+    ParseResult R;
+    if (!Errors.empty()) {
+      R.Errors = Errors;
+      return R;
+    }
+    for (const std::string &Problem : P.validate())
+      Errors.push_back({0, 0, Problem});
+    R.Errors = Errors;
+    if (Errors.empty())
+      R.Prog = std::move(P);
+    return R;
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Token plumbing
+  //===--------------------------------------------------------------------===
+
+  void bump() { Tok = Lex.next(); }
+
+  void error(const std::string &Msg) {
+    if (Errors.size() < 50)
+      Errors.push_back({Tok.Line, Tok.Col, Msg});
+  }
+
+  void skipLine() {
+    while (Tok.K != TokKind::Newline && Tok.K != TokKind::Eof)
+      bump();
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (Tok.K == K) {
+      bump();
+      return true;
+    }
+    error(std::string("expected ") + What + ", found '" + Tok.Text + "'");
+    return false;
+  }
+
+  bool atEol() const {
+    return Tok.K == TokKind::Newline || Tok.K == TokKind::Eof;
+  }
+
+  void expectEol() {
+    if (!atEol()) {
+      error("unexpected token '" + Tok.Text + "' at end of instruction");
+      skipLine();
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Header: program / vals / locs / na
+  //===--------------------------------------------------------------------===
+
+  void parseHeader() {
+    while (Tok.K != TokKind::Eof) {
+      if (Tok.K == TokKind::Newline) {
+        bump();
+        continue;
+      }
+      if (Tok.K != TokKind::Ident)
+        break;
+      if (Tok.Text == "program") {
+        bump();
+        if (Tok.K == TokKind::Ident || Tok.K == TokKind::Number) {
+          P.Name = Tok.Text;
+          bump();
+        }
+        // Allow dashes and pluses in program names ("2+2W").
+        while (Tok.K == TokKind::Minus || Tok.K == TokKind::Plus ||
+               Tok.K == TokKind::Ident || Tok.K == TokKind::Number) {
+          P.Name += Tok.Text;
+          bump();
+        }
+        expectEol();
+        continue;
+      }
+      if (Tok.Text == "vals") {
+        bump();
+        if (Tok.K == TokKind::Number) {
+          P.NumVals = Tok.Value;
+          bump();
+        } else {
+          error("expected number after 'vals'");
+        }
+        expectEol();
+        continue;
+      }
+      if (Tok.Text == "locs" || Tok.Text == "na") {
+        bool NA = Tok.Text == "na";
+        bump();
+        while (Tok.K == TokKind::Ident) {
+          declareLoc(Tok.Text, NA);
+          bump();
+        }
+        expectEol();
+        continue;
+      }
+      break; // 'thread' or garbage; handled by run().
+    }
+  }
+
+  void declareLoc(const std::string &Name, bool NA) {
+    if (LocByName.count(Name)) {
+      error("duplicate location '" + Name + "'");
+      return;
+    }
+    if (P.numLocs() >= MaxLocs) {
+      error("too many locations");
+      return;
+    }
+    LocId L = static_cast<LocId>(P.numLocs());
+    P.LocNames.push_back(Name);
+    if (NA)
+      P.NaLocs.insert(L);
+    LocByName[Name] = L;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Threads
+  //===--------------------------------------------------------------------===
+
+  void finishThread() {
+    if (P.Threads.empty())
+      return;
+    SequentialProgram &S = P.Threads.back();
+    for (const PendingBranch &B : Pending) {
+      auto It = Labels.find(B.TargetLabel);
+      if (It == Labels.end()) {
+        Errors.push_back(
+            {B.Line, B.Col, "undefined label '" + B.TargetLabel + "'"});
+        continue;
+      }
+      std::get<IfGotoInst>(S.Insts[B.InstIndex]).Target = It->second;
+    }
+    Pending.clear();
+    Labels.clear();
+    RegByName.clear();
+  }
+
+  void parseThread() {
+    finishThread();
+    bump(); // 'thread'
+    SequentialProgram S;
+    if (Tok.K == TokKind::Ident) {
+      S.Name = Tok.Text;
+      bump();
+    } else {
+      S.Name = "t" + std::to_string(P.numThreads());
+    }
+    expectEol();
+    P.Threads.push_back(std::move(S));
+
+    while (Tok.K != TokKind::Eof) {
+      if (Tok.K == TokKind::Newline) {
+        bump();
+        continue;
+      }
+      if (Tok.K == TokKind::Ident && Tok.Text == "thread")
+        return;
+      parseLine();
+    }
+  }
+
+  SequentialProgram &cur() { return P.Threads.back(); }
+
+  RegId regFor(const std::string &Name) {
+    auto It = RegByName.find(Name);
+    if (It != RegByName.end())
+      return It->second;
+    SequentialProgram &S = cur();
+    RegId R = static_cast<RegId>(S.NumRegs++);
+    S.RegNames.push_back(Name);
+    RegByName[Name] = R;
+    return R;
+  }
+
+  std::optional<LocId> locFor(const std::string &Name) const {
+    auto It = LocByName.find(Name);
+    if (It == LocByName.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  static bool isKeyword(const std::string &S) {
+    return S == "FADD" || S == "XCHG" || S == "CAS" || S == "BCAS" ||
+           S == "wait" || S == "if" || S == "goto" || S == "assert" ||
+           S == "fence" || S == "thread" || S == "program" || S == "vals" ||
+           S == "locs" || S == "na";
+  }
+
+  //===--------------------------------------------------------------------===
+  // Instructions
+  //===--------------------------------------------------------------------===
+
+  void emit(Inst I) { cur().Insts.push_back(std::move(I)); }
+
+  void parseLine() {
+    if (Tok.K != TokKind::Ident) {
+      error("expected instruction");
+      skipLine();
+      return;
+    }
+    const std::string Head = Tok.Text;
+    unsigned HeadLine = Tok.Line, HeadCol = Tok.Col;
+
+    if (Head == "if") {
+      bump();
+      Expr Cond = parseExpr();
+      if (Tok.K == TokKind::Ident && Tok.Text == "goto") {
+        bump();
+        parseGotoTarget(Cond);
+      } else {
+        error("expected 'goto'");
+        skipLine();
+      }
+      expectEol();
+      return;
+    }
+    if (Head == "goto") {
+      bump();
+      parseGotoTarget(Expr::makeConst(1));
+      expectEol();
+      return;
+    }
+    if (Head == "assert") {
+      bump();
+      bool Paren = Tok.K == TokKind::LParen;
+      if (Paren)
+        bump();
+      Expr Cond = parseExpr();
+      if (Paren)
+        expect(TokKind::RParen, "')'");
+      emit(AssertInst{std::move(Cond)});
+      expectEol();
+      return;
+    }
+    if (Head == "fence") {
+      bump();
+      emit(FaddInst{0, false, fenceLoc(), Expr::makeConst(0)});
+      expectEol();
+      return;
+    }
+    if (Head == "wait") {
+      bump();
+      parseWait();
+      expectEol();
+      return;
+    }
+    if (Head == "BCAS") {
+      bump();
+      parseCasLike(/*Dst=*/0, /*HasDst=*/false, /*Blocking=*/true);
+      expectEol();
+      return;
+    }
+    if (Head == "FADD" || Head == "XCHG" || Head == "CAS") {
+      bump();
+      parseRmw(Head, /*Dst=*/0, /*HasDst=*/false);
+      expectEol();
+      return;
+    }
+
+    bump();
+    // `ident:` label definition?
+    if (Tok.K == TokKind::Colon) {
+      bump();
+      if (Labels.count(Head))
+        Errors.push_back({HeadLine, HeadCol, "duplicate label '" + Head + "'"});
+      Labels[Head] = cur().Insts.size();
+      // A label may be followed by an instruction on the same line.
+      if (!atEol())
+        parseLine();
+      return;
+    }
+    // Otherwise: `dst := ...` where dst is a location (store) or register.
+    if (Tok.K != TokKind::Assign) {
+      error("expected ':' or ':=' after '" + Head + "'");
+      skipLine();
+      return;
+    }
+    bump();
+    if (std::optional<LocId> L = locFor(Head)) {
+      // Store: loc := expr.
+      Expr E = parseExpr();
+      emit(StoreInst{*L, std::move(E)});
+      expectEol();
+      return;
+    }
+    if (isKeyword(Head)) {
+      error("keyword '" + Head + "' cannot be assigned");
+      skipLine();
+      return;
+    }
+    RegId Dst = regFor(Head);
+    // `r := FADD/XCHG/CAS(...)`?
+    if (Tok.K == TokKind::Ident &&
+        (Tok.Text == "FADD" || Tok.Text == "XCHG" || Tok.Text == "CAS")) {
+      std::string Op = Tok.Text;
+      bump();
+      parseRmw(Op, Dst, /*HasDst=*/true);
+      expectEol();
+      return;
+    }
+    // `r := loc` (load) — RHS must be exactly a location identifier.
+    if (Tok.K == TokKind::Ident && locFor(Tok.Text).has_value()) {
+      LocId L = *locFor(Tok.Text);
+      bump();
+      if (!atEol()) {
+        error("locations may only be read by a plain load 'r := x'; "
+              "use a register for arithmetic");
+        skipLine();
+        return;
+      }
+      emit(LoadInst{Dst, L});
+      return;
+    }
+    // `r := expr`.
+    Expr E = parseExpr();
+    emit(AssignInst{Dst, std::move(E)});
+    expectEol();
+  }
+
+  void parseGotoTarget(Expr Cond) {
+    if (Tok.K == TokKind::Ident) {
+      Pending.push_back({static_cast<unsigned>(cur().Insts.size()), Tok.Text,
+                         Tok.Line, Tok.Col});
+      emit(IfGotoInst{std::move(Cond), 0});
+      bump();
+      return;
+    }
+    if (Tok.K == TokKind::Number) {
+      emit(IfGotoInst{std::move(Cond), Tok.Value});
+      bump();
+      return;
+    }
+    error("expected label after 'goto'");
+    skipLine();
+  }
+
+  void parseWait() {
+    if (!expect(TokKind::LParen, "'('"))
+      return;
+    std::optional<LocId> L;
+    if (Tok.K == TokKind::Ident)
+      L = locFor(Tok.Text);
+    if (!L) {
+      error("expected location in wait(...)");
+      skipLine();
+      return;
+    }
+    bump();
+    if (Tok.K != TokKind::EqEq) {
+      error("expected '==' in wait(x == e)");
+      skipLine();
+      return;
+    }
+    bump();
+    Expr E = parseExpr();
+    expect(TokKind::RParen, "')'");
+    emit(WaitInst{*L, std::move(E)});
+  }
+
+  /// Parses `(x, e)` for FADD/XCHG and `(x, e1 => e2)` for CAS.
+  void parseRmw(const std::string &Op, RegId Dst, bool HasDst) {
+    if (Op == "CAS") {
+      parseCasLike(Dst, HasDst, /*Blocking=*/false);
+      return;
+    }
+    if (!expect(TokKind::LParen, "'('"))
+      return;
+    std::optional<LocId> L;
+    if (Tok.K == TokKind::Ident)
+      L = locFor(Tok.Text);
+    if (!L) {
+      error("expected location in " + Op + "(...)");
+      skipLine();
+      return;
+    }
+    bump();
+    if (!expect(TokKind::Comma, "','"))
+      return;
+    Expr E = parseExpr();
+    expect(TokKind::RParen, "')'");
+    if (Op == "FADD")
+      emit(FaddInst{Dst, HasDst, *L, std::move(E)});
+    else
+      emit(XchgInst{Dst, HasDst, *L, std::move(E)});
+  }
+
+  void parseCasLike(RegId Dst, bool HasDst, bool Blocking) {
+    if (!expect(TokKind::LParen, "'('"))
+      return;
+    std::optional<LocId> L;
+    if (Tok.K == TokKind::Ident)
+      L = locFor(Tok.Text);
+    if (!L) {
+      error(std::string("expected location in ") +
+            (Blocking ? "BCAS" : "CAS") + "(...)");
+      skipLine();
+      return;
+    }
+    bump();
+    if (!expect(TokKind::Comma, "','"))
+      return;
+    Expr Expected = parseExpr();
+    if (!expect(TokKind::Arrow, "'=>'"))
+      return;
+    Expr Desired = parseExpr();
+    expect(TokKind::RParen, "')'");
+    if (Blocking)
+      emit(BcasInst{*L, std::move(Expected), std::move(Desired)});
+    else
+      emit(CasInst{Dst, HasDst, *L, std::move(Expected), std::move(Desired)});
+  }
+
+  LocId fenceLoc() {
+    if (!FenceLoc) {
+      auto It = LocByName.find("__fence");
+      if (It != LocByName.end()) {
+        FenceLoc = It->second;
+      } else {
+        declareLoc("__fence", /*NA=*/false);
+        FenceLoc = LocByName["__fence"];
+      }
+    }
+    return *FenceLoc;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions (precedence climbing)
+  //===--------------------------------------------------------------------===
+
+  Expr parseExpr() { return parseOr(); }
+
+  Expr parseOr() {
+    Expr L = parseAnd();
+    while (Tok.K == TokKind::OrOr) {
+      bump();
+      L = Expr::makeBinary(Expr::BinOp::Or, std::move(L), parseAnd());
+    }
+    return L;
+  }
+
+  Expr parseAnd() {
+    Expr L = parseCmp();
+    while (Tok.K == TokKind::AndAnd) {
+      bump();
+      L = Expr::makeBinary(Expr::BinOp::And, std::move(L), parseCmp());
+    }
+    return L;
+  }
+
+  Expr parseCmp() {
+    Expr L = parseAdd();
+    for (;;) {
+      Expr::BinOp Op;
+      switch (Tok.K) {
+      case TokKind::EqEq:
+        Op = Expr::BinOp::Eq;
+        break;
+      case TokKind::NotEq:
+        Op = Expr::BinOp::Ne;
+        break;
+      case TokKind::Lt:
+        Op = Expr::BinOp::Lt;
+        break;
+      case TokKind::Le:
+        Op = Expr::BinOp::Le;
+        break;
+      case TokKind::Gt:
+        Op = Expr::BinOp::Gt;
+        break;
+      case TokKind::Ge:
+        Op = Expr::BinOp::Ge;
+        break;
+      default:
+        return L;
+      }
+      bump();
+      L = Expr::makeBinary(Op, std::move(L), parseAdd());
+    }
+  }
+
+  Expr parseAdd() {
+    Expr L = parseMul();
+    for (;;) {
+      if (Tok.K == TokKind::Plus) {
+        bump();
+        L = Expr::makeBinary(Expr::BinOp::Add, std::move(L), parseMul());
+      } else if (Tok.K == TokKind::Minus) {
+        bump();
+        L = Expr::makeBinary(Expr::BinOp::Sub, std::move(L), parseMul());
+      } else {
+        return L;
+      }
+    }
+  }
+
+  Expr parseMul() {
+    Expr L = parseUnary();
+    while (Tok.K == TokKind::Star) {
+      bump();
+      L = Expr::makeBinary(Expr::BinOp::Mul, std::move(L), parseUnary());
+    }
+    return L;
+  }
+
+  Expr parseUnary() {
+    if (Tok.K == TokKind::Not) {
+      bump();
+      return Expr::makeUnary(Expr::UnOp::Not, parseUnary());
+    }
+    return parsePrimary();
+  }
+
+  Expr parsePrimary() {
+    if (Tok.K == TokKind::Number) {
+      unsigned V = Tok.Value;
+      bump();
+      if (V >= MaxVals) {
+        error("literal " + std::to_string(V) + " exceeds the value limit");
+        V = 0;
+      }
+      return Expr::makeConst(static_cast<Val>(V));
+    }
+    if (Tok.K == TokKind::LParen) {
+      bump();
+      Expr E = parseExpr();
+      expect(TokKind::RParen, "')'");
+      return E;
+    }
+    if (Tok.K == TokKind::Ident) {
+      if (locFor(Tok.Text)) {
+        error("location '" + Tok.Text +
+              "' used in an expression; load it into a register first");
+        bump();
+        return Expr::makeConst(0);
+      }
+      if (isKeyword(Tok.Text)) {
+        error("unexpected keyword '" + Tok.Text + "' in expression");
+        bump();
+        return Expr::makeConst(0);
+      }
+      Expr E = Expr::makeReg(regFor(Tok.Text));
+      bump();
+      return E;
+    }
+    error("expected expression, found '" + Tok.Text + "'");
+    if (!atEol())
+      bump();
+    return Expr::makeConst(0);
+  }
+
+  Lexer Lex;
+  Token Tok;
+  Program P;
+  std::map<std::string, LocId> LocByName;
+  std::map<std::string, RegId> RegByName;
+  std::map<std::string, uint32_t> Labels;
+  std::vector<PendingBranch> Pending;
+  std::optional<LocId> FenceLoc;
+  std::vector<ParseError> Errors;
+};
+
+} // namespace
+
+ParseResult rocker::parseProgram(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+Program rocker::parseProgramOrDie(std::string_view Text) {
+  ParseResult R = parseProgram(Text);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error: failed to parse program:\n");
+    for (const ParseError &E : R.Errors)
+      std::fprintf(stderr, "  %s\n", E.toString().c_str());
+    std::abort();
+  }
+  return std::move(*R.Prog);
+}

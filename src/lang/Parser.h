@@ -1,0 +1,82 @@
+//===- lang/Parser.h - Text front-end for the toy language -----*- C++ -*-===//
+///
+/// \file
+/// Parses the textual program format used by the corpus, examples and the
+/// rocker CLI. The format mirrors the paper's listings:
+///
+/// \code
+///   program peterson-sc     # optional
+///   vals 3                  # data domain {0,1,2}
+///   locs flag0 flag1 turn   # release/acquire locations
+///   na data                 # non-atomic locations (Section 6)
+///
+///   thread t0
+///     flag0 := 1
+///     turn := 1
+///   spin:
+///     rf := flag1
+///     if rf == 0 goto cs
+///     rt := turn
+///     if rt == 1 goto spin
+///   cs:
+///     data := 1
+///     rd := data
+///     assert(rd == 1)
+///     flag0 := 0
+///
+///   thread t1
+///     ...
+/// \endcode
+///
+/// Instructions: `r := e`, `x := e` (store), `r := x` (load),
+/// `r := FADD(x, e)`, `r := XCHG(x, e)`, `r := CAS(x, e1 => e2)` (the
+/// destination register is optional for all three RMWs), `wait(x == e)`,
+/// `BCAS(x, e1 => e2)`, `if e goto L`, `goto L`, `assert(e)`, `fence`.
+/// Identifiers naming declared locations refer to memory; all other
+/// identifiers are (implicitly declared, thread-local) registers.
+/// Comments run from `#` or `//` to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_PARSER_H
+#define ROCKER_LANG_PARSER_H
+
+#include "lang/Program.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rocker {
+
+/// A parse diagnostic with 1-based source coordinates.
+struct ParseError {
+  unsigned Line;
+  unsigned Col;
+  std::string Msg;
+
+  std::string toString() const {
+    return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Msg;
+  }
+};
+
+/// Result of parsing: a program if successful, and any diagnostics.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::vector<ParseError> Errors;
+
+  bool ok() const { return Prog.has_value() && Errors.empty(); }
+};
+
+/// Parses program text. On success the returned program has been
+/// validated (Program::validate problems are reported as errors).
+ParseResult parseProgram(std::string_view Text);
+
+/// Convenience for tests/corpus: parses and aborts with a message on
+/// failure.
+Program parseProgramOrDie(std::string_view Text);
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_PARSER_H

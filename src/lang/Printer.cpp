@@ -1,0 +1,121 @@
+//===- lang/Printer.cpp - Rendering programs and labels --------------------===//
+
+#include "lang/Printer.h"
+
+using namespace rocker;
+
+std::string rocker::toString(const Label &L) {
+  std::string S;
+  switch (L.Type) {
+  case AccessType::R:
+    S = "R(x" + std::to_string(L.Loc) + "," + std::to_string(L.ValR) + ")";
+    break;
+  case AccessType::W:
+    S = "W(x" + std::to_string(L.Loc) + "," + std::to_string(L.ValW) + ")";
+    break;
+  case AccessType::RMW:
+    S = "RMW(x" + std::to_string(L.Loc) + "," + std::to_string(L.ValR) + "," +
+        std::to_string(L.ValW) + ")";
+    break;
+  }
+  if (L.IsNA)
+    S += "na";
+  return S;
+}
+
+std::string rocker::toString(const Program &P, const Label &L) {
+  std::string S;
+  switch (L.Type) {
+  case AccessType::R:
+    S = "R(" + P.locName(L.Loc) + "," + std::to_string(L.ValR) + ")";
+    break;
+  case AccessType::W:
+    S = "W(" + P.locName(L.Loc) + "," + std::to_string(L.ValW) + ")";
+    break;
+  case AccessType::RMW:
+    S = "RMW(" + P.locName(L.Loc) + "," + std::to_string(L.ValR) + "," +
+        std::to_string(L.ValW) + ")";
+    break;
+  }
+  if (L.IsNA)
+    S += "na";
+  return S;
+}
+
+namespace {
+
+struct InstPrinter {
+  const Program &P;
+  const SequentialProgram &S;
+
+  std::string expr(const Expr &E) const { return E.toString(S.RegNames); }
+
+  std::string operator()(const AssignInst &I) const {
+    return S.regName(I.Dst) + " := " + expr(I.E);
+  }
+  std::string operator()(const IfGotoInst &I) const {
+    return "if " + expr(I.Cond) + " goto " + std::to_string(I.Target);
+  }
+  std::string operator()(const StoreInst &I) const {
+    return P.locName(I.Loc) + " := " + expr(I.E);
+  }
+  std::string operator()(const LoadInst &I) const {
+    return S.regName(I.Dst) + " := " + P.locName(I.Loc);
+  }
+  std::string operator()(const FaddInst &I) const {
+    std::string Prefix = I.HasDst ? S.regName(I.Dst) + " := " : "";
+    return Prefix + "FADD(" + P.locName(I.Loc) + ", " + expr(I.Add) + ")";
+  }
+  std::string operator()(const XchgInst &I) const {
+    std::string Prefix = I.HasDst ? S.regName(I.Dst) + " := " : "";
+    return Prefix + "XCHG(" + P.locName(I.Loc) + ", " + expr(I.New) + ")";
+  }
+  std::string operator()(const CasInst &I) const {
+    std::string Prefix = I.HasDst ? S.regName(I.Dst) + " := " : "";
+    return Prefix + "CAS(" + P.locName(I.Loc) + ", " + expr(I.Expected) +
+           " => " + expr(I.Desired) + ")";
+  }
+  std::string operator()(const WaitInst &I) const {
+    return "wait(" + P.locName(I.Loc) + " == " + expr(I.Expected) + ")";
+  }
+  std::string operator()(const BcasInst &I) const {
+    return "BCAS(" + P.locName(I.Loc) + ", " + expr(I.Expected) + " => " +
+           expr(I.Desired) + ")";
+  }
+  std::string operator()(const AssertInst &I) const {
+    return "assert(" + expr(I.Cond) + ")";
+  }
+};
+
+} // namespace
+
+std::string rocker::toString(const Program &P, ThreadId T, const Inst &I) {
+  return std::visit(InstPrinter{P, P.Threads[T]}, I);
+}
+
+std::string rocker::toString(const Program &P) {
+  std::string Out;
+  Out += "program " + (P.Name.empty() ? std::string("unnamed") : P.Name) +
+         "\n";
+  Out += "vals " + std::to_string(P.NumVals) + "\n";
+  std::string Ra, Na;
+  for (unsigned L = 0; L != P.numLocs(); ++L) {
+    if (P.isNaLoc(static_cast<LocId>(L)))
+      Na += " " + P.locName(static_cast<LocId>(L));
+    else
+      Ra += " " + P.locName(static_cast<LocId>(L));
+  }
+  if (!Ra.empty())
+    Out += "locs" + Ra + "\n";
+  if (!Na.empty())
+    Out += "na" + Na + "\n";
+  for (unsigned T = 0; T != P.numThreads(); ++T) {
+    const SequentialProgram &S = P.Threads[T];
+    Out += "\nthread " + S.Name + "\n";
+    for (unsigned Pc = 0; Pc != S.Insts.size(); ++Pc) {
+      Out += "  " +
+             toString(P, static_cast<ThreadId>(T), S.Insts[Pc]) + "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===- lang/Printer.h - Rendering programs and labels ----------*- C++ -*-===//
+///
+/// \file
+/// Turns programs, instructions and labels back into the textual format
+/// accepted by the parser. Used for diagnostics, counterexample traces and
+/// the Figure 4 style run dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_PRINTER_H
+#define ROCKER_LANG_PRINTER_H
+
+#include "lang/Label.h"
+#include "lang/Program.h"
+
+#include <string>
+
+namespace rocker {
+
+/// Renders one instruction of thread \p T.
+std::string toString(const Program &P, ThreadId T, const Inst &I);
+
+/// Renders the whole program in parser-accepted syntax.
+std::string toString(const Program &P);
+
+/// Renders a label using the program's location names, e.g. "W(x,1)".
+std::string toString(const Program &P, const Label &L);
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_PRINTER_H

@@ -1,0 +1,244 @@
+//===- lang/Program.cpp - Program implementation and validation -----------===//
+
+#include "lang/Program.h"
+
+#include <cassert>
+
+using namespace rocker;
+
+std::string SequentialProgram::regName(RegId R) const {
+  if (R < RegNames.size() && !RegNames[R].empty())
+    return RegNames[R];
+  return "r" + std::to_string(R);
+}
+
+std::string Program::locName(LocId L) const {
+  if (L < LocNames.size() && !LocNames[L].empty())
+    return LocNames[L];
+  return "x" + std::to_string(L);
+}
+
+namespace {
+
+/// Collects validation problems for a single instruction.
+class InstValidator {
+public:
+  InstValidator(const Program &P, const SequentialProgram &S, unsigned Pc,
+                std::vector<std::string> &Problems)
+      : P(P), S(S), Pc(Pc), Problems(Problems) {}
+
+  void operator()(const AssignInst &I) {
+    checkReg(I.Dst);
+    checkExpr(I.E);
+  }
+  void operator()(const IfGotoInst &I) {
+    checkExpr(I.Cond);
+    // Target == Insts.size() is allowed and means "halt".
+    if (I.Target > S.Insts.size())
+      report("branch target " + std::to_string(I.Target) + " out of range");
+  }
+  void operator()(const StoreInst &I) {
+    checkLoc(I.Loc, /*RequireRa=*/false);
+    checkExpr(I.E);
+  }
+  void operator()(const LoadInst &I) {
+    checkReg(I.Dst);
+    checkLoc(I.Loc, /*RequireRa=*/false);
+  }
+  void operator()(const FaddInst &I) {
+    if (I.HasDst)
+      checkReg(I.Dst);
+    checkLoc(I.Loc, /*RequireRa=*/true);
+    checkExpr(I.Add);
+  }
+  void operator()(const XchgInst &I) {
+    if (I.HasDst)
+      checkReg(I.Dst);
+    checkLoc(I.Loc, /*RequireRa=*/true);
+    checkExpr(I.New);
+  }
+  void operator()(const CasInst &I) {
+    if (I.HasDst)
+      checkReg(I.Dst);
+    checkLoc(I.Loc, /*RequireRa=*/true);
+    checkExpr(I.Expected);
+    checkExpr(I.Desired);
+  }
+  void operator()(const WaitInst &I) {
+    checkLoc(I.Loc, /*RequireRa=*/true);
+    checkExpr(I.Expected);
+  }
+  void operator()(const BcasInst &I) {
+    checkLoc(I.Loc, /*RequireRa=*/true);
+    checkExpr(I.Expected);
+    checkExpr(I.Desired);
+  }
+  void operator()(const AssertInst &I) { checkExpr(I.Cond); }
+
+private:
+  void report(const std::string &Msg) {
+    Problems.push_back("thread '" + S.Name + "' pc " + std::to_string(Pc) +
+                       ": " + Msg);
+  }
+  void checkReg(RegId R) {
+    if (R >= S.NumRegs)
+      report("register r" + std::to_string(R) + " out of range");
+  }
+  void checkLoc(LocId L, bool RequireRa) {
+    if (L >= P.numLocs()) {
+      report("location x" + std::to_string(L) + " out of range");
+      return;
+    }
+    if (RequireRa && P.isNaLoc(L))
+      report("RMW/wait on non-atomic location '" + P.locName(L) + "'");
+  }
+  void checkExpr(const Expr &E) {
+    if (E.isNull()) {
+      report("null expression");
+      return;
+    }
+    BitSet64 Regs;
+    E.collectRegs(Regs);
+    for (unsigned R : Regs)
+      if (R >= S.NumRegs)
+        report("register r" + std::to_string(R) + " out of range");
+  }
+
+  const Program &P;
+  const SequentialProgram &S;
+  unsigned Pc;
+  std::vector<std::string> &Problems;
+};
+
+} // namespace
+
+std::vector<std::string> Program::validate() const {
+  std::vector<std::string> Problems;
+  if (NumVals < 2 || NumVals > MaxVals)
+    Problems.push_back("value domain size must be in [2, " +
+                       std::to_string(MaxVals) + "]");
+  if (numLocs() == 0 || numLocs() > MaxLocs)
+    Problems.push_back("number of locations must be in [1, " +
+                       std::to_string(MaxLocs) + "]");
+  if (Threads.empty() || numThreads() > MaxThreads)
+    Problems.push_back("number of threads must be in [1, " +
+                       std::to_string(MaxThreads) + "]");
+  for (const SequentialProgram &S : Threads) {
+    if (S.NumRegs > MaxRegs)
+      Problems.push_back("thread '" + S.Name + "' uses too many registers");
+    for (unsigned Pc = 0; Pc != S.Insts.size(); ++Pc)
+      std::visit(InstValidator(*this, S, Pc, Problems), S.Insts[Pc]);
+  }
+  return Problems;
+}
+
+unsigned Program::linesOfCode() const {
+  unsigned N = 0;
+  for (const SequentialProgram &S : Threads)
+    N += 1 + S.Insts.size();
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder
+//===----------------------------------------------------------------------===//
+
+ProgramBuilder::ProgramBuilder(std::string Name, unsigned NumVals) {
+  P.Name = std::move(Name);
+  P.NumVals = NumVals;
+}
+
+LocId ProgramBuilder::addLoc(std::string Name) {
+  assert(P.numLocs() < MaxLocs && "too many locations");
+  P.LocNames.push_back(std::move(Name));
+  return static_cast<LocId>(P.numLocs() - 1);
+}
+
+LocId ProgramBuilder::addNaLoc(std::string Name) {
+  LocId L = addLoc(std::move(Name));
+  P.NaLocs.insert(L);
+  return L;
+}
+
+ThreadId ProgramBuilder::beginThread(std::string Name) {
+  assert(P.numThreads() < MaxThreads && "too many threads");
+  SequentialProgram S;
+  S.Name = Name.empty() ? "t" + std::to_string(P.numThreads()) : Name;
+  P.Threads.push_back(std::move(S));
+  return static_cast<ThreadId>(P.numThreads() - 1);
+}
+
+SequentialProgram &ProgramBuilder::cur() {
+  assert(!P.Threads.empty() && "no thread started");
+  return P.Threads.back();
+}
+
+RegId ProgramBuilder::reg(std::string Name) {
+  SequentialProgram &S = cur();
+  for (unsigned I = 0; I != S.RegNames.size(); ++I)
+    if (S.RegNames[I] == Name)
+      return static_cast<RegId>(I);
+  assert(S.NumRegs < MaxRegs && "too many registers");
+  S.RegNames.push_back(std::move(Name));
+  return static_cast<RegId>(S.NumRegs++);
+}
+
+void ProgramBuilder::assign(RegId R, Expr E) {
+  cur().Insts.push_back(AssignInst{R, std::move(E)});
+}
+
+void ProgramBuilder::ifGoto(Expr Cond, uint32_t Target) {
+  cur().Insts.push_back(IfGotoInst{std::move(Cond), Target});
+}
+
+void ProgramBuilder::store(LocId L, Expr E) {
+  cur().Insts.push_back(StoreInst{L, std::move(E)});
+}
+
+void ProgramBuilder::load(RegId R, LocId L) {
+  cur().Insts.push_back(LoadInst{R, L});
+}
+
+void ProgramBuilder::fadd(RegId R, LocId L, Expr Add) {
+  cur().Insts.push_back(FaddInst{R, true, L, std::move(Add)});
+}
+
+void ProgramBuilder::fence() {
+  if (!HasFenceLoc) {
+    FenceLoc = addLoc("__fence");
+    HasFenceLoc = true;
+  }
+  cur().Insts.push_back(FaddInst{0, false, FenceLoc, Expr::makeConst(0)});
+}
+
+void ProgramBuilder::xchg(RegId R, LocId L, Expr New) {
+  cur().Insts.push_back(XchgInst{R, true, L, std::move(New)});
+}
+
+void ProgramBuilder::cas(RegId R, LocId L, Expr Expected, Expr Desired) {
+  cur().Insts.push_back(
+      CasInst{R, true, L, std::move(Expected), std::move(Desired)});
+}
+
+void ProgramBuilder::wait(LocId L, Expr Expected) {
+  cur().Insts.push_back(WaitInst{L, std::move(Expected)});
+}
+
+void ProgramBuilder::bcas(LocId L, Expr Expected, Expr Desired) {
+  cur().Insts.push_back(BcasInst{L, std::move(Expected), std::move(Desired)});
+}
+
+void ProgramBuilder::assertCond(Expr Cond) {
+  cur().Insts.push_back(AssertInst{std::move(Cond)});
+}
+
+uint32_t ProgramBuilder::nextPc() const {
+  assert(!P.Threads.empty() && "no thread started");
+  return P.Threads.back().Insts.size();
+}
+
+Program ProgramBuilder::build() {
+  [[maybe_unused]] std::vector<std::string> Problems = P.validate();
+  assert(Problems.empty() && "ProgramBuilder produced an invalid program");
+  return P;
+}

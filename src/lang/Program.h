@@ -1,0 +1,119 @@
+//===- lang/Program.h - Sequential and concurrent programs -----*- C++ -*-===//
+///
+/// \file
+/// Programs of Section 2.1: a sequential program is a finite sequence of
+/// instructions (program counters are indices; a thread halts when its pc
+/// reaches the end); a concurrent program is a top-level parallel
+/// composition of sequential programs over a bounded data domain and a
+/// fixed set of shared locations, partitioned into release/acquire and
+/// non-atomic ones (Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LANG_PROGRAM_H
+#define ROCKER_LANG_PROGRAM_H
+
+#include "lang/Inst.h"
+#include "support/BitSet64.h"
+
+#include <string>
+#include <vector>
+
+namespace rocker {
+
+/// One thread's code plus naming metadata.
+struct SequentialProgram {
+  std::string Name;
+  std::vector<Inst> Insts;
+  /// Number of registers used (registers are 0..NumRegs-1, all initially 0).
+  unsigned NumRegs = 0;
+  /// Optional register names for diagnostics/printing.
+  std::vector<std::string> RegNames;
+
+  /// The register name used in diagnostics ("r<i>" fallback).
+  std::string regName(RegId R) const;
+};
+
+/// A concurrent program: parallel composition of sequential programs.
+class Program {
+public:
+  std::string Name;
+  /// Size of the value domain Val = {0..NumVals-1} (at least 2).
+  unsigned NumVals = 2;
+  /// Location names, indexed by LocId.
+  std::vector<std::string> LocNames;
+  /// Which locations are non-atomic (Section 6); the rest are
+  /// release/acquire locations.
+  BitSet64 NaLocs;
+  std::vector<SequentialProgram> Threads;
+
+  unsigned numLocs() const { return LocNames.size(); }
+  unsigned numThreads() const { return Threads.size(); }
+
+  bool isNaLoc(LocId L) const { return NaLocs.contains(L); }
+
+  /// The set of release/acquire locations.
+  BitSet64 raLocs() const {
+    return BitSet64::allBelow(numLocs()) - NaLocs;
+  }
+
+  /// The location name used in diagnostics ("x<i>" fallback).
+  std::string locName(LocId L) const;
+
+  /// Checks well-formedness: limits respected, branch targets in range,
+  /// registers/locations in range, RMW/wait instructions only on RA
+  /// locations. Returns a list of human-readable problems (empty = valid).
+  std::vector<std::string> validate() const;
+
+  /// Counts instruction lines for the Figure 7 "LoC" column:
+  /// one line per instruction plus one header line per thread.
+  unsigned linesOfCode() const;
+};
+
+/// Convenience builder for constructing programs programmatically (used by
+/// tests and the fuzzer; the corpus uses the text front-end instead).
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name, unsigned NumVals = 2);
+
+  /// Adds a release/acquire location and returns its id.
+  LocId addLoc(std::string Name);
+  /// Adds a non-atomic location and returns its id.
+  LocId addNaLoc(std::string Name);
+
+  /// Starts a new thread; subsequent instruction calls append to it.
+  ThreadId beginThread(std::string Name = "");
+
+  /// Declares (or looks up) a register of the current thread by name.
+  RegId reg(std::string Name);
+
+  void assign(RegId R, Expr E);
+  void ifGoto(Expr Cond, uint32_t Target);
+  void store(LocId L, Expr E);
+  void load(RegId R, LocId L);
+  void fadd(RegId R, LocId L, Expr Add);
+  /// An SC fence: FADD with discarded result on a dedicated, otherwise
+  /// unused location shared by all fences of the program (Example 3.6).
+  void fence();
+  void xchg(RegId R, LocId L, Expr New);
+  void cas(RegId R, LocId L, Expr Expected, Expr Desired);
+  void wait(LocId L, Expr Expected);
+  void bcas(LocId L, Expr Expected, Expr Desired);
+  void assertCond(Expr Cond);
+
+  /// Index the next appended instruction will get (for branch targets).
+  uint32_t nextPc() const;
+
+  /// Finalizes and validates; asserts on validation failure.
+  Program build();
+
+private:
+  SequentialProgram &cur();
+  Program P;
+  bool HasFenceLoc = false;
+  LocId FenceLoc = 0;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_LANG_PROGRAM_H

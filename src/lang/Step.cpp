@@ -1,0 +1,158 @@
+//===- lang/Step.cpp - Thread-local step semantics -------------------------===//
+
+#include "lang/Step.h"
+
+using namespace rocker;
+
+namespace {
+
+/// Builds the ThreadStep for the instruction at the current pc.
+struct Inspector {
+  const Program &P;
+  const SequentialProgram &S;
+  const ThreadState &TS;
+
+  unsigned modulus() const { return P.NumVals; }
+
+  ThreadStep local(uint32_t NextPc) const {
+    ThreadStep R;
+    R.K = ThreadStep::Kind::Local;
+    R.Next = TS;
+    R.Next.Pc = NextPc;
+    return R;
+  }
+
+  ThreadStep access(MemAccess A) const {
+    ThreadStep R;
+    R.K = ThreadStep::Kind::Access;
+    R.A = A;
+    return R;
+  }
+
+  ThreadStep operator()(const AssignInst &I) const {
+    ThreadStep R = local(TS.Pc + 1);
+    R.Next.Regs[I.Dst] = I.E.evaluate(TS.Regs, modulus());
+    return R;
+  }
+
+  ThreadStep operator()(const IfGotoInst &I) const {
+    Val C = I.Cond.evaluate(TS.Regs, modulus());
+    return local(C != 0 ? I.Target : TS.Pc + 1);
+  }
+
+  ThreadStep operator()(const AssertInst &I) const {
+    if (I.Cond.evaluate(TS.Regs, modulus()) != 0)
+      return local(TS.Pc + 1);
+    ThreadStep R;
+    R.K = ThreadStep::Kind::AssertFail;
+    return R;
+  }
+
+  ThreadStep operator()(const StoreInst &I) const {
+    MemAccess A{};
+    A.K = MemAccess::Kind::Write;
+    A.Loc = I.Loc;
+    A.IsNA = P.isNaLoc(I.Loc);
+    A.WriteVal = I.E.evaluate(TS.Regs, modulus());
+    return access(A);
+  }
+
+  ThreadStep operator()(const LoadInst &I) const {
+    MemAccess A{};
+    A.K = MemAccess::Kind::Read;
+    A.Loc = I.Loc;
+    A.IsNA = P.isNaLoc(I.Loc);
+    return access(A);
+  }
+
+  ThreadStep operator()(const FaddInst &I) const {
+    MemAccess A{};
+    A.K = MemAccess::Kind::Fadd;
+    A.Loc = I.Loc;
+    A.IsNA = false;
+    A.Addend = I.Add.evaluate(TS.Regs, modulus());
+    return access(A);
+  }
+
+  ThreadStep operator()(const XchgInst &I) const {
+    MemAccess A{};
+    A.K = MemAccess::Kind::Xchg;
+    A.Loc = I.Loc;
+    A.IsNA = false;
+    A.NewVal = I.New.evaluate(TS.Regs, modulus());
+    return access(A);
+  }
+
+  ThreadStep operator()(const CasInst &I) const {
+    MemAccess A{};
+    A.K = MemAccess::Kind::Cas;
+    A.Loc = I.Loc;
+    A.IsNA = false;
+    A.Expected = I.Expected.evaluate(TS.Regs, modulus());
+    A.Desired = I.Desired.evaluate(TS.Regs, modulus());
+    return access(A);
+  }
+
+  ThreadStep operator()(const WaitInst &I) const {
+    MemAccess A{};
+    A.K = MemAccess::Kind::Wait;
+    A.Loc = I.Loc;
+    A.IsNA = false;
+    A.Expected = I.Expected.evaluate(TS.Regs, modulus());
+    return access(A);
+  }
+
+  ThreadStep operator()(const BcasInst &I) const {
+    MemAccess A{};
+    A.K = MemAccess::Kind::Bcas;
+    A.Loc = I.Loc;
+    A.IsNA = false;
+    A.Expected = I.Expected.evaluate(TS.Regs, modulus());
+    A.Desired = I.Desired.evaluate(TS.Regs, modulus());
+    return access(A);
+  }
+};
+
+} // namespace
+
+ThreadStep rocker::inspectThread(const Program &P, ThreadId T,
+                                 const ThreadState &TS) {
+  const SequentialProgram &S = P.Threads[T];
+  if (TS.Pc >= S.Insts.size())
+    return ThreadStep(); // Halted.
+  return std::visit(Inspector{P, S, TS}, S.Insts[TS.Pc]);
+}
+
+ThreadState rocker::applyAccess(const Program &P, ThreadId T,
+                                const ThreadState &TS, const MemAccess &A,
+                                const Label &L) {
+  const SequentialProgram &S = P.Threads[T];
+  assert(TS.Pc < S.Insts.size() && "applyAccess on halted thread");
+  ThreadState Next = TS;
+  Next.Pc = TS.Pc + 1;
+
+  const Inst &I = S.Insts[TS.Pc];
+  if (const auto *Load = std::get_if<LoadInst>(&I)) {
+    Next.Regs[Load->Dst] = L.ValR;
+    return Next;
+  }
+  if (const auto *Fadd = std::get_if<FaddInst>(&I)) {
+    if (Fadd->HasDst)
+      Next.Regs[Fadd->Dst] = L.ValR;
+    return Next;
+  }
+  if (const auto *Xchg = std::get_if<XchgInst>(&I)) {
+    if (Xchg->HasDst)
+      Next.Regs[Xchg->Dst] = L.ValR;
+    return Next;
+  }
+  if (const auto *Cas = std::get_if<CasInst>(&I)) {
+    // Both on success (RMW label, reads Expected) and on failure (plain
+    // read label), the destination receives the read value (Figure 2).
+    if (Cas->HasDst)
+      Next.Regs[Cas->Dst] = L.ValR;
+    return Next;
+  }
+  // Store, Wait, Bcas: no register effect.
+  return Next;
+}

@@ -1,0 +1,280 @@
+//===- litmus/Corpus.cpp - Litmus tests of Sections 2–4 ---------------------===//
+//
+// The Figure 7 algorithms live in CorpusFig7.cpp; this file holds the
+// small litmus tests with the robustness verdicts stated in the paper's
+// running examples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace rocker;
+
+namespace {
+
+// Example 3.1 — the store-buffering weak behavior; not robust.
+const char *SB = R"(
+program SB
+vals 2
+locs x y
+
+thread t0
+  x := 1
+  a := y
+
+thread t1
+  y := 1
+  b := x
+)";
+
+// Example 3.2 — message passing; RA supports flag-based synchronization,
+// so this is (execution-graph) robust.
+const char *MP = R"(
+program MP
+vals 2
+locs x y
+
+thread t0
+  x := 1
+  y := 1
+
+thread t1
+  a := y
+  b := x
+)";
+
+// Example 3.3 — independent reads of independent writes; RA is
+// non-multi-copy-atomic, not robust (it is robust against TSO).
+const char *IRIW = R"(
+program IRIW
+vals 2
+locs x y
+
+thread t0
+  x := 1
+
+thread t1
+  a := x
+  b := y
+
+thread t2
+  c := y
+  d := x
+
+thread t3
+  y := 1
+)";
+
+// Example 3.4 — 2+2W; RA writes need not pick globally maximal
+// timestamps; not robust (robust against TSO).
+const char *TwoPlusTwoW = R"(
+program 2+2W
+vals 3
+locs x y
+
+thread t0
+  x := 1
+  y := 2
+  a := y
+
+thread t1
+  y := 1
+  x := 2
+  b := x
+)";
+
+// Example 3.4 without the final reads — "vacuously" state robust but not
+// execution-graph robust (Section 4 motivation).
+const char *TwoPlusTwoWNoReads = R"(
+program 2+2W-noreads
+vals 3
+locs x y
+
+thread t0
+  x := 1
+  y := 2
+
+thread t1
+  y := 1
+  x := 2
+)";
+
+// Section 4 motivation: SB writing the initial value 0 — state robust
+// only because states cannot distinguish the runs; not execution-graph
+// robust.
+const char *SBZero = R"(
+program SB-zero
+vals 2
+locs x y
+
+thread t0
+  x := 0
+  a := y
+
+thread t1
+  y := 0
+  b := x
+)";
+
+// Example 3.5 — two RMWs never read from the same message; robust.
+const char *TwoRMW = R"(
+program 2RMW
+vals 2
+locs x
+
+thread t0
+  a := CAS(x, 0 => 1)
+
+thread t1
+  b := CAS(x, 0 => 1)
+)";
+
+// Example 3.6 — SB strengthened with same-location RMW fences; robust.
+const char *SBRMWs = R"(
+program SB+RMWs
+vals 2
+locs x y f
+
+thread t0
+  x := 1
+  r := FADD(f, 0)
+  a := y
+
+thread t1
+  y := 1
+  s := FADD(f, 0)
+  b := x
+)";
+
+// Section 3.6 remark: fences on *different* locations do not restore
+// robustness under RA.
+const char *SBRMWsSplit = R"(
+program SB+RMWs-split
+vals 2
+locs x y f g
+
+thread t0
+  x := 1
+  r := FADD(f, 0)
+  a := y
+
+thread t1
+  y := 1
+  s := FADD(g, 0)
+  b := x
+)";
+
+// Section 2.3 (BAR) — global barrier with blocking waits; the blocking
+// primitive masks the benign spin, so this is robust.
+const char *BarrierWait = R"(
+program barrier
+vals 2
+locs x y
+
+thread t0
+  x := 1
+  wait(y == 1)
+
+thread t1
+  y := 1
+  wait(x == 1)
+)";
+
+// Section 2.3 (BAR) — the same barrier with explicit spin loops; the
+// state with both threads having read 0 is RA-reachable but not
+// SC-reachable, so this is not (even state) robust.
+const char *BarrierLoop = R"(
+program barrier-loop
+vals 2
+locs x y
+
+thread t0
+  x := 1
+l0:
+  r1 := y
+  if r1 != 1 goto l0
+
+thread t1
+  y := 1
+l1:
+  r2 := x
+  if r2 != 1 goto l1
+)";
+
+std::vector<CorpusEntry> makeLitmusTests() {
+  std::vector<CorpusEntry> E;
+  E.push_back({"SB", SB, false, false, false, 2,
+               "store buffering (Ex. 3.1)"});
+  E.push_back({"MP", MP, true, true, false, 2,
+               "message passing (Ex. 3.2)"});
+  E.push_back({"IRIW", IRIW, false, true, false, 4,
+               "IRIW: robust against TSO, not RA (Ex. 3.3)"});
+  E.push_back({"2+2W", TwoPlusTwoW, false, true, false, 2,
+               "2+2W: robust against TSO, not RA (Ex. 3.4)"});
+  E.push_back({"2+2W-noreads", TwoPlusTwoWNoReads, false, std::nullopt,
+               false, 2, "state robust but not execution-graph robust"});
+  E.push_back({"SB-zero", SBZero, false, std::nullopt, false, 2,
+               "state robust but not execution-graph robust (Sec. 4)"});
+  E.push_back({"2RMW", TwoRMW, true, true, false, 2,
+               "competing CASes (Ex. 3.5)"});
+  E.push_back({"SB+RMWs", SBRMWs, true, true, false, 2,
+               "SB with same-location RMW fences (Ex. 3.6)"});
+  E.push_back({"SB+RMWs-split", SBRMWsSplit, false, true, false, 2,
+               "RMW fences on different locations do not help under RA"});
+  E.push_back({"barrier-wait", BarrierWait, true, std::nullopt, false, 2,
+               "BAR with blocking wait (Sec. 2.3)"});
+  E.push_back({"barrier-loop", BarrierLoop, false, false, false, 2,
+               "BAR with spin loops (Sec. 2.3)"});
+  return E;
+}
+
+} // namespace
+
+const std::vector<CorpusEntry> &rocker::litmusTests() {
+  static const std::vector<CorpusEntry> Tests = makeLitmusTests();
+  return Tests;
+}
+
+// Defined in CorpusFig7.cpp / CorpusExtra.cpp.
+namespace rocker::detail {
+std::vector<CorpusEntry> makeFigure7Programs();
+std::vector<CorpusEntry> makeExtraLitmusTests();
+std::vector<CorpusEntry> makeMorePrograms();
+} // namespace rocker::detail
+
+const std::vector<CorpusEntry> &rocker::morePrograms() {
+  static const std::vector<CorpusEntry> Tests = detail::makeMorePrograms();
+  return Tests;
+}
+
+const std::vector<CorpusEntry> &rocker::extraLitmusTests() {
+  static const std::vector<CorpusEntry> Tests =
+      detail::makeExtraLitmusTests();
+  return Tests;
+}
+
+const std::vector<CorpusEntry> &rocker::figure7Programs() {
+  static const std::vector<CorpusEntry> Progs =
+      detail::makeFigure7Programs();
+  return Progs;
+}
+
+const CorpusEntry &rocker::findCorpusEntry(const std::string &Name) {
+  for (const CorpusEntry &E : litmusTests())
+    if (E.Name == Name)
+      return E;
+  for (const CorpusEntry &E : extraLitmusTests())
+    if (E.Name == Name)
+      return E;
+  for (const CorpusEntry &E : figure7Programs())
+    if (E.Name == Name)
+      return E;
+  for (const CorpusEntry &E : morePrograms())
+    if (E.Name == Name)
+      return E;
+  std::fprintf(stderr, "error: unknown corpus program '%s'\n", Name.c_str());
+  std::abort();
+}

@@ -1,0 +1,65 @@
+//===- litmus/Corpus.h - Program corpus registry ---------------*- C++ -*-===//
+///
+/// \file
+/// All programs evaluated in the paper, in the textual language of
+/// lang/Parser.h: the litmus tests of Sections 2–4 (SB, MP, IRIW, 2+2W,
+/// 2RMW, SB+RMWs, BAR in both variants) and the 25 Figure 7 algorithms.
+/// Each entry carries the paper's expected verdicts so tests and the
+/// Figure 7 bench can compare against them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_LITMUS_CORPUS_H
+#define ROCKER_LITMUS_CORPUS_H
+
+#include "lang/Parser.h"
+#include "lang/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rocker {
+
+/// A corpus program plus its paper-reported verdicts.
+struct CorpusEntry {
+  std::string Name;
+  const char *Source;
+  /// Figure 7 "Res": execution-graph robust against RA?
+  bool ExpectRobust;
+  /// Figure 7 "Trencher Res": robust against TSO in trencher mode
+  /// (blocking instructions lowered to loops); nullopt where the paper
+  /// reports no result.
+  std::optional<bool> ExpectTsoTrencher;
+  /// ⋆ in Figure 7: non-robust under Trencher only because blocking
+  /// instructions are lowered (the weak behavior is a benign spin).
+  bool TrencherStar = false;
+  /// Figure 7 "#T".
+  unsigned PaperThreads = 0;
+  const char *Note = "";
+
+  Program parse() const { return parseProgramOrDie(Source); }
+};
+
+/// The Section 2–4 litmus tests.
+const std::vector<CorpusEntry> &litmusTests();
+
+/// An extended catalog of classic weak-memory litmus tests (LB, CoRR,
+/// WRC, ISA2, W+RWC, Z6, S, R, ...) with oracle-validated robustness
+/// verdicts; exercises RA behaviors beyond the paper's running examples.
+const std::vector<CorpusEntry> &extraLitmusTests();
+
+/// The 25 Figure 7 benchmark programs.
+const std::vector<CorpusEntry> &figure7Programs();
+
+/// Further application idioms beyond the paper's evaluation: DCL with a
+/// non-atomic payload (correct + broken), a sense-reversing barrier, an
+/// SPSC handshake channel, and the 3-thread filter lock.
+const std::vector<CorpusEntry> &morePrograms();
+
+/// Lookup across both collections; aborts when absent.
+const CorpusEntry &findCorpusEntry(const std::string &Name);
+
+} // namespace rocker
+
+#endif // ROCKER_LITMUS_CORPUS_H

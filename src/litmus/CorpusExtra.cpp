@@ -1,0 +1,269 @@
+//===- litmus/CorpusExtra.cpp - Extended litmus catalog ---------------------===//
+//
+// Classic weak-memory litmus tests beyond the paper's running examples,
+// with robustness verdicts derived from the RA model (and cross-checked
+// against the direct oracles in tests/LitmusExtraTest.cpp):
+//
+//  * LB (load buffering): needs po∪rf cycles, which RA's hb forbids —
+//    robust.
+//  * CoRR / CoWW coherence shapes: per-location SC holds under RA —
+//    robust.
+//  * WRC (write-to-read causality): cumulative under RA (rf;po;rf chains
+//    synchronize) — robust.
+//  * ISA2: release/acquire chains transfer — robust.
+//  * W+RWC and Z6.U: classic RA-vs-SC distinguishers involving mo/fr
+//    edges that RA does not order — not robust.
+//  * S: W(x,2) po W(y,1); R(y,1) po W(x,1) — robust under RA: the
+//    acquire read of y transfers t0's view of x, so the second write to
+//    x cannot slip mo-before the first (unlike hardware models where S's
+//    weak outcome needs only write subsumption).
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+using namespace rocker;
+
+namespace {
+
+// Load buffering: r1 = y; x = 1 || r2 = x; y = 1. The annotated outcome
+// r1 = r2 = 1 needs a po∪rf cycle; RA forbids it, and in fact every RAG
+// extension here is SC-reproducible: robust.
+const char *LB = R"(
+program LB
+vals 2
+locs x y
+
+thread t0
+  a := y
+  x := 1
+
+thread t1
+  b := x
+  y := 1
+)";
+
+// Coherence, read-read: two reads of the same location in one thread may
+// not observe mo-backwards. Robust (coherence is per-location SC).
+const char *CoRR = R"(
+program CoRR
+vals 3
+locs x
+
+thread t0
+  x := 1
+  x := 2
+
+thread t1
+  a := x
+  b := x
+)";
+
+// Coherence, write-write with final reads in both threads.
+const char *CoWW = R"(
+program CoWW
+vals 3
+locs x
+
+thread t0
+  x := 1
+  a := x
+
+thread t1
+  x := 2
+  b := x
+)";
+
+// Write-to-read causality: t0 writes x; t1 reads x then writes y; t2
+// reads y then x. Under RA the rf;po;rf chain synchronizes, so t2 must
+// see x=1 after y=1: robust.
+const char *WRC = R"(
+program WRC
+vals 2
+locs x y
+
+thread t0
+  x := 1
+
+thread t1
+  a := x
+  if a == 0 goto done
+  y := 1
+done:
+
+thread t2
+  b := y
+  if b == 0 goto done
+  c := x
+done:
+)";
+
+// ISA2: a three-thread release/acquire chain through two flags.
+const char *ISA2 = R"(
+program ISA2
+vals 2
+locs x f g
+
+thread t0
+  x := 1
+  f := 1
+
+thread t1
+  a := f
+  if a == 0 goto done
+  g := 1
+done:
+
+thread t2
+  b := g
+  if b == 0 goto done
+  c := x
+done:
+)";
+
+// W+RWC (Example in many RA papers): not robust — the fr edge from t1's
+// read of y into t2's write of y is not ordered by RA.
+const char *WRWC = R"(
+program W+RWC
+vals 2
+locs x y
+
+thread t0
+  x := 1
+
+thread t1
+  a := x
+  b := y
+
+thread t2
+  y := 1
+  c := x
+)";
+
+// Z6.U: writes to y from two threads plus an SB-shaped tail: not robust.
+const char *Z6 = R"(
+program Z6
+vals 3
+locs x y
+
+thread t0
+  x := 1
+  y := 1
+
+thread t1
+  y := 2
+  a := y
+
+thread t2
+  b := y
+  c := x
+)";
+
+// S: the acquire read of y pins the mo order of x; robust under RA
+// (verified by the RAG oracle — the weak S outcome needs the reader's
+// write to bypass an acquired view, which Figure 3's write rule forbids).
+const char *SShape = R"(
+program S
+vals 3
+locs x y
+
+thread t0
+  x := 2
+  y := 1
+
+thread t1
+  a := y
+  x := 1
+)";
+
+// R: two writes racing with an SB tail; not robust.
+const char *RShape = R"(
+program R
+vals 3
+locs x y
+
+thread t0
+  x := 1
+  y := 1
+
+thread t1
+  y := 2
+  a := x
+)";
+
+// MP with the flag strengthened to an RMW on the reader side: still
+// robust, and exercises failed-CAS reads in the monitor.
+const char *MPCas = R"(
+program MP+cas
+vals 2
+locs x f
+
+thread t0
+  x := 1
+  f := 1
+
+thread t1
+  a := CAS(f, 1 => 0)
+  if a != 1 goto done
+  b := x
+done:
+)";
+
+// A ring of waits: three threads passing a token; robust (all reads are
+// blocking or synchronized).
+const char *TokenRing = R"(
+program token-ring
+vals 4
+locs tok d1 d2 d3
+
+thread t0
+  d1 := 1
+  tok := 1
+  wait(tok == 3)
+  a := d3
+
+thread t1
+  wait(tok == 1)
+  b := d1
+  d2 := 1
+  tok := 2
+
+thread t2
+  wait(tok == 2)
+  c := d2
+  d3 := 1
+  tok := 3
+)";
+
+} // namespace
+
+namespace rocker::detail {
+
+std::vector<CorpusEntry> makeExtraLitmusTests() {
+  std::vector<CorpusEntry> E;
+  E.push_back({"LB", LB, true, true, false, 2,
+               "load buffering: RA forbids po∪rf cycles"});
+  E.push_back({"CoRR", CoRR, true, true, false, 2,
+               "read-read coherence (per-location SC)"});
+  E.push_back({"CoWW", CoWW, true, true, false, 2,
+               "write-write coherence with local read-back"});
+  E.push_back({"WRC", WRC, true, true, false, 3,
+               "write-to-read causality transfers under RA"});
+  E.push_back({"ISA2", ISA2, true, true, false, 3,
+               "release/acquire chain through two flags"});
+  E.push_back({"W+RWC", WRWC, false, true, false, 3,
+               "fr edges are not RA-ordered"});
+  E.push_back({"Z6", Z6, false, true, false, 3,
+               "2+2W-style mo disagreement with an observer"});
+  E.push_back({"S", SShape, true, true, false, 2,
+               "acquired views pin mo: robust under RA"});
+  E.push_back({"R", RShape, false, true, false, 2,
+               "racing writes with an SB tail"});
+  E.push_back({"MP+cas", MPCas, true, true, false, 2,
+               "message passing via CAS on the flag"});
+  E.push_back({"token-ring", TokenRing, true, std::nullopt, false, 3,
+               "blocking token passing ring"});
+  return E;
+}
+
+} // namespace rocker::detail

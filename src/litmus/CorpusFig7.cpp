@@ -1,0 +1,656 @@
+//===- litmus/CorpusFig7.cpp - The 25 Figure 7 benchmark programs -----------===//
+//
+// Re-encodings of the paper's evaluation programs in our textual language.
+// Naming follows Figure 7: the '-sc' suffix is the original SC algorithm,
+// '-tso' its strengthening with the fences needed for TSO robustness, and
+// '-ra' a further strengthening for RA robustness. `fence` is an SC fence
+// (FADD on the shared __fence location, Example 3.6). Critical sections
+// write and assert a shared data location, so mutual-exclusion bugs also
+// surface as SC assertion failures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+using namespace rocker;
+
+namespace rocker::detail {
+std::vector<CorpusEntry> makeFigure7Programs();
+} // namespace rocker::detail
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Barrier (Section 2.3, BAR) — blocking waits mask the benign spin.
+//===----------------------------------------------------------------------===//
+
+const char *Barrier = R"(
+program barrier
+vals 2
+locs x y
+
+thread t0
+  x := 1
+  wait(y == 1)
+
+thread t1
+  y := 1
+  wait(x == 1)
+)";
+
+//===----------------------------------------------------------------------===//
+// Dekker's mutual exclusion (2 threads).
+//===----------------------------------------------------------------------===//
+
+// Fences (when enabled) follow each raising of the flag (store->load).
+std::string dekkerBody(bool Fences) {
+  std::string F = Fences ? "\n  fence" : "";
+  std::string Src = R"(
+vals 3
+locs flag0 flag1 turn data
+
+thread t0
+  flag0 := 1)" + F + R"(
+test:
+  rf := flag1
+  if rf == 0 goto cs
+  rt := turn
+  if rt == 0 goto test
+  flag0 := 0
+  wait(turn == 0)
+  flag0 := 1)" + F + R"(
+  goto test
+cs:
+  data := 1
+  rd := data
+  assert(rd == 1)
+  turn := 1
+  flag0 := 0
+
+thread t1
+  flag1 := 1)" + F + R"(
+test:
+  rf := flag0
+  if rf == 0 goto cs
+  rt := turn
+  if rt == 1 goto test
+  flag1 := 0
+  wait(turn == 1)
+  flag1 := 1)" + F + R"(
+  goto test
+cs:
+  data := 2
+  rd := data
+  assert(rd == 2)
+  turn := 0
+  flag1 := 0
+)";
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Peterson's mutual exclusion (2 threads), four strengthenings.
+//===----------------------------------------------------------------------===//
+
+// Variant: how the two protocol stores are performed and which fences are
+// placed between them and the spin loop.
+// -sc:          flag := 1; turn := j                      (no fences)
+// -tso:         flag := 1; turn := j; fence               (TSO-robust)
+// -ra:          flag := 1; fence; turn := j; fence        (RA-robust)
+// -ra-dmitriy:  flag := 1; XCHG(turn, j)                  (RA-robust, [57])
+// -ra-bratosz:  XCHG(flag, 1); turn := j                  (broken variant)
+std::string petersonBody(const char *Entry0, const char *Entry1) {
+  return std::string(R"(
+vals 3
+locs flag0 flag1 turn data
+
+thread t0
+)") + Entry0 + R"(
+spin:
+  rf := flag1
+  if rf == 0 goto cs
+  rt := turn
+  if rt == 1 goto spin
+cs:
+  data := 1
+  rd := data
+  assert(rd == 1)
+  flag0 := 0
+
+thread t1
+)" + Entry1 + R"(
+spin:
+  rf := flag0
+  if rf == 0 goto cs
+  rt := turn
+  if rt == 0 goto spin
+cs:
+  data := 2
+  rd := data
+  assert(rd == 2)
+  flag1 := 0
+)";
+}
+
+//===----------------------------------------------------------------------===//
+// Lamport's fast mutex (2 and 3 threads).
+//===----------------------------------------------------------------------===//
+
+/// Lamport's fast mutex variants (Figure 7 rows lamport2-*):
+///  * Sc:  the original algorithm (plain entry test, no fences);
+///  * Tso: the contended x/y writes strengthened to RMWs — on x86 every
+///    locked instruction is a fence, so this is the natural TSO
+///    strengthening; under RA it is insufficient (RMWs only order the
+///    modification of their own location);
+///  * Ra:  the entry test expressed with the blocking wait primitive
+///    (masking the benign stale read of y, Section 2.3) plus four SC
+///    fences per thread: after the entry announcement b_i := 1, after
+///    x := i, after y := i, and after the slow-path retreat b_i := 0.
+enum class LamportVariant { Sc, Tso, Ra };
+
+// One contender of Lamport's fast mutex with identifier Id (1-based).
+std::string lamportThread(unsigned Id, unsigned N, LamportVariant V) {
+  bool Ra = V == LamportVariant::Ra;
+  bool Xchg = V == LamportVariant::Tso;
+  std::string I = std::to_string(Id);
+  std::string S;
+  S += "\nthread t" + std::to_string(Id - 1) + "\n";
+  S += "start:\n";
+  S += "  b" + I + " := 1\n";
+  if (Ra)
+    S += "  fence\n";
+  S += Xchg ? "  XCHG(x, " + I + ")\n" : "  x := " + I + "\n";
+  if (Ra)
+    S += "  fence\n";
+  if (Ra) {
+    S += "  wait(y == 0)\n";
+  } else {
+    S += "  ry := y\n";
+    S += "  if ry == 0 goto step2\n";
+    S += "  b" + I + " := 0\n";
+    S += "  wait(y == 0)\n";
+    S += "  goto start\n";
+    S += "step2:\n";
+  }
+  S += Xchg ? "  XCHG(y, " + I + ")\n" : "  y := " + I + "\n";
+  if (Ra)
+    S += "  fence\n";
+  S += "  rx := x\n";
+  S += "  if rx == " + I + " goto cs\n";
+  S += "  b" + I + " := 0\n";
+  if (Ra)
+    S += "  fence\n";
+  for (unsigned J = 1; J <= N; ++J)
+    if (J != Id)
+      S += "  wait(b" + std::to_string(J) + " == 0)\n";
+  S += "  ry2 := y\n";
+  S += "  if ry2 == " + I + " goto cs\n";
+  S += "  wait(y == 0)\n";
+  S += "  goto start\n";
+  S += "cs:\n";
+  S += "  data := " + I + "\n";
+  S += "  rd := data\n";
+  S += "  assert(rd == " + I + ")\n";
+  S += "  y := 0\n";
+  S += "  b" + I + " := 0\n";
+  return S;
+}
+
+std::string lamportProgram(unsigned N, LamportVariant V) {
+  std::string S = "vals " + std::to_string(N + 1) + "\nlocs x y data";
+  for (unsigned J = 1; J <= N; ++J)
+    S += " b" + std::to_string(J);
+  S += "\n";
+  for (unsigned J = 1; J <= N; ++J)
+    S += lamportThread(J, N, V);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Spin locks and ticket locks (2 and 4 threads).
+//===----------------------------------------------------------------------===//
+
+std::string spinlockProgram(unsigned N) {
+  std::string S = "vals " + std::to_string(N + 1) + "\nlocs lock data\n";
+  for (unsigned T = 0; T != N; ++T) {
+    std::string V = std::to_string(T + 1);
+    S += "\nthread t" + std::to_string(T) + "\n";
+    S += "  BCAS(lock, 0 => 1)\n";
+    S += "  data := " + V + "\n";
+    S += "  rd := data\n";
+    S += "  assert(rd == " + V + ")\n";
+    S += "  lock := 0\n";
+  }
+  return S;
+}
+
+std::string ticketlockProgram(unsigned N) {
+  std::string S = "vals " + std::to_string(N + 1) + "\nlocs next serving data\n";
+  for (unsigned T = 0; T != N; ++T) {
+    std::string V = std::to_string(T + 1);
+    S += "\nthread t" + std::to_string(T) + "\n";
+    S += "  my := FADD(next, 1)\n";
+    S += "  wait(serving == my)\n";
+    S += "  data := " + V + "\n";
+    S += "  rd := data\n";
+    S += "  assert(rd == " + V + ")\n";
+    S += "  sv := my + 1\n";
+    S += "  serving := sv\n";
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Seqlock (Boehm 2012): 2 CAS-locked writers + 2 readers.
+//===----------------------------------------------------------------------===//
+
+const char *Seqlock = R"(
+program seqlock
+vals 5
+locs seq d1 d2
+
+thread w0
+w:
+  s := seq
+  if s == 1 goto w
+  if s == 3 goto w
+  r := CAS(seq, s => s + 1)
+  if r != s goto w
+  d1 := 1
+  d2 := 1
+  s2 := s + 2
+  seq := s2
+
+thread w1
+w:
+  s := seq
+  if s == 1 goto w
+  if s == 3 goto w
+  r := CAS(seq, s => s + 1)
+  if r != s goto w
+  d1 := 2
+  d2 := 2
+  s2 := s + 2
+  seq := s2
+
+thread r0
+rd:
+  s1 := seq
+  if s1 == 1 goto rd
+  if s1 == 3 goto rd
+  a := d1
+  b := d2
+  s2 := seq
+  if s2 != s1 goto rd
+  assert(a == b)
+
+thread r1
+rd:
+  s1 := seq
+  if s1 == 1 goto rd
+  if s1 == 3 goto rd
+  a := d1
+  b := d2
+  s2 := seq
+  if s2 != s1 goto rd
+  assert(a == b)
+)";
+
+//===----------------------------------------------------------------------===//
+// NBW (Kopetz/Reisinger non-blocking write protocol): 1 writer, 3 readers
+// ("w", left reader, right reader + one crossing reader).
+//===----------------------------------------------------------------------===//
+
+const char *Nbw = R"(
+program nbw-w-lr-rl
+vals 3
+locs ccf d1 d2 d3
+
+thread w
+  ccf := 1
+  d1 := 1
+  d2 := 1
+  d3 := 1
+  ccf := 2
+
+thread rl
+r:
+  c1 := ccf
+  if c1 == 1 goto r
+  a := d1
+  b := d2
+  c2 := ccf
+  if c2 != c1 goto r
+  assert(a == b)
+
+thread rr
+r:
+  c1 := ccf
+  if c1 == 1 goto r
+  a := d2
+  b := d3
+  c2 := ccf
+  if c2 != c1 goto r
+  assert(a == b)
+
+thread rx
+r:
+  c1 := ccf
+  if c1 == 1 goto r
+  a := d1
+  b := d3
+  c2 := ccf
+  if c2 != c1 goto r
+  assert(a == b)
+)";
+
+//===----------------------------------------------------------------------===//
+// User-mode RCU (Desnoyers et al., QSBR flavor): 1 updater + 3 readers.
+// Value 2 poisons the reclaimed slot; readers must never observe it.
+//===----------------------------------------------------------------------===//
+
+std::string rcuReader(unsigned I) {
+  std::string C = std::to_string(I);
+  std::string S;
+  S += "\nthread rdr" + C + "\n";
+  for (int Round = 0; Round != 2; ++Round) {
+    std::string R = std::to_string(Round);
+    S += "  c" + R + " := gp\n";
+    S += "  ctr" + C + " := c" + R + "\n";
+    S += "  ix" + R + " := idx\n";
+    S += "  if ix" + R + " == 1 goto new" + R + "\n";
+    S += "  v" + R + " := data0\n";
+    S += "  goto chk" + R + "\n";
+    S += "new" + R + ":\n";
+    S += "  v" + R + " := data1\n";
+    S += "chk" + R + ":\n";
+    S += "  assert(v" + R + " != 2)\n";
+  }
+  return S;
+}
+
+std::string rcuProgram() {
+  std::string S = R"(vals 3
+locs gp ctr1 ctr2 ctr3 idx data0 data1
+
+thread upd
+  data1 := 1
+  idx := 1
+  gp := 1
+  wait(ctr1 == 1)
+  wait(ctr2 == 1)
+  wait(ctr3 == 1)
+  data0 := 2
+)";
+  for (unsigned I = 1; I <= 3; ++I)
+    S += rcuReader(I);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// RCU with offline readers: 2 readers that deregister (go offline) and
+// come back online; the updater treats offline readers as quiescent.
+// Re-entry publishes the online flag with an SC fence, as in the real
+// user-level RCU implementation (rcu_thread_online issues smp_mb).
+//===----------------------------------------------------------------------===//
+
+std::string rcuOfflineReader(unsigned I) {
+  std::string C = std::to_string(I);
+  std::string S;
+  S += "\nthread rdr" + C + "\n";
+  // Register: publish the online flag before the first read-side section
+  // (rcu_register_thread / rcu_thread_online issue a full barrier).
+  S += "  onl" + C + " := 1\n";
+  S += "  fence\n";
+  // A read-side section followed by a quiescent-state announcement
+  // (QSBR: rcu_quiescent_state() runs *between* read-side sections, so
+  // the announcement follows the reads).
+  auto Round = [&](const std::string &R) {
+    S += "  c" + R + " := gp\n";
+    S += "  ix" + R + " := idx\n";
+    S += "  if ix" + R + " == 1 goto new" + R + "\n";
+    S += "  v" + R + " := data0\n";
+    S += "  goto chk" + R + "\n";
+    S += "new" + R + ":\n";
+    S += "  v" + R + " := data1\n";
+    S += "chk" + R + ":\n";
+    S += "  assert(v" + R + " != 2)\n";
+    S += "  ctr" + C + " := c" + R + "\n";
+  };
+  Round("0");
+  // Go offline: announce and stop participating.
+  S += "  onl" + C + " := 0\n";
+  // Come back online: publish the flag, fence, then re-read state.
+  S += "  onl" + C + " := 1\n";
+  S += "  fence\n";
+  Round("1");
+  return S;
+}
+
+std::string rcuOfflineUpdater(unsigned NumReaders) {
+  std::string S = "\nthread upd\n";
+  S += "  data1 := 1\n";
+  S += "  idx := 1\n";
+  S += "  gp := 1\n";
+  S += "  fence\n";
+  for (unsigned I = 1; I <= NumReaders; ++I) {
+    std::string C = std::to_string(I);
+    // A reader is quiescent when offline or when it announced period 1.
+    S += "scan" + C + ":\n";
+    S += "  ro" + C + " := onl" + C + "\n";
+    S += "  if ro" + C + " == 0 goto ok" + C + "\n";
+    S += "  rc" + C + " := ctr" + C + "\n";
+    S += "  if rc" + C + " == 1 goto ok" + C + "\n";
+    S += "  goto scan" + C + "\n";
+    S += "ok" + C + ":\n";
+  }
+  S += "  data0 := 2\n";
+  return S;
+}
+
+std::string rcuOfflineProgram() {
+  std::string S = "vals 3\n"
+                  "locs gp ctr1 ctr2 onl1 onl2 idx data0 data1\n";
+  S += rcuOfflineUpdater(2);
+  for (unsigned I = 1; I <= 2; ++I)
+    S += rcuOfflineReader(I);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Cilk's THE work-stealing queue protocol (owner + thief).
+//===----------------------------------------------------------------------===//
+
+// Owner pushes two items then takes twice; the thief steals twice. Take
+// follows the THE protocol: decrement T optimistically, check H, and on
+// conflict restore T and retry decisively under the lock. Steal (under
+// the lock) increments H optimistically, checks T, and rolls back when
+// the deque was empty. FenceTake/FenceSteal: the store->load fences
+// between the optimistic update and the opposing counter read (Cilk-5
+// places both; the -sc variant has neither).
+std::string cilkTheProgram(bool FenceTake, bool FenceSteal) {
+  std::string FT = FenceTake ? "  fence\n" : "";
+  std::string FS = FenceSteal ? "  fence\n" : "";
+  std::string S = R"(vals 5
+locs H T lk
+
+thread owner
+  T := 1
+  T := 2
+)";
+  for (int K = 0; K != 2; ++K) {
+    std::string Q = std::to_string(K);
+    S += "  t" + Q + " := T\n";
+    S += "  t" + Q + " := t" + Q + " - 1\n";
+    S += "  T := t" + Q + "\n";
+    S += FT;
+    S += "  h" + Q + " := H\n";
+    S += "  if h" + Q + " <= t" + Q + " goto got" + Q + "\n";
+    // Conflict: restore T and re-take decisively under the lock.
+    S += "  T := t" + Q + " + 1\n";
+    S += "  BCAS(lk, 0 => 1)\n";
+    S += "  u" + Q + " := T\n";
+    S += "  u" + Q + " := u" + Q + " - 1\n";
+    S += "  T := u" + Q + "\n";
+    S += "  g" + Q + " := H\n";
+    S += "  if g" + Q + " <= u" + Q + " goto lgot" + Q + "\n";
+    S += "  T := u" + Q + " + 1\n"; // Deque empty.
+    S += "lgot" + Q + ":\n";
+    S += "  lk := 0\n";
+    S += "got" + Q + ":\n";
+  }
+  for (int K = 0; K != 2; ++K) {
+    std::string Q = std::to_string(K);
+    if (K == 0)
+      S += "\nthread thief\n";
+    S += "  BCAS(lk, 0 => 1)\n";
+    S += "  h" + Q + " := H\n";
+    S += "  H := h" + Q + " + 1\n";
+    S += FS;
+    S += "  t" + Q + " := T\n";
+    S += "  if h" + Q + " < t" + Q + " goto ok" + Q + "\n";
+    S += "  H := h" + Q + "\n"; // Roll back; nothing to steal.
+    S += "ok" + Q + ":\n";
+    S += "  lk := 0\n";
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Chase-Lev work-stealing deque (owner + 2 thieves).
+//===----------------------------------------------------------------------===//
+
+// FenceTake: fence in take between the bot decrement and the top read;
+// FenceSteal: fence in steal between the top read and the bot read (the
+// seq_cst fence of the C11 Chase-Lev port, Lê et al.).
+std::string chaseLevProgram(bool FenceTake, bool FenceSteal) {
+  std::string FT = FenceTake ? "  fence\n" : "";
+  std::string FS = FenceSteal ? "  fence\n" : "";
+  std::string S = R"(vals 5
+locs top bot
+
+thread owner
+  bot := 1
+  bot := 2
+)";
+  for (int K = 0; K != 2; ++K) {
+    std::string Q = std::to_string(K);
+    S += "  b" + Q + " := bot\n";
+    S += "  b" + Q + " := b" + Q + " - 1\n";
+    S += "  bot := b" + Q + "\n";
+    S += FT;
+    S += "  t" + Q + " := top\n";
+    S += "  if t" + Q + " > b" + Q + " goto empty" + Q + "\n";
+    S += "  if t" + Q + " == b" + Q + " goto race" + Q + "\n";
+    S += "  goto done" + Q + "\n"; // t < b: took from the bottom.
+    S += "race" + Q + ":\n";
+    S += "  r" + Q + " := CAS(top, t" + Q + " => t" + Q + " + 1)\n";
+    S += "  bot := b" + Q + " + 1\n";
+    S += "  goto done" + Q + "\n";
+    S += "empty" + Q + ":\n";
+    S += "  bot := b" + Q + " + 1\n";
+    S += "done" + Q + ":\n";
+  }
+  for (int Th = 0; Th != 2; ++Th) {
+    S += "\nthread thief" + std::to_string(Th) + "\n";
+    S += "  t := top\n";
+    S += FS;
+    S += "  b := bot\n";
+    S += "  if t >= b goto fail\n";
+    S += "  r := CAS(top, t => t + 1)\n";
+    S += "fail:\n";
+  }
+  return S;
+}
+
+/// Keeps the generated sources alive for the CorpusEntry string views.
+std::string &intern(std::string S) {
+  static std::vector<std::string> Pool;
+  Pool.push_back(std::move(S));
+  return Pool.back();
+}
+
+} // namespace
+
+std::vector<CorpusEntry> rocker::detail::makeFigure7Programs() {
+  std::vector<CorpusEntry> E;
+  auto add = [&](const std::string &Name, std::string Src, bool Robust,
+                 std::optional<bool> Tso, bool Star, unsigned Threads,
+                 const char *Note) {
+    std::string Full = "program " + Name + "\n" + Src;
+    E.push_back(CorpusEntry{Name, intern(std::move(Full)).c_str(), Robust,
+                            Tso, Star, Threads, Note});
+  };
+
+  E.push_back(CorpusEntry{"barrier", Barrier, true, false, true, 2,
+                          "BAR with blocking waits (Sec. 2.3)"});
+
+  add("dekker-sc", dekkerBody(false), false, false, false, 2,
+      "Dekker's mutual exclusion, original");
+  add("dekker-tso", dekkerBody(true), true, true, false, 2,
+      "Dekker with store->load fences");
+
+  add("peterson-sc",
+      petersonBody("  flag0 := 1\n  turn := 1",
+                   "  flag1 := 1\n  turn := 0"),
+      false, false, false, 2, "Peterson, original");
+  add("peterson-tso",
+      petersonBody("  flag0 := 1\n  turn := 1\n  fence",
+                   "  flag1 := 1\n  turn := 0\n  fence"),
+      false, true, false, 2, "Peterson with the one TSO fence per thread");
+  add("peterson-ra",
+      petersonBody("  flag0 := 1\n  fence\n  turn := 1\n  fence",
+                   "  flag1 := 1\n  fence\n  turn := 0\n  fence"),
+      true, true, false, 2, "Peterson with fences for RA [57]");
+  add("peterson-ra-dmitriy",
+      petersonBody("  flag0 := 1\n  XCHG(turn, 1)",
+                   "  flag1 := 1\n  XCHG(turn, 0)"),
+      true, true, false, 2, "Peterson with the turn write as an RMW [57]");
+  add("peterson-ra-bratosz",
+      petersonBody("  XCHG(flag0, 1)\n  turn := 1",
+                   "  XCHG(flag1, 1)\n  turn := 0"),
+      false, false, false, 2,
+      "Peterson with the wrong write strengthened (detected incorrect)");
+
+  add("lamport2-sc", lamportProgram(2, LamportVariant::Sc), false, false,
+      false, 2, "Lamport's fast mutex, original");
+  add("lamport2-tso", lamportProgram(2, LamportVariant::Tso), false, true,
+      false, 2, "Lamport's fast mutex, RMW-strengthened x/y (TSO fences)");
+  add("lamport2-ra", lamportProgram(2, LamportVariant::Ra), true, true,
+      false, 2, "Lamport's fast mutex with RA fences + blocking entry");
+  add("lamport2-3-ra", lamportProgram(3, LamportVariant::Ra), true, false,
+      true, 3, "3-thread Lamport fast mutex with RA strengthening");
+
+  add("spinlock", spinlockProgram(2), true, true, false, 2,
+      "test-and-set spinlock (blocking CAS)");
+  add("spinlock4", spinlockProgram(4), true, true, false, 4,
+      "test-and-set spinlock, 4 threads");
+  add("ticketlock", ticketlockProgram(2), true, true, false, 2,
+      "ticket lock (FADD + blocking wait)");
+  add("ticketlock4", ticketlockProgram(4), true, true, false, 4,
+      "ticket lock, 4 threads");
+
+  E.push_back(CorpusEntry{"seqlock", Seqlock, true, true, false, 4,
+                          "sequence lock [16]"});
+  E.push_back(CorpusEntry{"nbw-w-lr-rl", Nbw, true, true, false, 4,
+                          "non-blocking write protocol"});
+
+  add("rcu", rcuProgram(), true, false, true, 4,
+      "user-mode RCU (QSBR) [26]");
+  add("rcu-offline", rcuOfflineProgram(), true, false, true, 3,
+      "RCU with offline/online readers");
+
+  add("cilk-the-wsq-sc", cilkTheProgram(false, false), false, false, false,
+      2, "Cilk THE work-stealing queue, original");
+  add("cilk-the-wsq-tso", cilkTheProgram(true, true), true, true, false, 2,
+      "Cilk THE with the take- and steal-side fences");
+
+  add("chase-lev-sc", chaseLevProgram(false, false), false, false, false, 3,
+      "Chase-Lev deque, original");
+  add("chase-lev-tso", chaseLevProgram(true, false), false, true, false, 3,
+      "Chase-Lev with the TSO take fence");
+  add("chase-lev-ra", chaseLevProgram(true, true), true, true, false, 3,
+      "Chase-Lev with take and steal fences (C11 port)");
+
+  return E;
+}

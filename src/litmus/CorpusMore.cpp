@@ -1,0 +1,299 @@
+//===- litmus/CorpusMore.cpp - Further application programs -----------------===//
+//
+// Concurrent idioms beyond the paper's evaluation set, demonstrating the
+// checker on the kinds of code the introduction motivates (porting
+// SC-designed code to RA): double-checked initialization with a
+// non-atomic payload (correct and broken variants), a sense-reversing
+// barrier, a credit-based SPSC handshake channel, and the 3-thread
+// filter lock. Verdicts are validated in tests/MoreProgramsTest.cpp
+// (robustness + SC assertions + race freedom; the loop-free entries also
+// against the RAG oracle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+
+using namespace rocker;
+
+namespace {
+
+// Double-checked locking over a non-atomic payload: the classic lazy
+// initialization idiom, correct under RA (the flag is the release/acquire
+// publication point). Robust, race-free, asserts hold.
+const char *Dcl = R"(
+program dcl
+vals 8
+locs flag lk
+na data
+
+thread t0
+  f := flag
+  if f == 1 goto use
+  BCAS(lk, 0 => 1)
+  f2 := flag
+  if f2 == 1 goto unlock
+  data := 7
+  flag := 1
+unlock:
+  lk := 0
+use:
+  wait(flag == 1)
+  d := data
+  assert(d == 7)
+
+thread t1
+  f := flag
+  if f == 1 goto use
+  BCAS(lk, 0 => 1)
+  f2 := flag
+  if f2 == 1 goto unlock
+  data := 7
+  flag := 1
+unlock:
+  lk := 0
+use:
+  wait(flag == 1)
+  d := data
+  assert(d == 7)
+)";
+
+// The classic DCL bug: publishing the flag *before* initializing the
+// payload. Under SC the assert can already fail; the non-atomic payload
+// is also racy. Detected on both counts.
+const char *DclBroken = R"(
+program dcl-broken
+vals 8
+locs flag lk
+na data
+
+thread t0
+  f := flag
+  if f == 1 goto use
+  BCAS(lk, 0 => 1)
+  f2 := flag
+  if f2 == 1 goto unlock
+  flag := 1
+  data := 7
+unlock:
+  lk := 0
+use:
+  wait(flag == 1)
+  d := data
+  assert(d == 7)
+
+thread t1
+  f := flag
+  if f == 1 goto use
+  BCAS(lk, 0 => 1)
+  f2 := flag
+  if f2 == 1 goto unlock
+  flag := 1
+  data := 7
+unlock:
+  lk := 0
+use:
+  wait(flag == 1)
+  d := data
+  assert(d == 7)
+)";
+
+// A sense-reversing barrier: the last arriver flips the sense; everyone
+// else blocks on it. Data written before the barrier is readable after
+// it. Robust (FADD + blocking wait).
+const char *SenseBarrier = R"(
+program sense-barrier
+vals 4
+locs count sense d1 d2 d3
+
+thread t0
+  d1 := 1
+  c := FADD(count, 1)
+  if c == 2 goto last
+  wait(sense == 1)
+  goto after
+last:
+  sense := 1
+after:
+  a := d2
+  b := d3
+
+thread t1
+  d2 := 1
+  c := FADD(count, 1)
+  if c == 2 goto last
+  wait(sense == 1)
+  goto after
+last:
+  sense := 1
+after:
+  a := d1
+  b := d3
+
+thread t2
+  d3 := 1
+  c := FADD(count, 1)
+  if c == 2 goto last
+  wait(sense == 1)
+  goto after
+last:
+  sense := 1
+after:
+  a := d1
+  b := d2
+)";
+
+// A two-slot SPSC channel with credit-based flow control: the producer
+// reuses slot 0 for the third item only after the consumer's ack. All
+// waits are on values each side knows exactly, so every blocking point
+// masks its benign spin. Robust; FIFO asserts hold.
+const char *SpscHandshake = R"(
+program spsc-handshake
+vals 4
+locs rdy0 rdy1 ack0 s0 s1
+
+thread producer
+  s0 := 1
+  rdy0 := 1
+  s1 := 2
+  rdy1 := 1
+  wait(ack0 == 1)
+  s0 := 3
+  rdy0 := 2
+
+thread consumer
+  wait(rdy0 == 1)
+  a := s0
+  assert(a == 1)
+  ack0 := 1
+  wait(rdy1 == 1)
+  b := s1
+  assert(b == 2)
+  wait(rdy0 == 2)
+  c := s0
+  assert(c == 3)
+)";
+
+// A bounded Treiber stack: two pushers (one statically-named node each)
+// and a popper taking up to two nodes via CAS on top. Robust under RA:
+// the successful push CAS releases the node's next pointer, and the
+// popper's read of top acquires it; pop CAS adjacency prevents double
+// pops (the popped nodes are asserted distinct).
+const char *TreiberStack = R"(
+program treiber-stack
+vals 4
+locs top nx1 nx2
+
+thread pusher1
+p:
+  t := top
+  nx1 := t
+  r := CAS(top, t => 1)
+  if r != t goto p
+
+thread pusher2
+p:
+  t := top
+  nx2 := t
+  r := CAS(top, t => 2)
+  if r != t goto p
+
+thread popper
+pop1:
+  t := top
+  if t == 0 goto done
+  if t == 2 goto n2
+  nn := nx1
+  goto docas
+n2:
+  nn := nx2
+docas:
+  r := CAS(top, t => nn)
+  if r != t goto pop1
+  p1 := t
+pop2:
+  t2 := top
+  if t2 == 0 goto done
+  if t2 == 2 goto m2
+  mm := nx1
+  goto docas2
+m2:
+  mm := nx2
+docas2:
+  r2 := CAS(top, t2 => mm)
+  if r2 != t2 goto pop2
+  p2 := t2
+  assert(p1 != p2)
+done:
+)";
+
+// Peterson's filter lock for 3 threads (levels + victim per level): the
+// textbook N-thread generalization; like Peterson it is not robust
+// without fences.
+std::string filterLock(unsigned N) {
+  std::string S = "vals " + std::to_string(N + 1) + "\nlocs data";
+  for (unsigned L = 1; L < N; ++L)
+    S += " victim" + std::to_string(L);
+  for (unsigned T = 0; T != N; ++T)
+    S += " level" + std::to_string(T);
+  S += "\n";
+  for (unsigned T = 0; T != N; ++T) {
+    std::string Me = std::to_string(T);
+    S += "\nthread t" + Me + "\n";
+    for (unsigned L = 1; L < N; ++L) {
+      std::string Ls = std::to_string(L);
+      S += "  level" + Me + " := " + Ls + "\n";
+      S += "  victim" + Ls + " := " + std::to_string(T + 1) + "\n";
+      S += "spin" + Ls + ":\n";
+      // Wait until no other thread is at my level or above, or I am no
+      // longer the victim.
+      S += "  v" + Ls + " := victim" + Ls + "\n";
+      S += "  if v" + Ls + " != " + std::to_string(T + 1) + " goto next" +
+           Ls + "\n";
+      for (unsigned O = 0; O != N; ++O) {
+        if (O == T)
+          continue;
+        S += "  k" + std::to_string(O) + " := level" + std::to_string(O) +
+             "\n";
+        S += "  if k" + std::to_string(O) + " >= " + Ls + " goto spin" +
+             Ls + "\n";
+      }
+      S += "next" + Ls + ":\n";
+    }
+    S += "  data := " + std::to_string(T + 1) + "\n";
+    S += "  rd := data\n";
+    S += "  assert(rd == " + std::to_string(T + 1) + ")\n";
+    S += "  level" + Me + " := 0\n";
+  }
+  return S;
+}
+
+std::string &intern(std::string S) {
+  static std::vector<std::string> Pool;
+  Pool.push_back(std::move(S));
+  return Pool.back();
+}
+
+} // namespace
+
+namespace rocker::detail {
+
+std::vector<CorpusEntry> makeMorePrograms() {
+  std::vector<CorpusEntry> E;
+  E.push_back({"dcl", Dcl, true, std::nullopt, false, 2,
+               "double-checked lazy initialization, NA payload"});
+  E.push_back({"dcl-broken", DclBroken, false, std::nullopt, false, 2,
+               "DCL publishing before initializing (racy + assert-fail)"});
+  E.push_back({"sense-barrier", SenseBarrier, true, std::nullopt, false, 3,
+               "sense-reversing barrier, 3 threads"});
+  E.push_back({"spsc-handshake", SpscHandshake, true, std::nullopt, false,
+               2, "two-slot SPSC channel with credit handshake"});
+  E.push_back({"treiber-stack", TreiberStack, true, std::nullopt, false,
+               3, "bounded Treiber stack: 2 pushers + 1 popper"});
+  E.push_back({"filter-lock-3",
+               intern("program filter-lock-3\n" + filterLock(3)).c_str(),
+               false, std::nullopt, false, 3,
+               "Peterson's filter lock, 3 threads, unfenced"});
+  return E;
+}
+
+} // namespace rocker::detail

@@ -1,0 +1,61 @@
+//===- memory/RAMachine.cpp - Operational RA machine ------------------------===//
+
+#include "memory/RAMachine.h"
+
+#include <cassert>
+
+using namespace rocker;
+
+RAMachine::State RAMachine::initial() const {
+  State S;
+  S.Mem.resize(NumLocs);
+  View Zero(NumLocs, 0);
+  for (unsigned L = 0; L != NumLocs; ++L)
+    S.Mem[L].push_back(RAMessage{0, false, Zero});
+  S.TView.assign(NumThreads, Zero);
+  return S;
+}
+
+RAMachine::State RAMachine::insertAfterFor(const State &S, ThreadId T,
+                                           LocId L, unsigned Pred, Val V,
+                                           bool IsRmw) const {
+  State Next = S;
+  unsigned Pos = Pred + 1;
+  assert(Pos <= Next.Mem[L].size() && "insertion point out of range");
+
+  // Renumber: every view entry for L pointing at position >= Pos moves up.
+  auto Shift = [&](View &Vw) {
+    if (Vw[L] >= Pos)
+      ++Vw[L];
+  };
+  for (View &Vw : Next.TView)
+    Shift(Vw);
+  for (std::vector<RAMessage> &Ms : Next.Mem)
+    for (RAMessage &M : Ms)
+      Shift(M.MsgView);
+
+  // The writing thread observes its own message.
+  assert(Next.TView[T][L] <= Pos && "writer had observed past predecessor");
+  Next.TView[T][L] = static_cast<uint8_t>(Pos);
+
+  RAMessage Msg;
+  Msg.V = V;
+  Msg.IsRmw = IsRmw;
+  Msg.MsgView = Next.TView[T];
+  Next.Mem[L].insert(Next.Mem[L].begin() + Pos, std::move(Msg));
+  return Next;
+}
+
+void RAMachine::serialize(const State &S, std::string &Out) const {
+  for (const std::vector<RAMessage> &Ms : S.Mem) {
+    Out.push_back(static_cast<char>(Ms.size()));
+    for (const RAMessage &M : Ms) {
+      Out.push_back(static_cast<char>(M.V));
+      Out.push_back(static_cast<char>(M.IsRmw));
+      Out.append(reinterpret_cast<const char *>(M.MsgView.data()),
+                 M.MsgView.size());
+    }
+  }
+  for (const View &Vw : S.TView)
+    Out.append(reinterpret_cast<const char *>(Vw.data()), Vw.size());
+}

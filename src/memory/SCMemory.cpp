@@ -1,0 +1,6 @@
+//===- memory/SCMemory.cpp - SC memory (header-only; anchor TU) ------------===//
+
+#include "memory/SCMemory.h"
+
+// SCMemory is header-only; this translation unit exists to give the
+// library a home for the type and keep build rules uniform.

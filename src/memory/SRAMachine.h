@@ -1,0 +1,92 @@
+//===- memory/SRAMachine.h - Strong release/acquire machine ----*- C++ -*-===//
+///
+/// \file
+/// The SRA (strong release/acquire) model of Lahav, Giannarakis and
+/// Vafeiadis (POPL 2016), cited by the paper in Example 3.4 and named in
+/// Section 9 as a target for future extensions. SRA strengthens RA in one
+/// way: write steps must pick a *globally maximal* timestamp for the
+/// written location — operationally, new messages always append at the
+/// end of the location's modification order (while reads may still pick
+/// any message not below the thread's view). Consequently 2+2W's weak
+/// outcome is forbidden under SRA but SB's is still allowed.
+///
+/// Implemented, like RAMachine, in dense positional form; the only
+/// difference from RAMachine is the write/RMW insertion point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_MEMORY_SRAMACHINE_H
+#define ROCKER_MEMORY_SRAMACHINE_H
+
+#include "memory/RAMachine.h"
+
+namespace rocker {
+
+/// The SRA machine: RA with mo-maximal write placement.
+class SRAMachine {
+public:
+  using State = RAMachine::State;
+
+  explicit SRAMachine(const Program &P)
+      : Inner(P), NumVals(P.NumVals) {}
+
+  State initial() const { return Inner.initial(); }
+
+  template <typename Fn>
+  void enumerate(const State &S, ThreadId T, const MemAccess &A, Fn F) const {
+    const std::vector<RAMessage> &Ms = S.Mem[A.Loc];
+    unsigned From = S.TView[T][A.Loc];
+
+    if (A.K == MemAccess::Kind::Write) {
+      // SRA: the new message must be globally maximal.
+      F(Label::write(A.Loc, A.WriteVal, A.IsNA),
+        Inner.insertAfterFor(S, T, A.Loc, Ms.size() - 1, A.WriteVal,
+                             /*IsRmw=*/false));
+      return;
+    }
+
+    for (unsigned J = From; J != Ms.size(); ++J) {
+      Val V = Ms[J].V;
+      ReadOutcome O = classifyRead(A, V);
+      if (O == ReadOutcome::Blocked)
+        continue;
+      if (O == ReadOutcome::PlainRead) {
+        State Next = S;
+        joinInto(Next.TView[T], Ms[J].MsgView);
+        F(Label::read(A.Loc, V, A.IsNA), std::move(Next));
+        continue;
+      }
+      // RMWs still require mo-adjacency, which under maximal placement
+      // means they may only read the mo-maximal message.
+      if (J + 1 != Ms.size())
+        continue;
+      Val VW = rmwWriteVal(A, V, NumVals);
+      State Next = Inner.insertAfterFor(S, T, A.Loc, J, VW, /*IsRmw=*/true);
+      View ReadView = Next.Mem[A.Loc][J].MsgView;
+      joinInto(Next.TView[T], ReadView);
+      Next.Mem[A.Loc][J + 1].MsgView = Next.TView[T];
+      F(Label::rmw(A.Loc, V, VW), std::move(Next));
+    }
+  }
+
+  template <typename Fn>
+  void enumerateInternal(const State &, Fn) const {}
+
+  void serialize(const State &S, std::string &Out) const {
+    Inner.serialize(S, Out);
+  }
+
+private:
+  static void joinInto(View &Dst, const View &Src) {
+    for (unsigned I = 0; I != Dst.size(); ++I)
+      if (Src[I] > Dst[I])
+        Dst[I] = Src[I];
+  }
+
+  RAMachine Inner;
+  unsigned NumVals;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_MEMORY_SRAMACHINE_H

@@ -1,0 +1,5 @@
+//===- memory/TSOMachine.cpp - TSO machine (header-only; anchor TU) --------===//
+
+#include "memory/TSOMachine.h"
+
+// TSOMachine is header-only; this translation unit anchors the library.

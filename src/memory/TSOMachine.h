@@ -1,0 +1,150 @@
+//===- memory/TSOMachine.h - x86-TSO store-buffer machine ------*- C++ -*-===//
+///
+/// \file
+/// An operational x86-TSO memory subsystem (Owens et al. 2009): each
+/// thread owns a FIFO store buffer; writes enter the buffer, buffered
+/// writes drain to main memory via internal steps, reads forward from the
+/// thread's own newest buffered write when present, and RMWs (locked
+/// instructions) require an empty buffer and act directly on memory.
+///
+/// This is the substrate for the Figure 7 "Trencher" baseline column: the
+/// paper compares Rocker against a TSO robustness checker, which we
+/// reproduce as bounded-buffer state-robustness checking (see
+/// tso/TSORobustness.h). Buffers are bounded by a configurable capacity;
+/// the corpus programs never saturate realistic bounds, and the bound is
+/// reported so saturation can be detected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_MEMORY_TSOMACHINE_H
+#define ROCKER_MEMORY_TSOMACHINE_H
+
+#include "lang/Program.h"
+#include "lang/Step.h"
+
+#include <string>
+#include <vector>
+
+namespace rocker {
+
+/// The TSO machine with per-thread bounded FIFO store buffers.
+class TSOMachine {
+public:
+  struct BufferedWrite {
+    LocId Loc;
+    Val V;
+    friend bool operator==(const BufferedWrite &A, const BufferedWrite &B) {
+      return A.Loc == B.Loc && A.V == B.V;
+    }
+  };
+
+  struct State {
+    std::vector<Val> Mem;
+    std::vector<std::vector<BufferedWrite>> Buf; ///< Front = oldest.
+    friend bool operator==(const State &A, const State &B) {
+      return A.Mem == B.Mem && A.Buf == B.Buf;
+    }
+  };
+
+  explicit TSOMachine(const Program &P, unsigned BufferBound = 4)
+      : NumVals(P.NumVals), NumLocs(P.numLocs()),
+        NumThreads(P.numThreads()), BufferBound(BufferBound) {}
+
+  State initial() const {
+    State S;
+    S.Mem.assign(NumLocs, 0);
+    S.Buf.resize(NumThreads);
+    return S;
+  }
+
+  template <typename Fn>
+  void enumerate(const State &S, ThreadId T, const MemAccess &A, Fn F) const {
+    if (A.K == MemAccess::Kind::Write) {
+      if (S.Buf[T].size() >= BufferBound) {
+        Saturated = true;
+        return; // Must drain first (internal step is always enabled).
+      }
+      State Next = S;
+      Next.Buf[T].push_back(BufferedWrite{A.Loc, A.WriteVal});
+      F(Label::write(A.Loc, A.WriteVal, A.IsNA), std::move(Next));
+      return;
+    }
+
+    if (A.K == MemAccess::Kind::Read || A.K == MemAccess::Kind::Wait) {
+      Val V = readValue(S, T, A.Loc);
+      if (classifyRead(A, V) == ReadOutcome::Blocked)
+        return;
+      F(Label::read(A.Loc, V, A.IsNA), State(S));
+      return;
+    }
+
+    // RMWs are locked instructions: they require an empty buffer and act
+    // atomically on main memory. A failed CAS still requires the flush
+    // (on x86 even a failed locked cmpxchg drains the buffer).
+    if (!S.Buf[T].empty())
+      return;
+    Val V = S.Mem[A.Loc];
+    ReadOutcome O = classifyRead(A, V);
+    if (O == ReadOutcome::Blocked)
+      return;
+    if (O == ReadOutcome::PlainRead) { // Failed CAS.
+      F(Label::read(A.Loc, V, A.IsNA), State(S));
+      return;
+    }
+    Val VW = rmwWriteVal(A, V, NumVals);
+    State Next = S;
+    Next.Mem[A.Loc] = VW;
+    F(Label::rmw(A.Loc, V, VW), std::move(Next));
+  }
+
+  /// Internal steps: each thread with a non-empty buffer may drain its
+  /// oldest write to memory.
+  template <typename Fn>
+  void enumerateInternal(const State &S, Fn F) const {
+    for (unsigned T = 0; T != NumThreads; ++T) {
+      if (S.Buf[T].empty())
+        continue;
+      State Next = S;
+      BufferedWrite W = Next.Buf[T].front();
+      Next.Buf[T].erase(Next.Buf[T].begin());
+      Next.Mem[W.Loc] = W.V;
+      F(static_cast<ThreadId>(T), std::move(Next));
+    }
+  }
+
+  void serialize(const State &S, std::string &Out) const {
+    Out.append(reinterpret_cast<const char *>(S.Mem.data()), S.Mem.size());
+    for (const std::vector<BufferedWrite> &B : S.Buf) {
+      Out.push_back(static_cast<char>(B.size()));
+      for (const BufferedWrite &W : B) {
+        Out.push_back(static_cast<char>(W.Loc));
+        Out.push_back(static_cast<char>(W.V));
+      }
+    }
+  }
+
+  /// True if some write was ever refused because of the buffer bound (the
+  /// exploration is then an under-approximation of TSO).
+  bool saturated() const { return Saturated; }
+
+private:
+  /// TSO read: newest buffered write to the location in the thread's own
+  /// buffer, else main memory.
+  Val readValue(const State &S, ThreadId T, LocId L) const {
+    const std::vector<BufferedWrite> &B = S.Buf[T];
+    for (auto It = B.rbegin(); It != B.rend(); ++It)
+      if (It->Loc == L)
+        return It->V;
+    return S.Mem[L];
+  }
+
+  unsigned NumVals;
+  unsigned NumLocs;
+  unsigned NumThreads;
+  unsigned BufferBound;
+  mutable bool Saturated = false;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_MEMORY_TSOMACHINE_H

@@ -1,0 +1,39 @@
+//===- monitor/FromGraph.h - I(G): monitor state from a graph --*- C++ -*-===//
+///
+/// \file
+/// Recomputes the SCM state I(G) corresponding to an execution graph G by
+/// the *formal interpretations* of Section 5 (the definitions the paper
+/// proves Lemma 5.2 against in Coq):
+///
+///   I(G).M    = λx. valW(wmax_x)
+///   I(G).VSC  = λτ. {x | wmax_x ∈ dom(hbSC? ; [Init ∪ Eτ])}
+///   I(G).MSC  = λx. {y | wmax_y ∈ dom(hbSC? ; [Ex])}
+///   I(G).WSC  = λx. {y | ⟨wmax_y, wmax_x⟩ ∈ hbSC?}
+///   I(G).V    = λτ,x. valW[(Wx \ {wmax_x}) \ dom(mo;hb? ; [Eτ])]
+///   I(G).W    = λy,x. valW[(Wx \ {wmax_x}) \ dom(mo;hb? ; [{wmax_y}])]
+///   I(G).VRMW/WRMW = like V/W, also removing dom(mo|imm ; [RMW])
+///
+/// Only meaningful for graphs produced by SCG runs (insertion order is
+/// then hbSC-topological). Used by the Lemma 5.2 property tests, which
+/// replay random SCG runs through the incremental monitor and compare
+/// against this function after every step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_MONITOR_FROMGRAPH_H
+#define ROCKER_MONITOR_FROMGRAPH_H
+
+#include "graph/ExecutionGraph.h"
+#include "monitor/SCMState.h"
+
+namespace rocker {
+
+/// Computes I(G) for an SCG-generated graph. When \p Monitor is abstract,
+/// value sets are restricted to critical values and the CV/CW summaries
+/// are derived per their Appendix C interpretations.
+SCMState monitorStateFromGraph(const Program &P, const SCMonitor &Monitor,
+                               const ExecutionGraph &G);
+
+} // namespace rocker
+
+#endif // ROCKER_MONITOR_FROMGRAPH_H

@@ -1,0 +1,160 @@
+//===- monitor/SCMState.h - The SCM instrumented-SC monitor ----*- C++ -*-===//
+///
+/// \file
+/// The finite instrumented-SC memory subsystem SCM of Section 5 — the
+/// paper's core contribution. A state I tracks, for the execution graph G
+/// of the SC run so far (Lemma 5.2 relates I to I(G)):
+///
+///  * M    — location -> value written by the mo-maximal write (plain SC);
+///  * VSC  — per thread τ: the locations x whose mo-maximal write wmax_x
+///           is hbSC?-before some event of τ (hbSC-awareness);
+///  * MSC  — per location x: the locations y with an hbSC?-path from
+///           wmax_y to some event accessing x (helper for VSC);
+///  * WSC  — per location x: the locations y with an hbSC?-path from
+///           wmax_y to wmax_x (helper for VSC on reads);
+///  * V    — per ⟨τ,x⟩: values written by non-mo-maximal writes to x that
+///           RAG would still let τ read (no mo;hb?-path into τ's events);
+///  * VRMW — like V but further excluding writes already read by an RMW
+///           (candidates for RAG write/RMW predecessors);
+///  * W,WRMW — per ⟨x,y⟩ helper sets used to restore V/VRMW when a thread
+///           reads wmax_x (they record the same information relative to
+///           wmax_x instead of a thread).
+///
+/// Transitions implement Figures 5 and 6 verbatim; the robustness checks
+/// implement Theorem 5.3. With the critical-value abstraction of
+/// Section 5.1 enabled, V/VRMW/W/WRMW are restricted to each location's
+/// critical values and non-critical values are summarized disjunctively
+/// by CV/CVRMW (per thread) and CW/CWRMW (per location), maintained per
+/// Appendix C and checked via the three extra Theorem 5.3 conditions.
+///
+/// Non-atomic accesses (Section 6) only update M; the instrumentation
+/// applies to release/acquire locations exclusively. SCM follows the
+/// explorer's memory-subsystem interface, so verifying robustness is
+/// literally a reachability run of the product P × SCM under SC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_MONITOR_SCMSTATE_H
+#define ROCKER_MONITOR_SCMSTATE_H
+
+#include "lang/CriticalValues.h"
+#include "lang/Program.h"
+#include "lang/Step.h"
+#include "support/BitSet64.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rocker {
+
+/// The monitor's per-state data. Index helpers live in SCMonitor.
+struct SCMState {
+  std::vector<Val> M;        ///< Per location.
+  std::vector<BitSet64> VSC; ///< Per thread: set of locations.
+  std::vector<BitSet64> MSC; ///< Per location: set of locations.
+  std::vector<BitSet64> WSC; ///< Per location: set of locations.
+  std::vector<BitSet64> V;    ///< [τ * NumLocs + x]: set of values.
+  std::vector<BitSet64> VRmw; ///< [τ * NumLocs + x]: set of values.
+  std::vector<BitSet64> W;    ///< [x * NumLocs + y]: set of values.
+  std::vector<BitSet64> WRmw; ///< [x * NumLocs + y]: set of values.
+  // Abstract value management (empty vectors when disabled):
+  std::vector<BitSet64> CV;    ///< Per thread: set of locations.
+  std::vector<BitSet64> CVRmw; ///< Per thread: set of locations.
+  std::vector<BitSet64> CW;    ///< Per location: set of locations.
+  std::vector<BitSet64> CWRmw; ///< Per location: set of locations.
+
+  friend bool operator==(const SCMState &A, const SCMState &B) {
+    return A.M == B.M && A.VSC == B.VSC && A.MSC == B.MSC &&
+           A.WSC == B.WSC && A.V == B.V && A.VRmw == B.VRmw &&
+           A.W == B.W && A.WRmw == B.WRmw && A.CV == B.CV &&
+           A.CVRmw == B.CVRmw && A.CW == B.CW && A.CWRmw == B.CWRmw;
+  }
+};
+
+/// A robustness violation detected by the Theorem 5.3 conditions.
+struct MonitorViolation {
+  AccessType Type; ///< Access type of the offending enabled label.
+  LocId Loc;
+  /// A value witnessing the violation: some value RAG could read from a
+  /// non-mo-maximal write while SCG could not (0xff when the witness is a
+  /// non-critical value summarized by CV/CVRMW).
+  Val WitnessVal;
+  bool WitnessIsCritical;
+};
+
+/// The SCM memory subsystem. Implements the explorer interface and the
+/// Theorem 5.3 / Section 5.1 robustness checks.
+class SCMonitor {
+public:
+  using State = SCMState;
+
+  /// \p Abstract selects the Section 5.1 critical-value abstraction.
+  SCMonitor(const Program &P, bool Abstract);
+
+  State initial() const;
+
+  /// SC-deterministic stepping with monitor bookkeeping.
+  template <typename Fn>
+  void enumerate(const State &S, ThreadId T, const MemAccess &A, Fn F) const {
+    if (A.K == MemAccess::Kind::Write) {
+      State Next = S;
+      stepWrite(Next, T, A.Loc, A.WriteVal, A.IsNA);
+      F(Label::write(A.Loc, A.WriteVal, A.IsNA), std::move(Next));
+      return;
+    }
+    Val VR = S.M[A.Loc];
+    ReadOutcome O = classifyRead(A, VR);
+    if (O == ReadOutcome::Blocked)
+      return;
+    if (O == ReadOutcome::PlainRead) {
+      State Next = S;
+      stepRead(Next, T, A.Loc, A.IsNA);
+      F(Label::read(A.Loc, VR, A.IsNA), std::move(Next));
+      return;
+    }
+    Val VW = rmwWriteVal(A, VR, NumVals);
+    State Next = S;
+    stepRmw(Next, T, A.Loc, VW);
+    F(Label::rmw(A.Loc, VR, VW), std::move(Next));
+  }
+
+  template <typename Fn>
+  void enumerateInternal(const State &, Fn) const {}
+
+  void serialize(const State &S, std::string &Out) const;
+
+  /// Theorem 5.3 (+ Section 5.1 additions): does thread \p T's pending
+  /// access witness non-robustness in state \p S?
+  std::optional<MonitorViolation> checkAccess(const State &S, ThreadId T,
+                                              const MemAccess &A) const;
+
+  // Individual transition updates (public for the Lemma 5.2 property
+  // tests, which replay SCG runs through them).
+  void stepWrite(State &S, ThreadId T, LocId X, Val V, bool IsNA) const;
+  void stepRead(State &S, ThreadId T, LocId X, bool IsNA) const;
+  void stepRmw(State &S, ThreadId T, LocId X, Val VW) const;
+
+  bool isAbstract() const { return Abstract; }
+  const std::vector<BitSet64> &criticalValues() const { return Crit; }
+
+private:
+  unsigned vIdx(ThreadId T, LocId X) const { return T * NumLocs + X; }
+  unsigned wIdx(LocId X, LocId Y) const { return X * NumLocs + Y; }
+
+  /// Figure 5 maintenance for a write/RMW to X by T.
+  void updateHbScOnWrite(State &S, ThreadId T, LocId X) const;
+  /// Figure 5 maintenance for a read of X by T.
+  void updateHbScOnRead(State &S, ThreadId T, LocId X) const;
+
+  unsigned NumThreads;
+  unsigned NumLocs;
+  unsigned NumVals;
+  BitSet64 RaLocs;
+  bool Abstract;
+  std::vector<BitSet64> Crit; ///< Critical values per location (§5.1).
+};
+
+} // namespace rocker
+
+#endif // ROCKER_MONITOR_SCMSTATE_H

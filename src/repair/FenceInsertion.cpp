@@ -1,0 +1,236 @@
+//===- repair/FenceInsertion.cpp - Automatic robustness enforcement ---------===//
+
+#include "repair/FenceInsertion.h"
+
+#include "lang/Printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rocker;
+
+namespace {
+
+/// Finds (or appends) the program's SC-fence location.
+LocId fenceLocOf(Program &P) {
+  for (unsigned L = 0; L != P.numLocs(); ++L)
+    if (P.LocNames[L] == "__fence")
+      return static_cast<LocId>(L);
+  assert(P.numLocs() < MaxLocs && "no room for a fence location");
+  P.LocNames.push_back("__fence");
+  return static_cast<LocId>(P.numLocs() - 1);
+}
+
+bool isMemoryInst(const Inst &I) {
+  return !std::holds_alternative<AssignInst>(I) &&
+         !std::holds_alternative<IfGotoInst>(I) &&
+         !std::holds_alternative<AssertInst>(I);
+}
+
+/// Applies repairs and reports, per thread, the original pc of each new
+/// instruction (inserted fences map to the instruction they follow).
+Program applyWithMap(const Program &P, const std::vector<Repair> &Repairs,
+                     std::vector<std::vector<uint32_t>> &OrigPcOf) {
+  Program Out;
+  Out.Name = P.Name;
+  Out.NumVals = P.NumVals;
+  Out.LocNames = P.LocNames;
+  Out.NaLocs = P.NaLocs;
+  LocId Fence = fenceLocOf(Out);
+
+  OrigPcOf.assign(P.numThreads(), {});
+  for (unsigned T = 0; T != P.numThreads(); ++T) {
+    const SequentialProgram &S = P.Threads[T];
+    SequentialProgram NS;
+    NS.Name = S.Name;
+    NS.NumRegs = S.NumRegs;
+    NS.RegNames = S.RegNames;
+
+    auto hasRepair = [&](Repair::Kind K, uint32_t Pc) {
+      return std::find(Repairs.begin(), Repairs.end(),
+                       Repair{K, static_cast<ThreadId>(T), Pc}) !=
+             Repairs.end();
+    };
+
+    // First pass: new pc of every original instruction.
+    std::vector<uint32_t> NewPc(S.Insts.size() + 1);
+    uint32_t Pc = 0;
+    for (unsigned I = 0; I != S.Insts.size(); ++I) {
+      NewPc[I] = Pc;
+      Pc += hasRepair(Repair::Kind::FenceAfter, I) ? 2 : 1;
+    }
+    NewPc[S.Insts.size()] = Pc;
+
+    for (unsigned I = 0; I != S.Insts.size(); ++I) {
+      const Inst &Ins = S.Insts[I];
+      if (hasRepair(Repair::Kind::StoreToXchg, I)) {
+        const auto &St = std::get<StoreInst>(Ins);
+        NS.Insts.push_back(XchgInst{0, false, St.Loc, St.E});
+      } else if (const auto *G = std::get_if<IfGotoInst>(&Ins)) {
+        NS.Insts.push_back(IfGotoInst{G->Cond, NewPc[G->Target]});
+      } else {
+        NS.Insts.push_back(Ins);
+      }
+      OrigPcOf[T].push_back(I);
+      if (hasRepair(Repair::Kind::FenceAfter, I)) {
+        NS.Insts.push_back(FaddInst{0, false, Fence, Expr::makeConst(0)});
+        OrigPcOf[T].push_back(I);
+      }
+    }
+    Out.Threads.push_back(std::move(NS));
+  }
+  return Out;
+}
+
+/// All candidate repairs of a program: a fence after every memory
+/// instruction, plus (optionally) RMW-strengthening of every plain store
+/// to a release/acquire location.
+std::vector<Repair> allCandidates(const Program &P, bool AllowRmw) {
+  std::vector<Repair> C;
+  for (unsigned T = 0; T != P.numThreads(); ++T) {
+    const SequentialProgram &S = P.Threads[T];
+    for (unsigned Pc = 0; Pc != S.Insts.size(); ++Pc) {
+      if (isMemoryInst(S.Insts[Pc]))
+        C.push_back(
+            {Repair::Kind::FenceAfter, static_cast<ThreadId>(T), Pc});
+      if (AllowRmw) {
+        if (const auto *St = std::get_if<StoreInst>(&S.Insts[Pc]))
+          if (!P.isNaLoc(St->Loc))
+            C.push_back({Repair::Kind::StoreToXchg,
+                         static_cast<ThreadId>(T), Pc});
+      }
+    }
+  }
+  return C;
+}
+
+} // namespace
+
+Program rocker::applyRepairs(const Program &P,
+                             const std::vector<Repair> &Repairs) {
+  std::vector<std::vector<uint32_t>> Unused;
+  return applyWithMap(P, Repairs, Unused);
+}
+
+std::string rocker::toString(const Program &P, const Repair &R) {
+  std::string What = R.K == Repair::Kind::FenceAfter
+                         ? "fence after"
+                         : "strengthen to XCHG";
+  std::string InstText =
+      R.Pc < P.Threads[R.Thread].Insts.size()
+          ? toString(P, R.Thread, P.Threads[R.Thread].Insts[R.Pc])
+          : "<end>";
+  return "t" + std::to_string(R.Thread) + ": " + What + " pc " +
+         std::to_string(R.Pc) + " (" + InstText + ")";
+}
+
+RepairResult rocker::enforceRobustness(const Program &P,
+                                       const RepairOptions &Opts) {
+  RepairResult Res;
+
+  auto verify = [&](const Program &Prog,
+                    RockerReport &Out) -> bool /*within budget*/ {
+    if (Res.VerificationsUsed >= Opts.MaxVerifications)
+      return false;
+    ++Res.VerificationsUsed;
+    Out = checkRobustness(Prog, Opts.Verify);
+    return true;
+  };
+
+  // Already robust?
+  RockerReport R0;
+  if (!verify(P, R0)) {
+    Res.Detail = "verification budget exhausted";
+    return Res;
+  }
+  if (R0.Robust && R0.Complete) {
+    Res.Success = true;
+    Res.Strengthened = P;
+    Res.Detail = "program is already robust";
+    return Res;
+  }
+
+  std::vector<Repair> Candidates =
+      allCandidates(P, Opts.AllowRmwStrengthening);
+
+  // Growth phase: add the candidate closest (same thread, nearest
+  // preceding pc) to the current counterexample's access.
+  std::vector<Repair> Current;
+  for (;;) {
+    std::vector<std::vector<uint32_t>> Map;
+    Program S = applyWithMap(P, Current, Map);
+    RockerReport R;
+    if (!verify(S, R)) {
+      Res.Detail = "verification budget exhausted during growth";
+      return Res;
+    }
+    if (R.Robust && R.Complete)
+      break;
+    if (!R.Complete) {
+      Res.Detail = "state budget exhausted during growth";
+      return Res;
+    }
+
+    // Map the violation back to an original pc.
+    ThreadId VThread = 0;
+    uint32_t VPc = 0;
+    if (!R.Violations.empty()) {
+      const Violation &V = R.Violations.front();
+      VThread = V.Thread;
+      VPc = V.Pc < Map[V.Thread].size() ? Map[V.Thread][V.Pc] : 0;
+    }
+
+    const Repair *Best = nullptr;
+    long BestScore = 0;
+    for (const Repair &C : Candidates) {
+      if (std::find(Current.begin(), Current.end(), C) != Current.end())
+        continue;
+      // Lower is better: prefer the violating thread, then candidates at
+      // or before the violating access, then proximity; RMW
+      // strengthenings are tried after fences at the same distance.
+      long Score = 0;
+      if (C.Thread != VThread)
+        Score += 1000;
+      long Dist = static_cast<long>(C.Pc) - static_cast<long>(VPc);
+      Score += Dist > 0 ? 100 + Dist : -Dist;
+      if (C.K == Repair::Kind::StoreToXchg)
+        Score += 1;
+      if (!Best || Score < BestScore) {
+        Best = &C;
+        BestScore = Score;
+      }
+    }
+    if (!Best) {
+      Res.Detail = "no repair set over the candidate space makes the "
+                   "program robust (violations may need blocking "
+                   "primitives to mask)";
+      return Res;
+    }
+    Current.push_back(*Best);
+  }
+
+  // Shrink phase: drop every repair whose removal preserves robustness
+  // (newest first, so counterexample-chasing leftovers go first).
+  for (unsigned I = Current.size(); I-- > 0;) {
+    std::vector<Repair> Without = Current;
+    Without.erase(Without.begin() + I);
+    RockerReport R;
+    if (!verify(applyRepairs(P, Without), R))
+      break; // Budget gone; keep what we have (still sound).
+    if (R.Robust && R.Complete)
+      Current = std::move(Without);
+  }
+
+  // Final confirmation run (also produces the strengthened program).
+  Program S = applyRepairs(P, Current);
+  RockerReport RFinal;
+  if (!verify(S, RFinal) || !RFinal.Robust || !RFinal.Complete) {
+    Res.Detail = "final verification failed";
+    return Res;
+  }
+  Res.Success = true;
+  Res.Repairs = std::move(Current);
+  Res.Strengthened = std::move(S);
+  Res.Detail = "strengthened program verified robust";
+  return Res;
+}

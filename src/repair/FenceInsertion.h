@@ -1,0 +1,101 @@
+//===- repair/FenceInsertion.h - Automatic robustness enforcement -*- C++ -*-===//
+///
+/// \file
+/// Automatic robustness enforcement, the application the paper motivates
+/// in Section 1 and names as future work in Section 9: "robustness of
+/// non-robust programs may be enforced (by placing SC-fences or RMW
+/// operations), and verifying the robustness of the strengthened
+/// program."
+///
+/// We implement exactly that loop: candidate repairs are SC fences
+/// (FADD on the program's fence location, Example 3.6) inserted after
+/// memory-access instructions, and optionally strengthenings of plain
+/// stores into XCHG RMWs (the peterson-ra-dmitriy technique). The search
+/// uses Rocker as its oracle:
+///
+///  1. counterexample-guided seeding: each robustness violation points at
+///     the access where RA could diverge; candidate repairs near the
+///     witnessing thread/pc are tried first;
+///  2. greedy growth until the program verifies robust;
+///  3. greedy shrinking to a locally-minimal repair set (every kept
+///     repair is necessary: removing any single one breaks robustness).
+///
+/// The result is a provably robust strengthened program (the final
+/// verification is the proof) together with the repair set, or a failure
+/// report when the budget is exhausted or even the fully-fenced program
+/// is not robust (e.g. programs whose violations come from plain-read
+/// spin loops that only blocking primitives can mask; see the 3-thread
+/// Lamport discussion in EXPERIMENTS.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_REPAIR_FENCEINSERTION_H
+#define ROCKER_REPAIR_FENCEINSERTION_H
+
+#include "lang/Program.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <string>
+#include <vector>
+
+namespace rocker {
+
+/// A single candidate strengthening.
+struct Repair {
+  enum class Kind : uint8_t {
+    FenceAfter,  ///< Insert an SC fence after the instruction at Pc.
+    StoreToXchg, ///< Replace the plain store at Pc by XCHG.
+  };
+  Kind K;
+  ThreadId Thread;
+  uint32_t Pc; ///< Position in the *original* program.
+
+  friend bool operator==(const Repair &A, const Repair &B) {
+    return A.K == B.K && A.Thread == B.Thread && A.Pc == B.Pc;
+  }
+};
+
+/// Options for the enforcement search.
+struct RepairOptions {
+  /// Try strengthening plain stores into XCHG in addition to fences.
+  bool AllowRmwStrengthening = false;
+  /// Verification options for each oracle call.
+  RockerOptions Verify;
+  /// Upper bound on oracle calls (each is a full reachability run).
+  unsigned MaxVerifications = 200;
+
+  RepairOptions() {
+    Verify.CheckAssertions = false;
+    Verify.CheckRaces = false;
+    Verify.RecordTrace = true; // Needed for counterexample guidance.
+  }
+};
+
+/// Result of the enforcement search.
+struct RepairResult {
+  /// True if a repair set was found and the strengthened program verified
+  /// robust.
+  bool Success = false;
+  /// The locally-minimal repair set (valid when Success).
+  std::vector<Repair> Repairs;
+  /// The strengthened program (valid when Success).
+  Program Strengthened;
+  unsigned VerificationsUsed = 0;
+  std::string Detail;
+};
+
+/// Applies a repair set to a program (pcs refer to the original program;
+/// branch targets are retargeted around inserted fences).
+Program applyRepairs(const Program &P, const std::vector<Repair> &Repairs);
+
+/// Renders a repair like "t0: fence after pc 2 (turn := 1)".
+std::string toString(const Program &P, const Repair &R);
+
+/// Searches for a minimal set of strengthenings making \p P
+/// execution-graph robust against RA.
+RepairResult enforceRobustness(const Program &P,
+                               const RepairOptions &Opts = {});
+
+} // namespace rocker
+
+#endif // ROCKER_REPAIR_FENCEINSERTION_H

@@ -1,0 +1,141 @@
+//===- rocker/Oracles.cpp - Reference robustness oracles --------------------===//
+
+#include "rocker/Oracles.h"
+
+#include "graph/Consistency.h"
+#include "graph/GraphSemantics.h"
+#include "memory/RAMachine.h"
+#include "memory/SCMemory.h"
+
+using namespace rocker;
+
+namespace {
+
+/// Collects reachable program-state projections under a memory subsystem.
+template <typename MemSys>
+ExploreResult collectProgramStates(const Program &P, const MemSys &Mem,
+                                   uint64_t MaxStates) {
+  ExploreOptions EO;
+  EO.MaxStates = MaxStates;
+  EO.RecordParents = false;
+  EO.StopOnViolation = false;
+  EO.CheckAssertions = false;
+  EO.CollectProgramStates = true;
+  ProductExplorer<MemSys> Ex(P, Mem, EO);
+  return Ex.run();
+}
+
+} // namespace
+
+OracleResult rocker::checkGraphRobustnessOracle(const Program &P,
+                                                uint64_t MaxStates,
+                                                bool NaExtension) {
+  RAGraphMem Mem(P, NaExtension);
+  ExploreOptions EO;
+  EO.MaxStates = MaxStates;
+  EO.RecordParents = false;
+  EO.StopOnViolation = true;
+  EO.CheckAssertions = false;
+
+  ProductExplorer<RAGraphMem> Ex(P, Mem, EO);
+  // Hook: every pending access lets us check the RAG+NA ⊥ transition; the
+  // SC-consistency of each *reached* graph is checked inside enumerate by
+  // wrapping the state check here (every reached ⟨q,G⟩ must be reachable
+  // in PSCG, i.e. G must be SC-consistent; Lemma A.11).
+  ExploreResult R = Ex.runWithHook(
+      [&](const ExecutionGraph &G, ThreadId T, uint32_t Pc,
+          const MemAccess &A) -> std::optional<Violation> {
+        if (NaExtension && Mem.naRace(G, T, A)) {
+          Violation V;
+          V.K = Violation::Kind::MemoryViolation;
+          V.Loc = A.Loc;
+          V.Detail = "RAG+NA reaches the racy state ⊥ on '" +
+                     P.locName(A.Loc) + "'";
+          return V;
+        }
+        // Check the current graph (cheap way to visit every reached
+        // state exactly once would be a state hook; checking at access
+        // time visits every non-terminal state, and terminal states are
+        // extensions of checked ones... but the *last* added event can
+        // itself break SC-consistency, so also check successors below
+        // via the final sweep in run()).
+        return std::nullopt;
+      });
+
+  OracleResult Res;
+  Res.Complete = !R.Stats.Truncated;
+  Res.Stats = R.Stats;
+  if (!R.Violations.empty()) {
+    Res.Robust = false;
+    Res.Detail = R.Violations.front().Detail;
+    return Res;
+  }
+  // Sweep all stored graphs for SC-consistency.
+  for (uint64_t Id = 0; Id != Ex.numStates(); ++Id) {
+    if (!isSCConsistent(Ex.state(Id).M)) {
+      Res.Robust = false;
+      Res.Detail = "reachable RAG graph is not SC-consistent:\n" +
+                   Ex.state(Id).M.toString(&P);
+      return Res;
+    }
+  }
+  Res.Robust = true;
+  return Res;
+}
+
+OracleResult rocker::checkStateRobustnessOracle(const Program &P,
+                                                uint64_t MaxStates) {
+  RAMachine RA(P);
+  SCMemory SC(P);
+  ExploreResult RRa = collectProgramStates(P, RA, MaxStates);
+  ExploreResult RSc = collectProgramStates(P, SC, MaxStates);
+
+  OracleResult Res;
+  Res.Complete = !RRa.Stats.Truncated && !RSc.Stats.Truncated;
+  Res.Stats = RRa.Stats;
+  for (const std::string &Key : RRa.ProgramStates) {
+    if (!RSc.ProgramStates.count(Key)) {
+      Res.Robust = false;
+      Res.Detail = "program state reachable under RA but not under SC";
+      return Res;
+    }
+  }
+  Res.Robust = true;
+  return Res;
+}
+
+std::optional<bool> rocker::crossCheckRAMachineVsRAG(const Program &P,
+                                                     uint64_t MaxStates) {
+  RAMachine RA(P);
+  RAGraphMem RAG(P, /*NaExtension=*/false);
+  ExploreResult A = collectProgramStates(P, RA, MaxStates);
+  ExploreResult B = collectProgramStates(P, RAG, MaxStates);
+  if (A.Stats.Truncated || B.Stats.Truncated)
+    return std::nullopt;
+  return A.ProgramStates == B.ProgramStates;
+}
+
+std::optional<bool> rocker::crossCheckSCVsSCG(const Program &P,
+                                              uint64_t MaxStates) {
+  SCMemory SC(P);
+  SCGraphMem SCG(P);
+  ExploreResult A = collectProgramStates(P, SC, MaxStates);
+  ExploreResult B = collectProgramStates(P, SCG, MaxStates);
+  if (A.Stats.Truncated || B.Stats.Truncated)
+    return std::nullopt;
+  return A.ProgramStates == B.ProgramStates;
+}
+
+std::optional<bool> rocker::crossCheckSCSubsetOfRA(const Program &P,
+                                                   uint64_t MaxStates) {
+  SCMemory SC(P);
+  RAMachine RA(P);
+  ExploreResult A = collectProgramStates(P, SC, MaxStates);
+  ExploreResult B = collectProgramStates(P, RA, MaxStates);
+  if (A.Stats.Truncated || B.Stats.Truncated)
+    return std::nullopt;
+  for (const std::string &Key : A.ProgramStates)
+    if (!B.ProgramStates.count(Key))
+      return false;
+  return true;
+}

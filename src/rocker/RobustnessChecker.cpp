@@ -1,0 +1,75 @@
+//===- rocker/RobustnessChecker.cpp - The Rocker verifier -------------------===//
+
+#include "rocker/RobustnessChecker.h"
+
+#include "memory/SCMemory.h"
+#include "monitor/SCMState.h"
+
+using namespace rocker;
+
+RockerReport rocker::checkRobustness(const Program &P,
+                                     const RockerOptions &Opts) {
+  SCMonitor Mem(P, Opts.UseCriticalAbstraction);
+  ExploreOptions EO;
+  EO.MaxStates = Opts.MaxStates;
+  EO.RecordParents = Opts.RecordTrace;
+  EO.StopOnViolation = Opts.StopOnViolation;
+  EO.CheckAssertions = Opts.CheckAssertions;
+  EO.CheckRaces = Opts.CheckRaces;
+  EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
+  EO.Order = Opts.Order;
+  EO.BitstateLog2 = Opts.BitstateLog2;
+
+  ProductExplorer<SCMonitor> Ex(P, Mem, EO);
+  ExploreResult R = Ex.runWithHook(
+      [&](const SCMState &S, ThreadId T, uint32_t Pc,
+          const MemAccess &A) -> std::optional<Violation> {
+        std::optional<MonitorViolation> MV = Mem.checkAccess(S, T, A);
+        if (!MV)
+          return std::nullopt;
+        Violation V;
+        V.K = Violation::Kind::Robustness;
+        V.Loc = MV->Loc;
+        V.Witness = MV->WitnessIsCritical ? MV->WitnessVal
+                                          : static_cast<Val>(0xff);
+        V.Type = MV->Type;
+        return V;
+      });
+
+  RockerReport Rep;
+  Rep.Complete = !R.Stats.Truncated;
+  Rep.Robust = R.Violations.empty();
+  Rep.Approximate = R.Approximate;
+  Rep.Stats = R.Stats;
+  Rep.Violations = R.Violations;
+  if (!R.Violations.empty()) {
+    Rep.FirstViolationText = Ex.report(R.Violations.front());
+    Rep.FirstViolationTrace = Ex.trace(R.Violations.front());
+  }
+  return Rep;
+}
+
+RockerReport rocker::exploreSC(const Program &P, const RockerOptions &Opts) {
+  SCMemory Mem(P);
+  ExploreOptions EO;
+  EO.MaxStates = Opts.MaxStates;
+  EO.RecordParents = Opts.RecordTrace;
+  EO.StopOnViolation = Opts.StopOnViolation;
+  EO.CheckAssertions = Opts.CheckAssertions;
+  EO.CheckRaces = Opts.CheckRaces;
+  EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
+  EO.Order = Opts.Order;
+  EO.BitstateLog2 = Opts.BitstateLog2;
+
+  ProductExplorer<SCMemory> Ex(P, Mem, EO);
+  ExploreResult R = Ex.run();
+
+  RockerReport Rep;
+  Rep.Complete = !R.Stats.Truncated;
+  Rep.Robust = R.Violations.empty();
+  Rep.Stats = R.Stats;
+  Rep.Violations = R.Violations;
+  if (!R.Violations.empty())
+    Rep.FirstViolationText = Ex.report(R.Violations.front());
+  return Rep;
+}

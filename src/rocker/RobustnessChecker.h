@@ -1,0 +1,79 @@
+//===- rocker/RobustnessChecker.h - The Rocker verifier --------*- C++ -*-===//
+///
+/// \file
+/// Rocker's top-level interface (Section 7): verify execution-graph
+/// robustness against release/acquire (Theorem 5.3) by a reachability run
+/// of the program under the instrumented-SC subsystem SCM; simultaneously
+/// verify standard assertions under SC and the absence of data races on
+/// non-atomic locations (Theorem 6.2). Because robust programs have only
+/// SC executions, a "robust" result means the program can then be
+/// analyzed with ordinary SC techniques.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_ROCKER_ROBUSTNESSCHECKER_H
+#define ROCKER_ROCKER_ROBUSTNESSCHECKER_H
+
+#include "explore/Explorer.h"
+#include "lang/Program.h"
+
+#include <string>
+
+namespace rocker {
+
+/// Options for a robustness verification run.
+struct RockerOptions {
+  /// Use the Section 5.1 critical-value abstraction (smaller monitor
+  /// states; identical verdicts).
+  bool UseCriticalAbstraction = true;
+  /// Verify assert(e) instructions under SC.
+  bool CheckAssertions = true;
+  /// Check for Definition 6.1 races on non-atomic locations.
+  bool CheckRaces = true;
+  /// Record parent edges so violations come with an SC interleaving.
+  bool RecordTrace = true;
+  /// Stop at the first violation (otherwise collect them all).
+  bool StopOnViolation = true;
+  /// State budget; exceeding it yields Complete == false.
+  uint64_t MaxStates = 200'000'000;
+  /// Collapse deterministic thread-local step chains (verdict-preserving
+  /// exploration reduction; see ExploreOptions::CollapseLocalSteps).
+  bool CollapseLocalSteps = false;
+  /// Search order (BFS gives shortest counterexamples; DFS is Spin's
+  /// default and often reaches *a* violation faster).
+  SearchOrder Order = SearchOrder::BFS;
+  /// Spin-style bitstate hashing with 2^k bits when non-zero; "robust"
+  /// results become approximate (see ExploreOptions::BitstateLog2).
+  unsigned BitstateLog2 = 0;
+};
+
+/// The verification verdict.
+struct RockerReport {
+  /// True iff the program is execution-graph robust against RA and has no
+  /// assertion failures or NA races (valid only when Complete).
+  bool Robust = false;
+  /// True when bitstate hashing was in effect (Robust is then only
+  /// probabilistically complete).
+  bool Approximate = false;
+  /// False when the exploration hit the state budget.
+  bool Complete = true;
+  std::vector<Violation> Violations;
+  ExploreStats Stats;
+  /// Human-readable rendering of the first violation with its trace.
+  std::string FirstViolationText;
+  /// The raw trace of the first violation (empty without RecordTrace).
+  std::vector<TraceStep> FirstViolationTrace;
+
+  bool ok() const { return Robust && Complete; }
+};
+
+/// Verifies execution-graph robustness of \p P against RA.
+RockerReport checkRobustness(const Program &P, const RockerOptions &Opts = {});
+
+/// Baseline: explores \p P under plain SC (no instrumentation), checking
+/// only assertions — the Figure 7 "SC" column.
+RockerReport exploreSC(const Program &P, const RockerOptions &Opts = {});
+
+} // namespace rocker
+
+#endif // ROCKER_ROCKER_ROBUSTNESSCHECKER_H

@@ -1,0 +1,16 @@
+//===- rocker/WitnessGraph.cpp - Execution graph of a witness ---------------===//
+
+#include "rocker/WitnessGraph.h"
+
+using namespace rocker;
+
+ExecutionGraph rocker::buildWitnessGraph(const Program &P,
+                                         const std::vector<TraceStep> &Trace) {
+  ExecutionGraph G = ExecutionGraph::initial(P.numLocs());
+  for (const TraceStep &S : Trace) {
+    if (!S.IsAccess)
+      continue;
+    G.add(S.Thread, S.L, G.moMax(S.L.Loc));
+  }
+  return G;
+}

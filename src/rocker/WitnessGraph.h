@@ -1,0 +1,33 @@
+//===- rocker/WitnessGraph.h - Execution graph of a witness ----*- C++ -*-===//
+///
+/// \file
+/// Rebuilds the execution graph of a non-robustness witness: the
+/// counterexample trace produced by checkRobustness is an SC
+/// interleaving, so replaying its access labels through SCG (every step
+/// extends at the mo-maximum) yields exactly the graph G of the
+/// Theorem 5.1 witness ⟨q, G, τ, l, w⟩. The graph can then be inspected
+/// or rendered to Graphviz — the RAG-divergent step is the violation's
+/// access, which would read from / insert after a non-maximal write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_ROCKER_WITNESSGRAPH_H
+#define ROCKER_ROCKER_WITNESSGRAPH_H
+
+#include "explore/Explorer.h"
+#include "graph/ExecutionGraph.h"
+#include "lang/Program.h"
+
+#include <vector>
+
+namespace rocker {
+
+/// Replays the access labels of \p Trace through SCG. The result is the
+/// execution graph of the witness state (the trace's non-access steps
+/// contribute no events).
+ExecutionGraph buildWitnessGraph(const Program &P,
+                                 const std::vector<TraceStep> &Trace);
+
+} // namespace rocker
+
+#endif // ROCKER_ROCKER_WITNESSGRAPH_H

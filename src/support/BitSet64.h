@@ -1,0 +1,119 @@
+//===- support/BitSet64.h - Small fixed-capacity bit set -------*- C++ -*-===//
+///
+/// \file
+/// A bit set over a universe of at most 64 elements, used throughout the
+/// monitor for sets of locations and sets of values. All programs accepted
+/// by the validator have at most 64 locations and 64 values, so a single
+/// machine word always suffices. Operations mirror the set algebra used in
+/// the paper's Figures 5 and 6 (union, intersection, removal of a single
+/// element, emptiness tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SUPPORT_BITSET64_H
+#define ROCKER_SUPPORT_BITSET64_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rocker {
+
+/// A set of small unsigned integers (elements must be < 64).
+class BitSet64 {
+public:
+  BitSet64() = default;
+
+  /// Constructs a set from a raw bit mask (bit i set <=> i in set).
+  static BitSet64 fromMask(uint64_t Mask) {
+    BitSet64 S;
+    S.Bits = Mask;
+    return S;
+  }
+
+  /// Constructs {0, 1, ..., N-1}.
+  static BitSet64 allBelow(unsigned N) {
+    assert(N <= 64 && "universe too large for BitSet64");
+    if (N == 64)
+      return fromMask(~static_cast<uint64_t>(0));
+    return fromMask((static_cast<uint64_t>(1) << N) - 1);
+  }
+
+  void insert(unsigned E) {
+    assert(E < 64 && "element out of range");
+    Bits |= static_cast<uint64_t>(1) << E;
+  }
+
+  void remove(unsigned E) {
+    assert(E < 64 && "element out of range");
+    Bits &= ~(static_cast<uint64_t>(1) << E);
+  }
+
+  bool contains(unsigned E) const {
+    assert(E < 64 && "element out of range");
+    return (Bits >> E) & 1;
+  }
+
+  bool empty() const { return Bits == 0; }
+
+  unsigned size() const { return __builtin_popcountll(Bits); }
+
+  void clear() { Bits = 0; }
+
+  uint64_t mask() const { return Bits; }
+
+  /// Set union (in place).
+  BitSet64 &operator|=(BitSet64 O) {
+    Bits |= O.Bits;
+    return *this;
+  }
+
+  /// Set intersection (in place).
+  BitSet64 &operator&=(BitSet64 O) {
+    Bits &= O.Bits;
+    return *this;
+  }
+
+  /// Set difference (in place).
+  BitSet64 &operator-=(BitSet64 O) {
+    Bits &= ~O.Bits;
+    return *this;
+  }
+
+  friend BitSet64 operator|(BitSet64 A, BitSet64 B) { return A |= B; }
+  friend BitSet64 operator&(BitSet64 A, BitSet64 B) { return A &= B; }
+  friend BitSet64 operator-(BitSet64 A, BitSet64 B) { return A -= B; }
+
+  friend bool operator==(BitSet64 A, BitSet64 B) { return A.Bits == B.Bits; }
+  friend bool operator!=(BitSet64 A, BitSet64 B) { return A.Bits != B.Bits; }
+
+  /// Returns some element of the set; the set must be non-empty.
+  unsigned front() const {
+    assert(!empty() && "front() of empty set");
+    return __builtin_ctzll(Bits);
+  }
+
+  /// Iterates over set elements in increasing order.
+  class Iterator {
+  public:
+    explicit Iterator(uint64_t Bits) : Rest(Bits) {}
+    unsigned operator*() const { return __builtin_ctzll(Rest); }
+    Iterator &operator++() {
+      Rest &= Rest - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator &O) const { return Rest != O.Rest; }
+
+  private:
+    uint64_t Rest;
+  };
+
+  Iterator begin() const { return Iterator(Bits); }
+  Iterator end() const { return Iterator(0); }
+
+private:
+  uint64_t Bits = 0;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_SUPPORT_BITSET64_H

@@ -1,0 +1,43 @@
+//===- support/Hashing.h - Byte-string hashing helpers ---------*- C++ -*-===//
+///
+/// \file
+/// FNV-1a hashing over byte buffers, used by the explorer's visited set.
+/// State keys are flat byte strings (program counters, registers, memory
+/// subsystem contents), so a fast byte hash is all we need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SUPPORT_HASHING_H
+#define ROCKER_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rocker {
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+inline uint64_t hashBytes(const uint8_t *Data, size_t Len) {
+  uint64_t H = 1469598103934665603ull;
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= Data[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// Mixes a new 64-bit value into an existing hash (boost-style combine).
+inline uint64_t hashCombine(uint64_t Seed, uint64_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
+}
+
+/// Hash functor for std::string keys holding raw state bytes.
+struct StateKeyHash {
+  size_t operator()(const std::string &S) const {
+    return hashBytes(reinterpret_cast<const uint8_t *>(S.data()), S.size());
+  }
+};
+
+} // namespace rocker
+
+#endif // ROCKER_SUPPORT_HASHING_H

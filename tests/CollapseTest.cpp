@@ -1,0 +1,108 @@
+//===- tests/CollapseTest.cpp - ε-step collapsing soundness -----------------===//
+//
+// The local-step-collapsing reduction must preserve every verdict:
+// robustness (both monitor modes), assertion failures, and races. Checked
+// on the litmus corpus and on random programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "lang/Printer.h"
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+using namespace rocker::test;
+
+TEST(Collapse, PreservesLitmusVerdicts) {
+  for (const CorpusEntry &E : litmusTests()) {
+    Program P = E.parse();
+    RockerOptions A;
+    A.RecordTrace = false;
+    RockerOptions B = A;
+    B.CollapseLocalSteps = true;
+    RockerReport RA_ = checkRobustness(P, A);
+    RockerReport RB = checkRobustness(P, B);
+    EXPECT_EQ(RA_.Robust, RB.Robust) << E.Name;
+    EXPECT_LE(RB.Stats.NumStates, RA_.Stats.NumStates) << E.Name;
+  }
+}
+
+TEST(Collapse, PreservesVerdictsOnRandomPrograms) {
+  std::mt19937 Rng(4242);
+  for (unsigned I = 0; I != 150; ++I) {
+    Program P = randomProgram(Rng);
+    RockerOptions A;
+    A.RecordTrace = false;
+    A.CheckAssertions = false;
+    A.CheckRaces = false;
+    RockerOptions B = A;
+    B.CollapseLocalSteps = true;
+    EXPECT_EQ(checkRobustness(P, A).Robust, checkRobustness(P, B).Robust)
+        << toString(P);
+  }
+}
+
+TEST(Collapse, PreservesAssertionFailures) {
+  Program P = parseProgramOrDie(R"(
+vals 4
+locs x
+thread t0
+  r := 1
+  r := r + 1
+  r := r + 1
+  assert(r != 3)
+)");
+  RockerOptions O;
+  O.CollapseLocalSteps = true;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_FALSE(R.Robust);
+  EXPECT_EQ(R.Violations.front().K, Violation::Kind::AssertFail);
+}
+
+TEST(Collapse, BoundsLocalOnlyInfiniteLoops) {
+  // `l: goto l` never reaches an access; collapsing must not spin
+  // forever.
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x
+thread t0
+l:
+  goto l
+)");
+  RockerOptions O;
+  O.CollapseLocalSteps = true;
+  O.MaxStates = 1000;
+  RockerReport R = checkRobustness(P, O);
+  EXPECT_TRUE(R.Robust);
+}
+
+TEST(Collapse, ShrinksArithmeticHeavyPrograms) {
+  Program P = parseProgramOrDie(R"(
+vals 8
+locs x y
+thread t0
+  a := 1
+  a := a + 1
+  a := a * 2
+  a := a - 1
+  x := a
+thread t1
+  b := 2
+  b := b + 2
+  b := b * 1
+  b := b + 1
+  y := b
+)");
+  RockerOptions A;
+  A.RecordTrace = false;
+  RockerOptions B = A;
+  B.CollapseLocalSteps = true;
+  RockerReport RA_ = checkRobustness(P, A);
+  RockerReport RB = checkRobustness(P, B);
+  EXPECT_EQ(RA_.Robust, RB.Robust);
+  EXPECT_LT(RB.Stats.NumStates, RA_.Stats.NumStates / 2);
+}

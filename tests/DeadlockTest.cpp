@@ -1,0 +1,51 @@
+//===- tests/DeadlockTest.cpp - Deadlock-state diagnostics ------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+TEST(Deadlock, UnsatisfiableWaitIsCounted) {
+  // The wait can never succeed: the only write of 1 is after it.
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x
+thread t0
+  wait(x == 1)
+  x := 1
+)");
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust);
+  EXPECT_EQ(R.Stats.NumDeadlockStates, 1u);
+}
+
+TEST(Deadlock, BarrierHasNone) {
+  Program P = findCorpusEntry("barrier").parse();
+  RockerReport R = checkRobustness(P);
+  EXPECT_EQ(R.Stats.NumDeadlockStates, 0u);
+}
+
+TEST(Deadlock, CrossedWaitsDeadlock) {
+  // Both threads wait for the other's post-wait write.
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x y
+thread t0
+  wait(y == 1)
+  x := 1
+thread t1
+  wait(x == 1)
+  y := 1
+)");
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust);
+  EXPECT_EQ(R.Stats.NumDeadlockStates, 1u);
+}
+
+TEST(Deadlock, HaltedIsNotDeadlock) {
+  Program P = parseProgramOrDie("vals 2\nlocs x\nthread t0\n  x := 1\n");
+  RockerReport R = checkRobustness(P);
+  EXPECT_EQ(R.Stats.NumDeadlockStates, 0u);
+}

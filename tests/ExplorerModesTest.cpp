@@ -1,0 +1,73 @@
+//===- tests/ExplorerModesTest.cpp - DFS order and bitstate hashing ---------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+TEST(DfsOrder, SameVerdictsAsBfsOnLitmus) {
+  for (const CorpusEntry &E : litmusTests()) {
+    Program P = E.parse();
+    RockerOptions Bfs;
+    Bfs.RecordTrace = false;
+    RockerOptions Dfs = Bfs;
+    Dfs.Order = SearchOrder::DFS;
+    RockerReport RB = checkRobustness(P, Bfs);
+    RockerReport RD = checkRobustness(P, Dfs);
+    EXPECT_EQ(RB.Robust, RD.Robust) << E.Name;
+    // For robust programs both searches are exhaustive, so they agree on
+    // the state count (non-robust runs stop at their first violation,
+    // which DFS reaches through a different prefix).
+    if (RB.Robust)
+      EXPECT_EQ(RB.Stats.NumStates, RD.Stats.NumStates) << E.Name;
+  }
+}
+
+TEST(DfsOrder, TraceStillReconstructs) {
+  Program P = findCorpusEntry("SB").parse();
+  RockerOptions O;
+  O.Order = SearchOrder::DFS;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_FALSE(R.Robust);
+  EXPECT_NE(R.FirstViolationText.find("trace"), std::string::npos);
+}
+
+TEST(Bitstate, FindsRealViolations) {
+  // Violations found under bitstate hashing are always real.
+  Program P = findCorpusEntry("SB").parse();
+  RockerOptions O;
+  O.BitstateLog2 = 20;
+  RockerReport R = checkRobustness(P, O);
+  EXPECT_FALSE(R.Robust);
+  EXPECT_TRUE(R.Approximate);
+}
+
+TEST(Bitstate, GenerousTableMatchesExactVerdicts) {
+  // With 2^22 bits for thousands of states, collision probability is
+  // negligible; verdicts must match the exact search on the light corpus
+  // (deterministic given the fixed hash function).
+  for (const CorpusEntry &E : litmusTests()) {
+    Program P = E.parse();
+    RockerOptions Exact;
+    Exact.RecordTrace = false;
+    RockerOptions Approx = Exact;
+    Approx.BitstateLog2 = 22;
+    EXPECT_EQ(checkRobustness(P, Exact).Robust,
+              checkRobustness(P, Approx).Robust)
+        << E.Name;
+  }
+}
+
+TEST(Bitstate, TinyTablePrunesButStaysSound) {
+  // A deliberately tiny table loses states; the run must terminate and
+  // be flagged approximate, and any violation it reports is genuine.
+  Program P = findCorpusEntry("seqlock").parse();
+  RockerOptions O;
+  O.RecordTrace = false;
+  O.BitstateLog2 = 10;
+  RockerReport R = checkRobustness(P, O);
+  EXPECT_TRUE(R.Approximate);
+  EXPECT_LE(R.Stats.NumStates, 700'000u);
+}

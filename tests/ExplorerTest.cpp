@@ -1,0 +1,133 @@
+//===- tests/ExplorerTest.cpp - Product explorer unit tests -----------------===//
+
+#include "explore/Explorer.h"
+#include "lang/Parser.h"
+#include "memory/SCMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+namespace {
+
+ExploreOptions quiet() {
+  ExploreOptions O;
+  O.RecordParents = false;
+  return O;
+}
+
+} // namespace
+
+TEST(Explorer, CountsStatesOfStraightLineProgram) {
+  // One thread, three instructions: initial + 3 successors = 4 states.
+  Program P = parseProgramOrDie(
+      "vals 2\nlocs x\nthread t\n  x := 1\n  a := x\n  x := 0\n");
+  SCMemory M(P);
+  ProductExplorer<SCMemory> Ex(P, M, quiet());
+  ExploreResult R = Ex.run();
+  EXPECT_EQ(R.Stats.NumStates, 4u);
+  EXPECT_EQ(R.Stats.NumTransitions, 3u);
+  EXPECT_FALSE(R.Stats.Truncated);
+}
+
+TEST(Explorer, InterleavingsShareStates) {
+  // Two independent one-write threads: the diamond has exactly 4 states
+  // under SC... but memory contents differ per order, giving 2x2 pc
+  // combinations with identical memory at the end: 4 pc-states, memory
+  // x=1 always after t0, y=1 after t1: total distinct product states = 4.
+  Program P = parseProgramOrDie(
+      "vals 2\nlocs x y\nthread a\n  x := 1\nthread b\n  y := 1\n");
+  SCMemory M(P);
+  ProductExplorer<SCMemory> Ex(P, M, quiet());
+  ExploreResult R = Ex.run();
+  EXPECT_EQ(R.Stats.NumStates, 4u);
+  EXPECT_EQ(R.Stats.NumTransitions, 4u);
+}
+
+TEST(Explorer, DeadlockedWaitsJustStopExpanding) {
+  Program P = parseProgramOrDie(
+      "vals 2\nlocs x\nthread t\n  wait(x == 1)\n  x := 1\n");
+  SCMemory M(P);
+  ProductExplorer<SCMemory> Ex(P, M, quiet());
+  ExploreResult R = Ex.run();
+  EXPECT_EQ(R.Stats.NumStates, 1u); // Nothing is ever enabled.
+  EXPECT_FALSE(R.hasViolation());
+}
+
+TEST(Explorer, MaxStatesTruncates) {
+  Program P = parseProgramOrDie(R"(
+vals 4
+locs x
+thread t
+l:
+  r := FADD(x, 1)
+  if 1 goto l
+)");
+  SCMemory M(P);
+  ExploreOptions O = quiet();
+  O.MaxStates = 3;
+  ProductExplorer<SCMemory> Ex(P, M, O);
+  ExploreResult R = Ex.run();
+  EXPECT_TRUE(R.Stats.Truncated);
+  EXPECT_LE(R.Stats.NumStates, 4u);
+}
+
+TEST(Explorer, CollectsProgramStateProjections) {
+  Program P = parseProgramOrDie(
+      "vals 2\nlocs x\nthread a\n  x := 1\nthread b\n  r := x\n");
+  SCMemory M(P);
+  ExploreOptions O = quiet();
+  O.CollectProgramStates = true;
+  ProductExplorer<SCMemory> Ex(P, M, O);
+  ExploreResult R = Ex.run();
+  // pc states: (0,0),(1,0),(0,1 r=0),(1,1 r=0),(1,1 r=1) = 5.
+  EXPECT_EQ(R.ProgramStates.size(), 5u);
+}
+
+TEST(Explorer, HookViolationCarriesStateAndThread) {
+  Program P = parseProgramOrDie(
+      "vals 2\nlocs x\nthread a\n  x := 1\n  r := x\n");
+  SCMemory M(P);
+  ExploreOptions O = quiet();
+  O.RecordParents = true;
+  ProductExplorer<SCMemory> Ex(P, M, O);
+  ExploreResult R = Ex.runWithHook(
+      [&](const SCMemory::State &S, ThreadId T, uint32_t Pc,
+          const MemAccess &A) -> std::optional<Violation> {
+        if (A.K != MemAccess::Kind::Read || S[A.Loc] != 1)
+          return std::nullopt;
+        Violation V;
+        V.K = Violation::Kind::Robustness;
+        V.Loc = A.Loc;
+        return V;
+      });
+  ASSERT_TRUE(R.hasViolation());
+  const Violation &V = R.Violations.front();
+  EXPECT_EQ(V.Thread, 0);
+  EXPECT_EQ(V.Pc, 1u);
+  std::vector<TraceStep> Trace = Ex.trace(V);
+  ASSERT_EQ(Trace.size(), 1u); // One step: the store.
+  EXPECT_EQ(Trace[0].Text, "W(x,1)");
+}
+
+TEST(Explorer, StopOnViolationVsCollectAll) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x
+thread a
+  assert(0)
+thread b
+  assert(0)
+)");
+  SCMemory M(P);
+  ExploreOptions O = quiet();
+  O.StopOnViolation = false;
+  ProductExplorer<SCMemory> Ex(P, M, O);
+  ExploreResult R = Ex.run();
+  EXPECT_EQ(R.Violations.size(), 2u);
+
+  O.StopOnViolation = true;
+  ProductExplorer<SCMemory> Ex2(P, M, O);
+  ExploreResult R2 = Ex2.run();
+  EXPECT_EQ(R2.Violations.size(), 1u);
+}

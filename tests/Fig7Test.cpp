@@ -1,0 +1,103 @@
+//===- tests/Fig7Test.cpp - Figure 7 corpus verdict tests -------------------===//
+//
+// Every Figure 7 program must get the paper's robustness verdict (the
+// "Res" column), every mutual-exclusion harness must pass its assertions
+// under SC, and the TSO baseline must match the non-starred Trencher
+// column. The heavyweight rows (hundreds of thousands of states) are
+// split out so they can be filtered.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+#include "tso/TSORobustness.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+namespace {
+
+bool isHeavy(const std::string &Name) {
+  return Name == "seqlock" || Name == "nbw-w-lr-rl" || Name == "rcu" ||
+         Name == "rcu-offline" || Name == "lamport2-3-ra";
+}
+
+void checkEntry(const CorpusEntry &E) {
+  Program P = E.parse();
+  EXPECT_EQ(P.numThreads(), E.PaperThreads) << E.Name;
+
+  RockerOptions O;
+  O.RecordTrace = false;
+  O.MaxStates = 8'000'000;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_TRUE(R.Complete) << E.Name;
+  EXPECT_EQ(R.Robust, E.ExpectRobust) << E.Name;
+
+  // Robust entries must also be SC-assertion-clean (their critical
+  // sections carry mutual-exclusion asserts).
+  RockerReport SC = exploreSC(P, O);
+  EXPECT_TRUE(SC.Robust) << E.Name << " fails under SC: "
+                         << SC.FirstViolationText;
+}
+
+} // namespace
+
+class Fig7Light : public ::testing::TestWithParam<std::string> {};
+class Fig7Heavy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Fig7Light, VerdictMatchesPaper) {
+  checkEntry(findCorpusEntry(GetParam()));
+}
+
+TEST_P(Fig7Heavy, VerdictMatchesPaper) {
+  checkEntry(findCorpusEntry(GetParam()));
+}
+
+static std::vector<std::string> fig7Names(bool Heavy) {
+  std::vector<std::string> Names;
+  for (const CorpusEntry &E : figure7Programs())
+    if (isHeavy(E.Name) == Heavy)
+      Names.push_back(E.Name);
+  return Names;
+}
+
+static std::string sanitize(const ::testing::TestParamInfo<std::string> &I) {
+  std::string Name = I.param;
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Fig7Light,
+                         ::testing::ValuesIn(fig7Names(false)), sanitize);
+INSTANTIATE_TEST_SUITE_P(All, Fig7Heavy,
+                         ::testing::ValuesIn(fig7Names(true)), sanitize);
+
+TEST(Fig7Tso, TrencherBaselineMatchesNonStarredColumn) {
+  for (const CorpusEntry &E : figure7Programs()) {
+    if (!E.ExpectTsoTrencher || E.TrencherStar || isHeavy(E.Name))
+      continue;
+    Program P = E.parse();
+    TSOOptions TO;
+    TO.TrencherMode = true;
+    TO.MaxStates = 6'000'000;
+    TSORobustnessResult T = checkTSORobustness(P, TO);
+    ASSERT_TRUE(T.Complete) << E.Name;
+    EXPECT_EQ(T.Robust, *E.ExpectTsoTrencher) << E.Name;
+  }
+}
+
+TEST(Fig7Tso, BarrierStarReproduced) {
+  // The barrier is robust with blocking waits but its trencher-lowered
+  // form is not TSO-robust — the paper's ✗⋆ entry.
+  const CorpusEntry &E = findCorpusEntry("barrier");
+  Program P = E.parse();
+  TSOOptions Lowered;
+  Lowered.TrencherMode = true;
+  EXPECT_FALSE(checkTSORobustness(P, Lowered).Robust);
+  TSOOptions Blocking;
+  Blocking.TrencherMode = false;
+  EXPECT_TRUE(checkTSORobustness(P, Blocking).Robust);
+}

@@ -1,0 +1,349 @@
+//===- tests/LangTest.cpp - Language-layer unit tests -----------------------===//
+
+#include "lang/CriticalValues.h"
+#include "lang/Parser.h"
+#include "lang/Printer.h"
+#include "lang/Step.h"
+#include "support/BitSet64.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+//===----------------------------------------------------------------------===//
+// BitSet64
+//===----------------------------------------------------------------------===//
+
+TEST(BitSet64, BasicOps) {
+  BitSet64 S;
+  EXPECT_TRUE(S.empty());
+  S.insert(3);
+  S.insert(63);
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_FALSE(S.contains(4));
+  EXPECT_EQ(S.size(), 2u);
+  S.remove(3);
+  EXPECT_FALSE(S.contains(3));
+  EXPECT_EQ(S.front(), 63u);
+}
+
+TEST(BitSet64, Algebra) {
+  BitSet64 A = BitSet64::fromMask(0b1011);
+  BitSet64 B = BitSet64::fromMask(0b0110);
+  EXPECT_EQ((A | B).mask(), 0b1111u);
+  EXPECT_EQ((A & B).mask(), 0b0010u);
+  EXPECT_EQ((A - B).mask(), 0b1001u);
+  EXPECT_EQ(BitSet64::allBelow(3).mask(), 0b111u);
+  EXPECT_EQ(BitSet64::allBelow(64).size(), 64u);
+}
+
+TEST(BitSet64, Iteration) {
+  BitSet64 S = BitSet64::fromMask(0b101001);
+  std::vector<unsigned> Elems;
+  for (unsigned E : S)
+    Elems.push_back(E);
+  EXPECT_EQ(Elems, (std::vector<unsigned>{0, 3, 5}));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TEST(Expr, EvaluateWrapsModulo) {
+  // Example 2.2: sums overflow modulo the domain size (2 + 4 = 1 mod 5).
+  Expr E = Expr::makeBinary(Expr::BinOp::Add, Expr::makeConst(2),
+                            Expr::makeConst(4));
+  EXPECT_EQ(E.evaluate({}, 5), 1);
+  EXPECT_EQ(E.evaluate({}, 7), 6);
+}
+
+TEST(Expr, RegistersAndComparisons) {
+  RegFile Regs = {3, 1};
+  Expr Lt = Expr::makeBinary(Expr::BinOp::Lt, Expr::makeReg(1),
+                             Expr::makeReg(0));
+  EXPECT_EQ(Lt.evaluate(Regs, 4), 1);
+  Expr Ge = Expr::makeBinary(Expr::BinOp::Ge, Expr::makeReg(1),
+                             Expr::makeReg(0));
+  EXPECT_EQ(Ge.evaluate(Regs, 4), 0);
+  Expr Sub = Expr::makeBinary(Expr::BinOp::Sub, Expr::makeReg(1),
+                              Expr::makeReg(0));
+  EXPECT_EQ(Sub.evaluate(Regs, 4), 2); // 1 - 3 = -2 = 2 (mod 4).
+}
+
+TEST(Expr, ConstFoldAndPossibleValues) {
+  Expr C = Expr::makeBinary(Expr::BinOp::Mul, Expr::makeConst(2),
+                            Expr::makeConst(3));
+  EXPECT_EQ(C.tryConstFold(10), std::optional<Val>(6));
+  EXPECT_EQ(C.possibleValues(10).size(), 1u);
+
+  Expr R = Expr::makeBinary(Expr::BinOp::Add, Expr::makeReg(0),
+                            Expr::makeConst(1));
+  EXPECT_FALSE(R.tryConstFold(10).has_value());
+  EXPECT_EQ(R.possibleValues(4), BitSet64::allBelow(4));
+}
+
+TEST(Expr, CollectRegs) {
+  Expr E = Expr::makeBinary(
+      Expr::BinOp::And,
+      Expr::makeUnary(Expr::UnOp::Not, Expr::makeReg(2)),
+      Expr::makeBinary(Expr::BinOp::Eq, Expr::makeReg(5),
+                       Expr::makeConst(0)));
+  BitSet64 Regs;
+  E.collectRegs(Regs);
+  EXPECT_TRUE(Regs.contains(2));
+  EXPECT_TRUE(Regs.contains(5));
+  EXPECT_EQ(Regs.size(), 2u);
+  EXPECT_EQ(E.maxReg(), std::optional<RegId>(5));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ParsesAllInstructionForms) {
+  ParseResult R = parseProgram(R"(
+program demo
+vals 4
+locs x y
+na d
+
+thread t0
+  r := 1 + 2
+  x := r
+loop:
+  a := x
+  b := d
+  d := a
+  c := FADD(x, 1)
+  FADD(y, 0)
+  e := XCHG(x, 2)
+  f := CAS(x, 0 => 1)
+  wait(y == 1)
+  BCAS(x, 1 => 2)
+  if a == 0 goto loop
+  goto done
+  assert(a != 3)
+done:
+  fence
+)");
+  ASSERT_TRUE(R.ok()) << (R.Errors.empty() ? "" : R.Errors[0].toString());
+  const Program &P = *R.Prog;
+  EXPECT_EQ(P.Name, "demo");
+  EXPECT_EQ(P.NumVals, 4u);
+  EXPECT_EQ(P.numLocs(), 4u); // x, y, d, __fence
+  EXPECT_TRUE(P.isNaLoc(2));
+  EXPECT_FALSE(P.isNaLoc(0));
+  EXPECT_EQ(P.numThreads(), 1u);
+  EXPECT_EQ(P.Threads[0].Insts.size(), 15u);
+}
+
+TEST(Parser, ResolvesLabelsAcrossDefinitionOrder) {
+  ParseResult R = parseProgram(R"(
+vals 2
+locs x
+thread t0
+  goto end
+start:
+  x := 1
+end:
+  if 1 goto start
+)");
+  ASSERT_TRUE(R.ok());
+  const auto &Insts = R.Prog->Threads[0].Insts;
+  EXPECT_EQ(std::get<IfGotoInst>(Insts[0]).Target, 2u);
+  EXPECT_EQ(std::get<IfGotoInst>(Insts[2]).Target, 1u);
+}
+
+TEST(Parser, ReportsErrors) {
+  EXPECT_FALSE(parseProgram("vals 2\nlocs x\nthread t\n  goto nowhere\n").ok());
+  // Note: `y := 1` with undeclared y is a *register* assignment (registers
+  // are implicitly declared), so it parses fine.
+  EXPECT_TRUE(parseProgram("vals 2\nlocs x\nthread t\n  y := 1\n").ok());
+  EXPECT_FALSE(
+      parseProgram("vals 2\nlocs x\nthread t\n  r := x + 1\n").ok());
+  EXPECT_FALSE(parseProgram("vals 2\nlocs x x\nthread t\n  x := 1\n").ok());
+  EXPECT_FALSE( // RMW on a non-atomic location.
+      parseProgram("vals 2\nlocs y\nna x\nthread t\n  r := FADD(x, 1)\n")
+          .ok());
+}
+
+TEST(Parser, RoundTripsThroughPrinter) {
+  Program P = parseProgramOrDie(R"(
+program rt
+vals 3
+locs x y
+na d
+thread t0
+  r := CAS(x, 0 => 1)
+  if r == 0 goto 3
+  y := r + 1
+  d := 2
+  wait(y == 2)
+)");
+  std::string Text = toString(P);
+  ParseResult R2 = parseProgram(Text);
+  ASSERT_TRUE(R2.ok()) << Text;
+  EXPECT_EQ(toString(*R2.Prog), Text);
+}
+
+//===----------------------------------------------------------------------===//
+// Program validation
+//===----------------------------------------------------------------------===//
+
+TEST(Program, ValidateCatchesBadTargets) {
+  ProgramBuilder B("bad", 2);
+  LocId X = B.addLoc("x");
+  B.beginThread();
+  B.store(X, Expr::makeConst(1));
+  Program P;
+  {
+    Program Tmp = B.build();
+    P = Tmp;
+  }
+  std::get<StoreInst>(P.Threads[0].Insts[0]).Loc = 77;
+  EXPECT_FALSE(P.validate().empty());
+}
+
+TEST(Program, LinesOfCodeCountsInstructionsPlusHeaders) {
+  Program P = parseProgramOrDie(
+      "vals 2\nlocs x\nthread a\n  x := 1\n  r := x\nthread b\n  x := 0\n");
+  EXPECT_EQ(P.linesOfCode(), 2u + 1 + 1 + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread steps (Figure 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+Program stepProgram() {
+  return parseProgramOrDie(R"(
+vals 4
+locs x
+thread t0
+  r := 1
+  if r == 1 goto 3
+  x := 3
+  a := x
+  b := FADD(x, 2)
+  c := CAS(x, 1 => 2)
+  wait(x == 1)
+  assert(a == 0)
+)");
+}
+} // namespace
+
+TEST(Step, LocalAndBranchSteps) {
+  Program P = stepProgram();
+  ThreadState TS = ThreadState::initial(P.Threads[0]);
+  ThreadStep S = inspectThread(P, 0, TS);
+  ASSERT_EQ(S.K, ThreadStep::Kind::Local);
+  EXPECT_EQ(S.Next.Pc, 1u);
+  EXPECT_EQ(S.Next.Regs[0], 1);
+  // Branch taken: r == 1.
+  S = inspectThread(P, 0, S.Next);
+  ASSERT_EQ(S.K, ThreadStep::Kind::Local);
+  EXPECT_EQ(S.Next.Pc, 3u);
+}
+
+TEST(Step, AccessDescriptorsAndLabels) {
+  Program P = stepProgram();
+  ThreadState TS = ThreadState::initial(P.Threads[0]);
+
+  TS.Pc = 3; // a := x
+  ThreadStep S = inspectThread(P, 0, TS);
+  ASSERT_EQ(S.K, ThreadStep::Kind::Access);
+  EXPECT_EQ(S.A.K, MemAccess::Kind::Read);
+  unsigned Count = 0;
+  forEachEnabledLabel(S.A, P.NumVals, [&](const Label &L) {
+    EXPECT_EQ(L.Type, AccessType::R);
+    ++Count;
+  });
+  EXPECT_EQ(Count, 4u); // R(x,v) for every v.
+
+  TS.Pc = 4; // b := FADD(x, 2)
+  S = inspectThread(P, 0, TS);
+  ASSERT_EQ(S.A.K, MemAccess::Kind::Fadd);
+  EXPECT_EQ(rmwWriteVal(S.A, 3, P.NumVals), 1); // 3+2 mod 4.
+
+  TS.Pc = 5; // c := CAS(x, 1 => 2)
+  S = inspectThread(P, 0, TS);
+  ASSERT_EQ(S.A.K, MemAccess::Kind::Cas);
+  EXPECT_EQ(classifyRead(S.A, 1), ReadOutcome::Rmw);
+  EXPECT_EQ(classifyRead(S.A, 0), ReadOutcome::PlainRead);
+
+  TS.Pc = 6; // wait(x == 1)
+  S = inspectThread(P, 0, TS);
+  ASSERT_EQ(S.A.K, MemAccess::Kind::Wait);
+  EXPECT_EQ(classifyRead(S.A, 1), ReadOutcome::PlainRead);
+  EXPECT_EQ(classifyRead(S.A, 0), ReadOutcome::Blocked);
+}
+
+TEST(Step, ApplyAccessWritesDestination) {
+  Program P = stepProgram();
+  ThreadState TS = ThreadState::initial(P.Threads[0]);
+  TS.Pc = 5; // c := CAS(x, 1 => 2)
+  ThreadStep S = inspectThread(P, 0, TS);
+  // Failed CAS: destination receives the read value.
+  ThreadState After =
+      applyAccess(P, 0, TS, S.A, Label::read(0, 3));
+  EXPECT_EQ(After.Pc, 6u);
+  EXPECT_EQ(After.Regs[std::get<CasInst>(P.Threads[0].Insts[5]).Dst], 3);
+  // Successful CAS: destination receives the expected (read) value.
+  After = applyAccess(P, 0, TS, S.A, Label::rmw(0, 1, 2));
+  EXPECT_EQ(After.Regs[std::get<CasInst>(P.Threads[0].Insts[5]).Dst], 1);
+}
+
+TEST(Step, AssertFailure) {
+  Program P = stepProgram();
+  ThreadState TS = ThreadState::initial(P.Threads[0]);
+  TS.Pc = 7; // assert(a == 0), a == 0 initially -> passes.
+  ThreadStep S = inspectThread(P, 0, TS);
+  EXPECT_EQ(S.K, ThreadStep::Kind::Local);
+  TS.Regs[std::get<LoadInst>(P.Threads[0].Insts[3]).Dst] = 1;
+  S = inspectThread(P, 0, TS);
+  EXPECT_EQ(S.K, ThreadStep::Kind::AssertFail);
+}
+
+TEST(Step, HaltAtEnd) {
+  Program P = stepProgram();
+  ThreadState TS = ThreadState::initial(P.Threads[0]);
+  TS.Pc = P.Threads[0].Insts.size();
+  EXPECT_EQ(inspectThread(P, 0, TS).K, ThreadStep::Kind::Halted);
+}
+
+//===----------------------------------------------------------------------===//
+// Critical values (Definition 5.5)
+//===----------------------------------------------------------------------===//
+
+TEST(CriticalValues, PerInstructionContributions) {
+  Program P = parseProgramOrDie(R"(
+vals 4
+locs x y z w
+thread t0
+  wait(x == 1)
+  r := CAS(y, 2 => 3)
+  BCAS(z, 0 => 1)
+  a := w
+  w := 3
+  b := FADD(w, 1)
+  c := XCHG(w, 2)
+)");
+  std::vector<BitSet64> Crit = computeCriticalValues(P);
+  EXPECT_EQ(Crit[0].mask(), 0b0010u); // wait(x == 1) -> {1}.
+  EXPECT_EQ(Crit[1].mask(), 0b0100u); // CAS(y, 2 => _) -> {2}.
+  EXPECT_EQ(Crit[2].mask(), 0b0001u); // BCAS(z, 0 => _) -> {0}.
+  EXPECT_TRUE(Crit[3].empty()); // loads/stores/FADD/XCHG: none.
+}
+
+TEST(CriticalValues, RegisterExpectedMakesAllValuesCritical) {
+  Program P = parseProgramOrDie(R"(
+vals 3
+locs x
+thread t0
+  r := x
+  s := CAS(x, r => 1)
+)");
+  std::vector<BitSet64> Crit = computeCriticalValues(P);
+  EXPECT_EQ(Crit[0], BitSet64::allBelow(3));
+}

@@ -1,0 +1,55 @@
+//===- tests/LitmusExtraTest.cpp - Extended litmus catalog tests ------------===//
+//
+// Every extended litmus test's expected verdict must match both Rocker
+// and the direct RAG oracle (these entries are loop-free or small enough
+// for the oracle), in both monitor modes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/Oracles.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+class ExtraLitmus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExtraLitmus, RockerAndOracleMatchExpectation) {
+  const CorpusEntry &E = findCorpusEntry(GetParam());
+  Program P = E.parse();
+
+  RockerOptions Full;
+  Full.UseCriticalAbstraction = false;
+  Full.CheckRaces = false;
+  RockerReport RF = checkRobustness(P, Full);
+  ASSERT_TRUE(RF.Complete);
+  EXPECT_EQ(RF.Robust, E.ExpectRobust)
+      << E.Name << "\n" << RF.FirstViolationText;
+
+  RockerOptions Abs = Full;
+  Abs.UseCriticalAbstraction = true;
+  EXPECT_EQ(checkRobustness(P, Abs).Robust, E.ExpectRobust) << E.Name;
+
+  OracleResult O = checkGraphRobustnessOracle(P, 3'000'000);
+  ASSERT_TRUE(O.Complete) << E.Name;
+  EXPECT_EQ(O.Robust, E.ExpectRobust) << E.Name << "\n" << O.Detail;
+}
+
+static std::vector<std::string> names() {
+  std::vector<std::string> Ns;
+  for (const CorpusEntry &E : extraLitmusTests())
+    Ns.push_back(E.Name);
+  return Ns;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ExtraLitmus, ::testing::ValuesIn(names()),
+    [](const ::testing::TestParamInfo<std::string> &I) {
+      std::string N = I.param;
+      for (char &C : N)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return N;
+    });

@@ -1,0 +1,134 @@
+//===- tests/MonitorFig4Test.cpp - Figure 4 golden monitor runs -------------===//
+//
+// Figure 4 of the paper lists the exact SCM states along an SCG run of MP
+// and of SB. These tests replay those runs through the incremental
+// monitor and compare every component against the figure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/SCMState.h"
+
+#include "lang/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+namespace {
+
+/// Two threads, two RA locations x=0, y=1, Val={0,1}; instruction bodies
+/// are irrelevant (the monitor is driven directly).
+Program twoLocProgram() {
+  ProgramBuilder B("fig4", 2);
+  LocId X = B.addLoc("x");
+  B.beginThread("t1");
+  B.load(B.reg("a"), X);
+  B.beginThread("t2");
+  B.load(B.reg("b"), X);
+  Program P = B.build();
+  P.LocNames.push_back("y");
+  return P;
+}
+
+constexpr LocId X = 0, Y = 1;
+constexpr ThreadId T1 = 0, T2 = 1;
+
+BitSet64 locs(std::initializer_list<unsigned> Es) {
+  BitSet64 S;
+  for (unsigned E : Es)
+    S.insert(E);
+  return S;
+}
+
+} // namespace
+
+TEST(MonitorFig4, MessagePassingRun) {
+  Program P = twoLocProgram();
+  SCMonitor Mon(P, /*Abstract=*/false);
+  SCMState S = Mon.initial();
+
+  // Initial state.
+  EXPECT_EQ(S.VSC[T1], locs({X, Y}));
+  EXPECT_EQ(S.VSC[T2], locs({X, Y}));
+  EXPECT_EQ(S.MSC[X], locs({X}));
+  EXPECT_EQ(S.WSC[Y], locs({Y}));
+
+  // ⟨1, W(x,1)⟩.
+  Mon.stepWrite(S, T1, X, 1, /*IsNA=*/false);
+  EXPECT_EQ(S.M[X], 1);
+  EXPECT_EQ(S.VSC[T1], locs({X, Y}));
+  EXPECT_EQ(S.VSC[T2], locs({Y}));
+  EXPECT_EQ(S.WSC[X], locs({X, Y}));
+  EXPECT_EQ(S.WSC[Y], locs({Y}));
+  EXPECT_EQ(S.MSC[X], locs({X, Y}));
+  EXPECT_EQ(S.MSC[Y], locs({Y}));
+  EXPECT_TRUE(S.V[T1 * 2 + X].empty());
+  EXPECT_EQ(S.V[T2 * 2 + X], BitSet64::fromMask(1)); // {0}
+  EXPECT_TRUE(S.W[X * 2 + Y].empty());               // W(x)(y) = ∅
+  EXPECT_EQ(S.W[Y * 2 + X], BitSet64::fromMask(1));  // W(y)(x) = {0}
+
+  // ⟨1, W(y,1)⟩.
+  Mon.stepWrite(S, T1, Y, 1, /*IsNA=*/false);
+  EXPECT_EQ(S.VSC[T1], locs({X, Y}));
+  EXPECT_TRUE(S.VSC[T2].empty());
+  EXPECT_EQ(S.WSC[X], locs({X}));
+  EXPECT_EQ(S.WSC[Y], locs({X, Y}));
+  EXPECT_EQ(S.MSC[X], locs({X}));
+  EXPECT_EQ(S.MSC[Y], locs({X, Y}));
+  EXPECT_EQ(S.V[T2 * 2 + X], BitSet64::fromMask(1)); // {0}
+  EXPECT_EQ(S.V[T2 * 2 + Y], BitSet64::fromMask(1)); // {0}
+  EXPECT_EQ(S.W[X * 2 + Y], BitSet64::fromMask(1));  // W(x)(y) = {0}
+  EXPECT_TRUE(S.W[Y * 2 + X].empty());               // W(y)(x) = ∅
+
+  // ⟨2, R(y,1)⟩ — reading y's maximal write synchronizes t2.
+  Mon.stepRead(S, T2, Y, /*IsNA=*/false);
+  EXPECT_EQ(S.VSC[T2], locs({X, Y}));
+  EXPECT_EQ(S.MSC[Y], locs({X, Y}));
+  EXPECT_TRUE(S.V[T2 * 2 + X].empty()); // V(2) emptied by the read.
+  EXPECT_TRUE(S.V[T2 * 2 + Y].empty());
+
+  // ⟨2, R(x,1)⟩ — no violation anywhere: MP is robust.
+  MemAccess A{};
+  A.K = MemAccess::Kind::Read;
+  A.Loc = X;
+  A.IsNA = false;
+  EXPECT_FALSE(Mon.checkAccess(S, T2, A).has_value());
+  Mon.stepRead(S, T2, X, /*IsNA=*/false);
+  EXPECT_EQ(S.MSC[X], locs({X, Y}));
+  EXPECT_EQ(S.W[X * 2 + Y], BitSet64::fromMask(1));
+}
+
+TEST(MonitorFig4, StoreBufferingRun) {
+  Program P = twoLocProgram();
+  SCMonitor Mon(P, /*Abstract=*/false);
+  SCMState S = Mon.initial();
+
+  // ⟨1, W(x,1)⟩ then ⟨1, R(y,0)⟩.
+  Mon.stepWrite(S, T1, X, 1, /*IsNA=*/false);
+  Mon.stepRead(S, T1, Y, /*IsNA=*/false);
+  EXPECT_EQ(S.VSC[T1], locs({X, Y}));
+  EXPECT_EQ(S.VSC[T2], locs({Y}));
+  EXPECT_EQ(S.MSC[Y], locs({X, Y})); // t1's read of y is hbSC-after wmax_x.
+  EXPECT_EQ(S.V[T2 * 2 + X], BitSet64::fromMask(1));
+
+  // ⟨2, W(y,1)⟩ — t2 writes y; the fr edge from t1's read makes t1's
+  // whole history hbSC-before wmax_y.
+  Mon.stepWrite(S, T2, Y, 1, /*IsNA=*/false);
+  EXPECT_EQ(S.VSC[T1], locs({X}));
+  EXPECT_EQ(S.VSC[T2], locs({X, Y}));
+  EXPECT_EQ(S.V[T1 * 2 + Y], BitSet64::fromMask(1)); // V(1)(y) = {0}
+  EXPECT_EQ(S.V[T2 * 2 + X], BitSet64::fromMask(1)); // V(2)(x) = {0}
+  EXPECT_EQ(S.W[X * 2 + Y], BitSet64::fromMask(1));
+  EXPECT_EQ(S.W[Y * 2 + X], BitSet64::fromMask(1));
+
+  // ⟨2, R(x,0)⟩ would be a robustness violation: x ∈ VSC(2), 0 ∈ V(2)(x).
+  MemAccess A{};
+  A.K = MemAccess::Kind::Read;
+  A.Loc = X;
+  A.IsNA = false;
+  std::optional<MonitorViolation> V = Mon.checkAccess(S, T2, A);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Loc, X);
+  EXPECT_EQ(V->WitnessVal, 0);
+  EXPECT_EQ(V->Type, AccessType::R);
+}

@@ -1,0 +1,159 @@
+//===- tests/MonitorInvariantsTest.cpp - SCM structural invariants ----------===//
+//
+// Structural invariants of SCM states, implied by their graph
+// interpretations (Section 5) and checked along random SCG runs:
+//
+//  * x ∈ MSC(x) and x ∈ WSC(x)      (wmax_x trivially reaches itself);
+//  * WSC(x) ⊆ MSC(x)                 (stated explicitly in the paper);
+//  * the writing thread is always hbSC-aware of its own write:
+//    x ∈ VSC(τ) right after τ writes x;
+//  * V(τ,x) never contains... the mo-maximal value is excluded by
+//    construction only as a *write*; value sets stay within the domain;
+//  * VRMW ⊆ V and WRMW ⊆ W pointwise  (the RMW variants only add the
+//    mo|imm;[RMW] exclusion);
+//  * serialization is injective on distinct states and stable on equal
+//    ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/SCMState.h"
+
+#include "lang/Program.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace rocker;
+
+namespace {
+
+Program configProgram(unsigned Threads, unsigned Locs, unsigned Vals) {
+  ProgramBuilder B("inv", Vals);
+  std::vector<LocId> Ls;
+  for (unsigned L = 0; L != Locs; ++L)
+    Ls.push_back(B.addLoc("x" + std::to_string(L)));
+  for (unsigned T = 0; T != Threads; ++T) {
+    B.beginThread();
+    B.load(B.reg("r"), Ls[0]);
+    // A CAS makes value 1 critical for x1 (mixed tracking in abstract
+    // mode).
+    if (Locs > 1)
+      B.cas(B.reg("c"), Ls[1], Expr::makeConst(1), Expr::makeConst(0));
+  }
+  return B.build();
+}
+
+void checkInvariants(const Program &P, const SCMonitor &Mon,
+                     const SCMState &S) {
+  unsigned NumLocs = P.numLocs();
+  BitSet64 Ra = P.raLocs();
+  for (unsigned X : Ra) {
+    EXPECT_TRUE(S.MSC[X].contains(X));
+    EXPECT_TRUE(S.WSC[X].contains(X));
+    // WSC(x) ⊆ MSC(x).
+    EXPECT_TRUE((S.WSC[X] - S.MSC[X]).empty());
+    // W(x)(x) = ∅: every non-maximal write to x is mo-before wmax_x.
+    EXPECT_TRUE(S.W[X * NumLocs + X].empty());
+    EXPECT_TRUE(S.WRmw[X * NumLocs + X].empty());
+  }
+  BitSet64 Domain = BitSet64::allBelow(P.NumVals);
+  for (unsigned T = 0; T != P.numThreads(); ++T) {
+    for (unsigned X : Ra) {
+      const BitSet64 &V = S.V[T * NumLocs + X];
+      const BitSet64 &VR = S.VRmw[T * NumLocs + X];
+      EXPECT_TRUE((V - Domain).empty());
+      EXPECT_TRUE((VR - V).empty()) << "VRMW ⊄ V";
+    }
+  }
+  for (unsigned X : Ra)
+    for (unsigned Y : Ra)
+      EXPECT_TRUE(
+          (S.WRmw[X * NumLocs + Y] - S.W[X * NumLocs + Y]).empty());
+}
+
+void runInvariantWalk(bool Abstract, uint32_t Seed) {
+  Program P = configProgram(3, 3, 3);
+  SCMonitor Mon(P, Abstract);
+  std::mt19937 Rng(Seed);
+  auto Pick = [&](unsigned N) {
+    return std::uniform_int_distribution<unsigned>(0, N - 1)(Rng);
+  };
+  for (unsigned Run = 0; Run != 50; ++Run) {
+    SCMState S = Mon.initial();
+    checkInvariants(P, Mon, S);
+    for (unsigned Step = 0; Step != 20; ++Step) {
+      ThreadId T = static_cast<ThreadId>(Pick(3));
+      LocId X = static_cast<LocId>(Pick(3));
+      switch (Pick(3)) {
+      case 0: {
+        Mon.stepWrite(S, T, X, static_cast<Val>(Pick(3)), false);
+        // The writer is hbSC-aware of its own new wmax.
+        EXPECT_TRUE(S.VSC[T].contains(X));
+        break;
+      }
+      case 1:
+        Mon.stepRead(S, T, X, false);
+        EXPECT_TRUE(S.VSC[T].contains(X)); // It just read wmax_x.
+        break;
+      case 2:
+        Mon.stepRmw(S, T, X, static_cast<Val>(Pick(3)));
+        EXPECT_TRUE(S.VSC[T].contains(X));
+        break;
+      }
+      checkInvariants(P, Mon, S);
+    }
+  }
+}
+
+} // namespace
+
+TEST(MonitorInvariants, FullMode) { runInvariantWalk(false, 101); }
+TEST(MonitorInvariants, AbstractMode) { runInvariantWalk(true, 202); }
+
+TEST(MonitorInvariants, SerializationConsistentWithEquality) {
+  Program P = configProgram(2, 2, 3);
+  SCMonitor Mon(P, false);
+  SCMState A = Mon.initial();
+  SCMState B = Mon.initial();
+  std::string KA, KB;
+  Mon.serialize(A, KA);
+  Mon.serialize(B, KB);
+  EXPECT_EQ(KA, KB);
+
+  Mon.stepWrite(A, 0, 0, 1, false);
+  KA.clear();
+  Mon.serialize(A, KA);
+  EXPECT_NE(KA, KB);
+  EXPECT_FALSE(A == B);
+
+  // Same step sequence from both sides must converge to equal states and
+  // equal keys.
+  Mon.stepWrite(B, 0, 0, 1, false);
+  KB.clear();
+  Mon.serialize(B, KB);
+  EXPECT_EQ(KA, KB);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(MonitorInvariants, NaAccessesLeaveInstrumentationUntouched) {
+  ProgramBuilder Bd("na", 3);
+  LocId X = Bd.addLoc("x");
+  LocId D = Bd.addNaLoc("d");
+  Bd.beginThread();
+  Bd.load(Bd.reg("r"), X);
+  Bd.beginThread();
+  Bd.load(Bd.reg("r"), D);
+  Program P = Bd.build();
+  SCMonitor Mon(P, false);
+
+  SCMState S = Mon.initial();
+  SCMState Before = S;
+  Mon.stepWrite(S, 1, D, 2, /*IsNA=*/true);
+  // Only M changed.
+  EXPECT_EQ(S.M[D], 2);
+  SCMState Cmp = S;
+  Cmp.M = Before.M;
+  EXPECT_TRUE(Cmp == Before);
+  (void)X;
+}

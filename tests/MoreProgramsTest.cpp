@@ -1,0 +1,67 @@
+//===- tests/MoreProgramsTest.cpp - Application idiom tests -----------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/Oracles.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+TEST(MorePrograms, VerdictsMatchExpectations) {
+  for (const CorpusEntry &E : morePrograms()) {
+    Program P = E.parse();
+    RockerOptions O;
+    O.RecordTrace = false;
+    RockerReport R = checkRobustness(P, O);
+    ASSERT_TRUE(R.Complete) << E.Name;
+    EXPECT_EQ(R.Robust, E.ExpectRobust) << E.Name;
+  }
+}
+
+TEST(MorePrograms, RobustEntriesAreAssertAndRaceClean) {
+  for (const CorpusEntry &E : morePrograms()) {
+    if (!E.ExpectRobust)
+      continue;
+    Program P = E.parse();
+    RockerReport SC = exploreSC(P);
+    EXPECT_TRUE(SC.Robust) << E.Name << ": " << SC.FirstViolationText;
+  }
+}
+
+TEST(MorePrograms, DclIsRaceFreeOnThePayload) {
+  Program P = findCorpusEntry("dcl").parse();
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust) << R.FirstViolationText;
+}
+
+TEST(MorePrograms, BrokenDclFailsBothWays) {
+  Program P = findCorpusEntry("dcl-broken").parse();
+  RockerOptions O;
+  O.StopOnViolation = false;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_FALSE(R.Robust);
+  bool SawRace = false;
+  for (const Violation &V : R.Violations)
+    SawRace |= V.K == Violation::Kind::Race;
+  EXPECT_TRUE(SawRace) << "the NA payload race must be reported";
+  // The flipped publication order also breaks the assertion under SC.
+  RockerReport SC = exploreSC(P);
+  EXPECT_FALSE(SC.Robust);
+}
+
+TEST(MorePrograms, FilterLockExcludesUnderSC) {
+  // Even unfenced (and RA-non-robust), the filter lock is a correct SC
+  // mutex: the critical-section asserts hold under SC.
+  Program P = findCorpusEntry("filter-lock-3").parse();
+  RockerReport SC = exploreSC(P);
+  EXPECT_TRUE(SC.Robust) << SC.FirstViolationText;
+}
+
+TEST(MorePrograms, SpscHandshakeGraphOracleAgrees) {
+  // Loop-free: the direct RAG oracle is applicable and must agree.
+  Program P = findCorpusEntry("spsc-handshake").parse();
+  OracleResult O = checkGraphRobustnessOracle(P, 2'000'000);
+  ASSERT_TRUE(O.Complete);
+  EXPECT_TRUE(O.Robust) << O.Detail;
+}

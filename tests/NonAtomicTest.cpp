@@ -1,0 +1,158 @@
+//===- tests/NonAtomicTest.cpp - Section 6 non-atomic extension tests -------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/Oracles.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+TEST(NonAtomic, RacyProgramReported) {
+  // Unsynchronized concurrent write/read on an NA location.
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs f
+na d
+thread t0
+  d := 1
+thread t1
+  a := d
+)");
+  RockerReport R = checkRobustness(P);
+  ASSERT_FALSE(R.Robust);
+  EXPECT_EQ(R.Violations.front().K, Violation::Kind::Race);
+}
+
+TEST(NonAtomic, WriteWriteRaceReported) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs f
+na d
+thread t0
+  d := 1
+thread t1
+  d := 0
+)");
+  RockerReport R = checkRobustness(P);
+  ASSERT_FALSE(R.Robust);
+  EXPECT_EQ(R.Violations.front().K, Violation::Kind::Race);
+}
+
+TEST(NonAtomic, ReadReadIsNotARace) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs f
+na d
+thread t0
+  a := d
+thread t1
+  b := d
+)");
+  EXPECT_TRUE(checkRobustness(P).Robust);
+}
+
+TEST(NonAtomic, MessagePassingWithNaPayloadIsRobustAndRaceFree) {
+  // The RA flag fully synchronizes the NA payload: robust, no race.
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs flag
+na d
+thread t0
+  d := 1
+  flag := 1
+thread t1
+  wait(flag == 1)
+  a := d
+  assert(a == 1)
+)");
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust) << R.FirstViolationText;
+}
+
+TEST(NonAtomic, RaceCheckCanBeDisabled) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs f
+na d
+thread t0
+  d := 1
+thread t1
+  a := d
+)");
+  RockerOptions O;
+  O.CheckRaces = false;
+  EXPECT_TRUE(checkRobustness(P, O).Robust);
+}
+
+TEST(NonAtomic, GraphOracleAgreesOnNaPrograms) {
+  // The RAG+NA oracle (⊥ on races, Theorem 6.2) agrees with the SCM-based
+  // verdict on small NA programs.
+  struct Case {
+    const char *Src;
+    bool Robust;
+  };
+  const Case Cases[] = {
+      {R"(
+vals 2
+locs f
+na d
+thread t0
+  d := 1
+thread t1
+  a := d
+)",
+       false},
+      {R"(
+vals 2
+locs flag
+na d
+thread t0
+  d := 1
+  flag := 1
+thread t1
+  wait(flag == 1)
+  a := d
+)",
+       true},
+      {R"(
+vals 2
+locs x y
+na d
+thread t0
+  d := 1
+  x := 1
+thread t1
+  a := x
+  if a == 0 goto 3
+  b := d
+)",
+       true},
+  };
+  for (const Case &C : Cases) {
+    Program P = parseProgramOrDie(C.Src);
+    RockerReport R = checkRobustness(P);
+    EXPECT_EQ(R.Robust, C.Robust) << C.Src << R.FirstViolationText;
+    OracleResult O = checkGraphRobustnessOracle(P, 1'000'000,
+                                                /*NaExtension=*/true);
+    ASSERT_TRUE(O.Complete);
+    EXPECT_EQ(O.Robust, C.Robust) << C.Src << "\noracle: " << O.Detail;
+  }
+}
+
+TEST(NonAtomic, SBOnNaLocationsIsARaceNotARobustnessViolation) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs f
+na x y
+thread t0
+  x := 1
+  a := y
+thread t1
+  y := 1
+  b := x
+)");
+  RockerReport R = checkRobustness(P);
+  ASSERT_FALSE(R.Robust);
+  EXPECT_EQ(R.Violations.front().K, Violation::Kind::Race);
+}

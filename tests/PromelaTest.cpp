@@ -1,0 +1,107 @@
+//===- tests/PromelaTest.cpp - Promela exporter structural tests ------------===//
+//
+// Spin is not a build dependency, so the emitted models are validated
+// structurally: the instrumentation globals and inlines exist, every
+// access carries its Theorem 5.3 violation alternative, blocking
+// primitives compile to guarded d_steps, and the uninstrumented mode
+// contains none of it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "promela/PromelaExport.h"
+
+#include "litmus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+namespace {
+
+unsigned countOccurrences(const std::string &Hay, const std::string &Needle) {
+  unsigned N = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + Needle.size()))
+    ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Promela, SBModelStructure) {
+  Program P = findCorpusEntry("SB").parse();
+  std::string M = exportPromela(P);
+
+  // Monitor globals.
+  EXPECT_NE(M.find("byte M[2];"), std::string::npos);
+  EXPECT_NE(M.find("bit VSC[4];"), std::string::npos);
+  EXPECT_NE(M.find("bit Vv[8];"), std::string::npos);
+  // One write and one read inline per thread.
+  EXPECT_NE(M.find("inline mon_w_t0_x0"), std::string::npos);
+  EXPECT_NE(M.find("inline mon_r_t0_x1"), std::string::npos);
+  EXPECT_NE(M.find("inline mon_w_t1_x1"), std::string::npos);
+  EXPECT_NE(M.find("inline mon_r_t1_x0"), std::string::npos);
+  // Four accesses -> four violation alternatives.
+  EXPECT_EQ(countOccurrences(M, "assert(false)"), 4u);
+  // Both proctypes and the init runner.
+  EXPECT_NE(M.find("proctype t0()"), std::string::npos);
+  EXPECT_NE(M.find("proctype t1()"), std::string::npos);
+  EXPECT_NE(M.find("run t1();"), std::string::npos);
+}
+
+TEST(Promela, UninstrumentedModeIsPlainSC) {
+  Program P = findCorpusEntry("SB").parse();
+  PromelaOptions O;
+  O.Instrument = false;
+  std::string M = exportPromela(P, O);
+  EXPECT_EQ(M.find("VSC"), std::string::npos);
+  EXPECT_EQ(M.find("assert(false)"), std::string::npos);
+  EXPECT_EQ(M.find("inline mon_"), std::string::npos);
+  // Memory still updated directly.
+  EXPECT_NE(M.find("M[0] = 1"), std::string::npos);
+}
+
+TEST(Promela, BlockingPrimitivesGuardTheirDSteps) {
+  Program P = findCorpusEntry("barrier").parse();
+  std::string M = exportPromela(P);
+  // wait(y == 1) compiles to a d_step guarded on M[loc] == value, plus
+  // the stale-read violation alternative on V.
+  EXPECT_NE(M.find("d_step { M[1] == 1 -> skip; mon_r_t0_x1() }"),
+            std::string::npos);
+  EXPECT_EQ(countOccurrences(M, "assert(false)"), 4u);
+}
+
+TEST(Promela, CasEmitsBothOutcomesAndViolation) {
+  Program P = findCorpusEntry("2RMW").parse();
+  std::string M = exportPromela(P);
+  EXPECT_NE(M.find("M[0] == 0 ->"), std::string::npos); // Success branch.
+  EXPECT_NE(M.find("M[0] != 0 ->"), std::string::npos); // Failure branch.
+  EXPECT_NE(M.find("inline mon_u_t0_x0"), std::string::npos);
+  EXPECT_EQ(countOccurrences(M, "assert(false)"), 2u);
+}
+
+TEST(Promela, UserAssertionsCarriedThrough) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x
+thread t0
+  a := x
+  assert(a == 0)
+)");
+  std::string M = exportPromela(P);
+  EXPECT_NE(M.find("assert((r0 == 0) != 0);"), std::string::npos);
+}
+
+TEST(Promela, DeterministicOutput) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  EXPECT_EQ(exportPromela(P), exportPromela(P));
+}
+
+TEST(Promela, ExportsWholeCorpusWithoutCrashing) {
+  for (const CorpusEntry &E : figure7Programs()) {
+    Program P = E.parse();
+    std::string M = exportPromela(P);
+    EXPECT_GT(M.size(), 500u) << E.Name;
+    EXPECT_NE(M.find("proctype"), std::string::npos) << E.Name;
+  }
+}

@@ -1,0 +1,222 @@
+//===- tests/RobustnessTest.cpp - Rocker end-to-end verdict tests -----------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/Oracles.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+//===----------------------------------------------------------------------===//
+// Litmus verdicts (the paper's running examples), both monitor modes.
+//===----------------------------------------------------------------------===//
+
+class LitmusVerdict : public ::testing::TestWithParam<
+                          std::tuple<std::string, bool>> {};
+
+TEST_P(LitmusVerdict, MatchesPaper) {
+  const auto &[Name, Abstract] = GetParam();
+  const CorpusEntry &E = findCorpusEntry(Name);
+  Program P = E.parse();
+  RockerOptions O;
+  O.UseCriticalAbstraction = Abstract;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_TRUE(R.Complete);
+  EXPECT_EQ(R.Robust, E.ExpectRobust)
+      << Name << ": " << R.FirstViolationText;
+}
+
+static std::vector<std::tuple<std::string, bool>> litmusParams() {
+  std::vector<std::tuple<std::string, bool>> Ps;
+  for (const CorpusEntry &E : litmusTests())
+    for (bool Abstract : {false, true})
+      Ps.emplace_back(E.Name, Abstract);
+  return Ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLitmus, LitmusVerdict, ::testing::ValuesIn(litmusParams()),
+    [](const ::testing::TestParamInfo<LitmusVerdict::ParamType> &Info) {
+      std::string Name = std::get<0>(Info.param);
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name + (std::get<1>(Info.param) ? "_abstract" : "_full");
+    });
+
+//===----------------------------------------------------------------------===//
+// Litmus verdicts agree with the direct oracles.
+//===----------------------------------------------------------------------===//
+
+TEST(LitmusOracles, GraphOracleAgreesOnLoopFreeTests) {
+  for (const CorpusEntry &E : litmusTests()) {
+    if (E.Name == "barrier-loop")
+      continue; // Loops: the graph oracle would not terminate.
+    Program P = E.parse();
+    OracleResult O = checkGraphRobustnessOracle(P, 3'000'000);
+    ASSERT_TRUE(O.Complete) << E.Name;
+    EXPECT_EQ(O.Robust, E.ExpectRobust) << E.Name << "\n" << O.Detail;
+  }
+}
+
+TEST(LitmusOracles, StateRobustnessDistinctions) {
+  // SB is not even state robust; SB-zero and 2+2W-noreads are state
+  // robust yet not execution-graph robust (the Section 4 motivation).
+  OracleResult Sb =
+      checkStateRobustnessOracle(findCorpusEntry("SB").parse());
+  ASSERT_TRUE(Sb.Complete);
+  EXPECT_FALSE(Sb.Robust);
+
+  for (const char *Name : {"SB-zero", "2+2W-noreads"}) {
+    OracleResult O =
+        checkStateRobustnessOracle(findCorpusEntry(Name).parse());
+    ASSERT_TRUE(O.Complete) << Name;
+    EXPECT_TRUE(O.Robust) << Name;
+    RockerReport R = checkRobustness(findCorpusEntry(Name).parse());
+    EXPECT_FALSE(R.Robust) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Violation reporting
+//===----------------------------------------------------------------------===//
+
+TEST(Violations, SBWitnessDetails) {
+  Program P = findCorpusEntry("SB").parse();
+  // Full monitor: the witness value is tracked precisely (under the
+  // abstraction SB's values are all non-critical and the witness is the
+  // 0xff "some non-critical value" marker).
+  RockerOptions O;
+  O.UseCriticalAbstraction = false;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_FALSE(R.Robust);
+  ASSERT_FALSE(R.Violations.empty());
+  const Violation &V = R.Violations.front();
+  EXPECT_EQ(V.K, Violation::Kind::Robustness);
+  EXPECT_EQ(V.Witness, 0); // The stale initial value.
+  EXPECT_FALSE(R.FirstViolationText.empty());
+  // The report embeds an SC interleaving.
+  EXPECT_NE(R.FirstViolationText.find("trace"), std::string::npos);
+}
+
+TEST(Violations, TraceReplaysToWitnessState) {
+  Program P = findCorpusEntry("SB").parse();
+  RockerOptions O;
+  O.UseCriticalAbstraction = false;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_FALSE(R.Violations.empty());
+  // Both threads must have executed their store before a stale read can
+  // be witnessed; the trace therefore contains both writes.
+  EXPECT_NE(R.FirstViolationText.find("W(x,1)"), std::string::npos);
+  EXPECT_NE(R.FirstViolationText.find("W(y,1)"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// DRF corollary (Section 5): race-free programs are robust.
+//===----------------------------------------------------------------------===//
+
+TEST(DrfCorollary, SynchronizedCounterIsRobust) {
+  // All accesses protected by a blocking CAS lock: race-free under SC,
+  // hence execution-graph robust.
+  Program P = parseProgramOrDie(R"(
+vals 4
+locs lock c
+thread t0
+  BCAS(lock, 0 => 1)
+  r := c
+  c := r + 1
+  lock := 0
+thread t1
+  BCAS(lock, 0 => 1)
+  r := c
+  c := r + 1
+  lock := 0
+)");
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust) << R.FirstViolationText;
+}
+
+TEST(DrfCorollary, NoConcurrentWritesIsRobust) {
+  // Section 5: programs with no concurrent writes under SC have no weak
+  // behaviors (single-writer-per-location, reader-only others).
+  Program P = parseProgramOrDie(R"(
+vals 3
+locs x y
+thread w
+  x := 1
+  x := 2
+thread r0
+  a := x
+  b := x
+thread r1
+  c := x
+)");
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust) << R.FirstViolationText;
+  (void)R;
+}
+
+//===----------------------------------------------------------------------===//
+// Assertion checking under SC
+//===----------------------------------------------------------------------===//
+
+TEST(Assertions, FailingAssertReported) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x
+thread t0
+  x := 1
+thread t1
+  a := x
+  assert(a == 0)
+)");
+  RockerReport R = checkRobustness(P);
+  EXPECT_FALSE(R.Robust);
+  bool SawAssert = false;
+  for (const Violation &V : R.Violations)
+    SawAssert |= V.K == Violation::Kind::AssertFail;
+  EXPECT_TRUE(SawAssert);
+}
+
+TEST(Assertions, CanBeDisabled) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x
+thread t0
+  assert(0)
+)");
+  RockerOptions O;
+  O.CheckAssertions = false;
+  RockerReport R = checkRobustness(P, O);
+  EXPECT_TRUE(R.Robust);
+}
+
+//===----------------------------------------------------------------------===//
+// State budget
+//===----------------------------------------------------------------------===//
+
+TEST(Budget, TruncationReported) {
+  Program P = findCorpusEntry("seqlock").parse();
+  RockerOptions O;
+  O.MaxStates = 100;
+  RockerReport R = checkRobustness(P, O);
+  EXPECT_FALSE(R.Complete);
+}
+
+//===----------------------------------------------------------------------===//
+// Monitor modes agree on the whole corpus.
+//===----------------------------------------------------------------------===//
+
+TEST(AbstractMonitor, AgreesWithFullMonitorOnCorpus) {
+  for (const CorpusEntry &E : litmusTests()) {
+    Program P = E.parse();
+    RockerOptions Full;
+    Full.UseCriticalAbstraction = false;
+    RockerOptions Abs;
+    Abs.UseCriticalAbstraction = true;
+    EXPECT_EQ(checkRobustness(P, Full).Robust,
+              checkRobustness(P, Abs).Robust)
+        << E.Name;
+  }
+}

@@ -1,0 +1,24 @@
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+#include "rocker/Oracles.h"
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+TEST(Smoke, ParseSB) {
+  Program P = findCorpusEntry("SB").parse();
+  EXPECT_EQ(P.numThreads(), 2u);
+  EXPECT_EQ(P.numLocs(), 2u);
+}
+
+TEST(Smoke, SBNotRobust) {
+  Program P = findCorpusEntry("SB").parse();
+  RockerReport R = checkRobustness(P);
+  EXPECT_FALSE(R.Robust);
+}
+
+TEST(Smoke, MPRobust) {
+  Program P = findCorpusEntry("MP").parse();
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust) << R.FirstViolationText;
+}

@@ -1,0 +1,88 @@
+//===- tests/TSOTest.cpp - TSO robustness baseline tests --------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+#include "tso/TSORobustness.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+TEST(TSOLowering, ExpandsBlockingInstructions) {
+  Program P = parseProgramOrDie(R"(
+vals 2
+locs x y
+thread t0
+  x := 1
+  wait(y == 1)
+  BCAS(x, 1 => 0)
+  if 1 goto 0
+)");
+  Program L = lowerBlockingInstructions(P);
+  // wait -> load+branch, BCAS -> CAS+branch: 4 insts become 6.
+  EXPECT_EQ(L.Threads[0].Insts.size(), 6u);
+  // The trailing branch must be retargeted to the same instruction.
+  EXPECT_EQ(std::get<IfGotoInst>(L.Threads[0].Insts[5]).Target, 0u);
+  // The lowered loops must target their own load/CAS.
+  EXPECT_EQ(std::get<IfGotoInst>(L.Threads[0].Insts[2]).Target, 1u);
+  EXPECT_EQ(std::get<IfGotoInst>(L.Threads[0].Insts[4]).Target, 3u);
+  EXPECT_TRUE(L.validate().empty());
+}
+
+TEST(TSOLowering, PreservesSCBehavior) {
+  // Lowering must not change reachability of the final state under SC.
+  Program P = findCorpusEntry("barrier").parse();
+  Program L = lowerBlockingInstructions(P);
+  RockerReport R = exploreSC(L);
+  EXPECT_TRUE(R.Robust);
+}
+
+TEST(TSORobustness, LitmusVerdicts) {
+  // SB: not TSO-robust. MP/IRIW/2+2W/2RMW: TSO-robust (Sections 3,8).
+  struct Case {
+    const char *Name;
+    bool Robust;
+  };
+  const Case Cases[] = {
+      {"SB", false},   {"MP", true},      {"IRIW", true},
+      {"2+2W", true},  {"2RMW", true},    {"SB+RMWs", true},
+      {"barrier-loop", false},
+  };
+  for (const Case &C : Cases) {
+    Program P = findCorpusEntry(C.Name).parse();
+    TSOOptions O;
+    TSORobustnessResult R = checkTSORobustness(P, O);
+    ASSERT_TRUE(R.Complete) << C.Name;
+    EXPECT_EQ(R.Robust, C.Robust) << C.Name;
+  }
+}
+
+TEST(TSORobustness, RAGRobustImpliesTSORobustOnCorpus) {
+  // RA is weaker than TSO, so execution-graph robustness against RA
+  // implies state robustness against TSO (with blocking primitives kept).
+  for (const CorpusEntry &E : litmusTests()) {
+    Program P = E.parse();
+    RockerOptions RO;
+    RO.CheckAssertions = false;
+    RO.CheckRaces = false;
+    if (!checkRobustness(P, RO).Robust)
+      continue;
+    TSOOptions TO;
+    TO.TrencherMode = false;
+    TSORobustnessResult T = checkTSORobustness(P, TO);
+    if (!T.Complete)
+      continue;
+    EXPECT_TRUE(T.Robust) << E.Name;
+  }
+}
+
+TEST(TSORobustness, TrencherModeIsStricterOnBlockingPrograms) {
+  // barrier: robust with blocking waits, non-robust once lowered.
+  Program P = findCorpusEntry("barrier-wait").parse();
+  TSOOptions Keep;
+  Keep.TrencherMode = false;
+  EXPECT_TRUE(checkTSORobustness(P, Keep).Robust);
+  TSOOptions Lower;
+  Lower.TrencherMode = true;
+  EXPECT_FALSE(checkTSORobustness(P, Lower).Robust);
+}

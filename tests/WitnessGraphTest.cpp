@@ -1,0 +1,56 @@
+//===- tests/WitnessGraphTest.cpp - Witness graph reconstruction ------------===//
+
+#include "rocker/WitnessGraph.h"
+
+#include "graph/Consistency.h"
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace rocker;
+
+TEST(WitnessGraph, SBWitnessIsTheFigure4Graph) {
+  Program P = findCorpusEntry("SB").parse();
+  RockerOptions O;
+  O.UseCriticalAbstraction = false;
+  RockerReport R = checkRobustness(P, O);
+  ASSERT_FALSE(R.Robust);
+  ASSERT_FALSE(R.FirstViolationTrace.empty());
+
+  ExecutionGraph G = buildWitnessGraph(P, R.FirstViolationTrace);
+  // The witness state of Figure 4(ii): W(x,1), R(y,0), W(y,1) on top of
+  // the two initialization events.
+  EXPECT_EQ(G.numEvents(), 5u);
+  // The witness graph itself is SC-consistent (it was produced by SCG);
+  // only the *extension* by the stale read would break SC-consistency.
+  EXPECT_TRUE(isSCConsistent(G));
+
+  // Extending it with the RA-divergent step — t1 reading the initial x
+  // (event 0) — must break SC-consistency (Theorem 5.1's argument).
+  const Violation &V = R.Violations.front();
+  ExecutionGraph Bad = G;
+  Bad.add(V.Thread, Label::read(V.Loc, V.Witness), 0);
+  EXPECT_FALSE(isSCConsistent(Bad));
+  EXPECT_TRUE(isRAConsistent(Bad)); // ... while remaining RA-consistent.
+}
+
+TEST(WitnessGraph, TracesOfRobustProgramsAreEmpty) {
+  Program P = findCorpusEntry("MP").parse();
+  RockerReport R = checkRobustness(P);
+  EXPECT_TRUE(R.Robust);
+  EXPECT_TRUE(R.FirstViolationTrace.empty());
+}
+
+TEST(WitnessGraph, DotRenderingMentionsAllEdgeKinds) {
+  Program P = findCorpusEntry("SB").parse();
+  RockerOptions O;
+  O.UseCriticalAbstraction = false;
+  RockerReport R = checkRobustness(P, O);
+  ExecutionGraph G = buildWitnessGraph(P, R.FirstViolationTrace);
+  std::string Dot = G.toDot(&P);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("\"po\""), std::string::npos);
+  EXPECT_NE(Dot.find("\"rf\""), std::string::npos);
+  EXPECT_NE(Dot.find("\"mo\""), std::string::npos);
+}
