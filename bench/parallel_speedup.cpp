@@ -1,0 +1,94 @@
+//===- bench/parallel_speedup.cpp - Parallel-engine scaling ----------------===//
+//
+// Measures the work-stealing engine (src/parexplore) against the
+// sequential baseline on the Figure 7 corpus. Programs are first sized
+// at 1 thread; those with at least --min-states reachable product
+// states (default 1e5 — smaller spaces are dominated by thread startup
+// and dedup-set contention) are then re-run at 2, 4, and 8 threads.
+// Times are the engine-reported Stats.Seconds, so the numbers match
+// what rocker_cli --stats prints and exclude program parsing.
+//
+// Usage: parallel_speedup [--min-states N] [program-name ...]
+//
+// Note: speedup is meaningful only on a machine with that many physical
+// cores; on an oversubscribed box the >1-thread columns measure
+// correctness overhead, not scaling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace rocker;
+
+static constexpr unsigned ThreadCounts[] = {2, 4, 8};
+
+int main(int argc, char **argv) {
+  uint64_t MinStates = 100'000;
+  std::vector<std::string> Only;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--min-states") && I + 1 != argc)
+      MinStates = std::strtoull(argv[++I], nullptr, 10);
+    else
+      Only.push_back(argv[I]);
+  }
+
+  std::printf("hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-22s | %9s | %8s | %8s %5s | %8s %5s | %8s %5s\n",
+              "Program", "States", "T1[s]", "T2[s]", "x", "T4[s]", "x",
+              "T8[s]", "x");
+  std::printf("%s\n", std::string(96, '-').c_str());
+
+  unsigned Measured = 0;
+  for (const CorpusEntry &E : figure7Programs()) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      continue;
+    Program P = E.parse();
+
+    RockerOptions RO;
+    RO.RecordTrace = false;
+    RO.StopOnViolation = false; // Full exploration: comparable work.
+    RO.MaxStates = 4'000'000;
+    RockerReport Seq = checkRobustness(P, RO);
+    if (Seq.Stats.NumStates < MinStates) {
+      if (!Only.empty())
+        std::printf("%-22s | %9llu | below --min-states, skipped\n",
+                    E.Name.c_str(),
+                    static_cast<unsigned long long>(Seq.Stats.NumStates));
+      continue;
+    }
+    ++Measured;
+
+    std::printf("%-22s | %9llu | %8.3f", E.Name.c_str(),
+                static_cast<unsigned long long>(Seq.Stats.NumStates),
+                Seq.Stats.Seconds);
+    for (unsigned Threads : ThreadCounts) {
+      RockerOptions PO = RO;
+      PO.Threads = Threads;
+      RockerReport Par = checkRobustness(P, PO);
+      bool Ok = Par.Robust == Seq.Robust &&
+                Par.Stats.NumStates == Seq.Stats.NumStates;
+      std::printf(" | %8.3f %4.2fx%s", Par.Stats.Seconds,
+                  Par.Stats.Seconds > 0
+                      ? Seq.Stats.Seconds / Par.Stats.Seconds
+                      : 0.0,
+                  Ok ? "" : "!");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", std::string(96, '-').c_str());
+  std::printf("measured %u program%s with >= %llu states "
+              "(! = verdict/state-count mismatch vs sequential)\n",
+              Measured, Measured == 1 ? "" : "s",
+              static_cast<unsigned long long>(MinStates));
+  return 0;
+}

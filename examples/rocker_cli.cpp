@@ -6,6 +6,11 @@
 //   --no-races       skip the non-atomic data-race check (Section 6)
 //   --no-asserts     skip assertion checking under SC
 //   --max-states N   state budget (default 50M)
+//   --max-seconds S  wall-clock budget (parallel engine; default none)
+//   --threads N      worker threads (default 1 = sequential engine;
+//                    0 = hardware concurrency)
+//   --stats          print exploration statistics (dedup hit rate, peak
+//                    frontier, per-thread throughput)
 //   --tso            also run the TSO robustness baseline
 //   --sc-only        only explore under SC (assertion checking)
 //   --print          echo the parsed program
@@ -23,6 +28,7 @@
 #include "lang/Parser.h"
 #include "lang/Printer.h"
 #include "litmus/Corpus.h"
+#include "parexplore/ParallelExplorer.h"
 #include "promela/PromelaExport.h"
 #include "rocker/RobustnessChecker.h"
 #include "rocker/WitnessGraph.h"
@@ -39,7 +45,8 @@ using namespace rocker;
 static int usage() {
   std::fprintf(stderr,
                "usage: rocker_cli [--full] [--no-races] [--no-asserts] "
-               "[--max-states N] [--tso] [--sc-only] [--print] [--all] "
+               "[--max-states N] [--max-seconds S] [--threads N] [--stats] "
+               "[--tso] [--sc-only] [--print] [--all] "
                "<program-file | corpus-name>\n");
   return 2;
 }
@@ -73,10 +80,25 @@ static std::optional<Program> loadInput(const std::string &Arg) {
   return std::nullopt;
 }
 
+static void printStats(const ExploreStats &S) {
+  double HitRate = S.DedupHits + S.NumStates
+                       ? 100.0 * S.DedupHits / (S.DedupHits + S.NumStates)
+                       : 0.0;
+  std::printf("stats: %llu states, %llu transitions, dedup hits %llu "
+              "(%.1f%% hit rate), peak frontier %llu\n",
+              static_cast<unsigned long long>(S.NumStates),
+              static_cast<unsigned long long>(S.NumTransitions),
+              static_cast<unsigned long long>(S.DedupHits), HitRate,
+              static_cast<unsigned long long>(S.PeakFrontier));
+  for (size_t I = 0; I != S.PerThreadStatesPerSec.size(); ++I)
+    std::printf("stats: worker %zu: %.0f states/s\n", I,
+                S.PerThreadStatesPerSec[I]);
+}
+
 int main(int argc, char **argv) {
   RockerOptions Opts;
   bool RunTso = false, ScOnly = false, Print = false, Promela = false;
-  bool DumpGraph = false;
+  bool DumpGraph = false, Stats = false;
   std::string Input;
 
   for (int I = 1; I != argc; ++I) {
@@ -91,6 +113,18 @@ int main(int argc, char **argv) {
       if (++I == argc)
         return usage();
       Opts.MaxStates = std::strtoull(argv[I], nullptr, 10);
+    } else if (A == "--max-seconds") {
+      if (++I == argc)
+        return usage();
+      Opts.MaxSeconds = std::strtod(argv[I], nullptr);
+    } else if (A == "--threads") {
+      if (++I == argc)
+        return usage();
+      unsigned N =
+          static_cast<unsigned>(std::strtoul(argv[I], nullptr, 10));
+      Opts.Threads = N ? N : resolveThreadCount(0);
+    } else if (A == "--stats") {
+      Stats = true;
     } else if (A == "--tso") {
       RunTso = true;
     } else if (A == "--sc-only") {
@@ -132,16 +166,19 @@ int main(int argc, char **argv) {
                 R.Robust ? "no violations" : "VIOLATIONS FOUND");
     if (!R.Robust)
       std::printf("%s\n", R.FirstViolationText.c_str());
+    if (Stats)
+      printStats(R.Stats);
     return R.Robust ? 0 : 1;
   }
 
   RockerReport R = checkRobustness(*P, Opts);
-  std::printf("%s: %s against release/acquire (%llu states, %.3fs%s)\n",
+  std::printf("%s: %s against release/acquire (%llu states, %.3fs, "
+              "%u thread%s%s)\n",
               P->Name.empty() ? Input.c_str() : P->Name.c_str(),
               R.Robust ? "ROBUST" : "NOT ROBUST",
               static_cast<unsigned long long>(R.Stats.NumStates),
-              R.Stats.Seconds,
-              R.Complete ? "" : ", state budget hit — result incomplete");
+              R.Stats.Seconds, Opts.Threads, Opts.Threads == 1 ? "" : "s",
+              R.Complete ? "" : ", budget hit — result incomplete");
   for (const Violation &V : R.Violations)
     if (V.K != Violation::Kind::Robustness)
       std::printf("also: %s\n", violationKindName(V.K));
@@ -151,6 +188,8 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(R.Stats.NumDeadlockStates));
   if (!R.Robust)
     std::printf("\n%s\n", R.FirstViolationText.c_str());
+  if (Stats)
+    printStats(R.Stats);
   if (DumpGraph && !R.FirstViolationTrace.empty()) {
     ExecutionGraph G = buildWitnessGraph(*P, R.FirstViolationTrace);
     std::printf("witness execution graph (Theorem 5.1's G):\n%s\n",
@@ -161,11 +200,14 @@ int main(int argc, char **argv) {
   if (RunTso) {
     TSOOptions TO;
     TO.TrencherMode = true;
+    TO.Threads = Opts.Threads;
     TSORobustnessResult T = checkTSORobustness(*P, TO);
     std::printf("TSO baseline (trencher mode): %s (%llu states)%s\n",
                 T.Robust ? "robust" : "not robust",
                 static_cast<unsigned long long>(T.Stats.NumStates),
                 T.BufferSaturated ? " [buffer bound hit]" : "");
+    if (Stats)
+      printStats(T.Stats);
   }
   return R.Robust ? 0 : 1;
 }

@@ -84,8 +84,19 @@ struct ExploreStats {
   /// there. Not an error (blocking is legal, Section 2.3), but useful
   /// diagnostics for protocol encodings.
   uint64_t NumDeadlockStates = 0;
+  /// Transitions that led to an already-visited state. The dedup hit
+  /// rate DedupHits / (DedupHits + NumStates) measures how much of the
+  /// enumeration work the visited set absorbs.
+  uint64_t DedupHits = 0;
+  /// Maximum number of discovered-but-unexpanded states at any point.
+  uint64_t PeakFrontier = 0;
+  /// Engine-reported wall-clock time of the exploration; benches consume
+  /// this instead of re-timing externally.
   double Seconds = 0;
   bool Truncated = false; ///< Hit the state budget: result is partial.
+  /// Expansion throughput per worker (one entry for the sequential
+  /// engine, one per worker thread for the parallel engine).
+  std::vector<double> PerThreadStatesPerSec;
 };
 
 /// Search order for the exploration.
@@ -174,6 +185,8 @@ public:
           Res.Stats.Truncated = true;
           break;
         }
+        Res.Stats.PeakFrontier =
+            std::max(Res.Stats.PeakFrontier, States.size() - Id);
         expand(Id, Res, Hook);
         if (!Res.Violations.empty() && Opts.StopOnViolation)
           break;
@@ -185,6 +198,9 @@ public:
           Res.Stats.Truncated = true;
           break;
         }
+        Res.Stats.PeakFrontier =
+            std::max(Res.Stats.PeakFrontier,
+                     static_cast<uint64_t>(DfsStack.size()));
         uint64_t Id = DfsStack.back();
         DfsStack.pop_back();
         expand(Id, Res, Hook);
@@ -198,6 +214,9 @@ public:
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
+    Res.Stats.PerThreadStatesPerSec.push_back(
+        Res.Stats.Seconds > 0 ? Res.Stats.NumStates / Res.Stats.Seconds
+                              : 0.0);
     return Res;
   }
 
@@ -270,8 +289,10 @@ private:
       uint64_t B2 = (H >> 32 ^ H * 0x9e3779b97f4a7c15ull) & Mask;
       bool Seen = (Bitstate[B1 / 64] >> (B1 % 64)) & 1 &&
                   (Bitstate[B2 / 64] >> (B2 % 64)) & 1;
-      if (Seen)
+      if (Seen) {
+        ++Res.Stats.DedupHits;
         return NoId;
+      }
       Bitstate[B1 / 64] |= static_cast<uint64_t>(1) << (B1 % 64);
       Bitstate[B2 / 64] |= static_cast<uint64_t>(1) << (B2 % 64);
       States.push_back(std::move(S));
@@ -282,8 +303,10 @@ private:
       return States.size() - 1;
     }
     auto [It, New] = Visited.emplace(std::move(Key), States.size());
-    if (!New)
+    if (!New) {
+      ++Res.Stats.DedupHits;
       return It->second;
+    }
     if (Opts.CollectProgramStates) {
       std::string PKey;
       for (const ThreadState &TS : S.Threads) {

@@ -22,6 +22,7 @@
 #include "lang/Program.h"
 #include "lang/Step.h"
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -61,7 +62,7 @@ public:
   void enumerate(const State &S, ThreadId T, const MemAccess &A, Fn F) const {
     if (A.K == MemAccess::Kind::Write) {
       if (S.Buf[T].size() >= BufferBound) {
-        Saturated = true;
+        Saturated.store(true, std::memory_order_relaxed);
         return; // Must drain first (internal step is always enabled).
       }
       State Next = S;
@@ -125,7 +126,9 @@ public:
 
   /// True if some write was ever refused because of the buffer bound (the
   /// exploration is then an under-approximation of TSO).
-  bool saturated() const { return Saturated; }
+  bool saturated() const {
+    return Saturated.load(std::memory_order_relaxed);
+  }
 
 private:
   /// TSO read: newest buffered write to the location in the thread's own
@@ -142,7 +145,9 @@ private:
   unsigned NumLocs;
   unsigned NumThreads;
   unsigned BufferBound;
-  mutable bool Saturated = false;
+  /// Atomic: enumerate() runs concurrently from the parallel engine's
+  /// workers (making TSOMachine non-copyable, which nothing relies on).
+  mutable std::atomic<bool> Saturated{false};
 };
 
 } // namespace rocker

@@ -1,0 +1,26 @@
+//===- parexplore/ParallelExplorer.cpp - Non-template helpers --------------===//
+
+#include "parexplore/ParallelExplorer.h"
+
+#include <thread>
+
+using namespace rocker;
+
+const char *rocker::parVerdictName(ParVerdict V) {
+  switch (V) {
+  case ParVerdict::NoViolation:
+    return "no violation";
+  case ParVerdict::Violation:
+    return "violation";
+  case ParVerdict::Bounded:
+    return "bounded (budget hit, inconclusive)";
+  }
+  return "unknown";
+}
+
+unsigned rocker::resolveThreadCount(unsigned Requested) {
+  if (Requested)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}

@@ -1,0 +1,533 @@
+//===- parexplore/ParallelExplorer.h - Work-stealing explorer --*- C++ -*-===//
+///
+/// \file
+/// A multi-threaded drop-in alternative to the sequential ProductExplorer
+/// (explore/Explorer.h) for any memory subsystem satisfying the same
+/// concept (initial/enumerate/enumerateInternal/serialize). Rocker reduces
+/// robustness to reachability (Theorem 5.3), so every oracle in this repo
+/// bottlenecks on the exploration loop; this engine parallelizes it:
+///
+///  * Visited set: a sharded, striped-lock set of serialized product
+///    states (support/ShardedSet.h). Dedup is exact, so a run that is not
+///    truncated visits exactly the reachable state set — state and
+///    transition counts are equal to the sequential engine's.
+///  * Frontier: one WorkDeque per worker (owner LIFO, thieves FIFO), with
+///    round-robin stealing.
+///  * Termination: a Dijkstra-style in-flight counter (TerminationBarrier)
+///    — a state is counted from the moment it is enqueued until its
+///    expansion has enumerated all successors, so InFlight == 0 proves no
+///    worker holds or will produce work.
+///  * Determinism: exploration order is racy, but verdicts are not — the
+///    visited set is order-independent. When any worker reports a
+///    violation, all workers drain and the engine re-runs the sequential
+///    BFS engine under the same options ("replay"), so counterexample
+///    traces and Violation contents are byte-identical to what the
+///    sequential engine reports on the same program.
+///  * Graceful degradation: state-count (MaxStates) and wall-clock
+///    (MaxSeconds) limits stop the run with ParVerdict::Bounded instead
+///    of aborting; a violation found before the limit still wins.
+///
+/// Not supported (the dispatchers in rocker/ fall back to the sequential
+/// engine): bitstate hashing, DFS order, parent tracking for states other
+/// than via replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_PAREXPLORE_PARALLELEXPLORER_H
+#define ROCKER_PAREXPLORE_PARALLELEXPLORER_H
+
+#include "explore/Explorer.h"
+#include "lang/Program.h"
+#include "lang/Step.h"
+#include "parexplore/WorkDeque.h"
+#include "support/ShardedSet.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rocker {
+
+/// Outcome of a parallel exploration.
+enum class ParVerdict : uint8_t {
+  NoViolation, ///< Full state space explored, no violation.
+  Violation,   ///< At least one violation found (always real).
+  Bounded      ///< Hit MaxStates or MaxSeconds with no violation found:
+               ///< the absence of violations is inconclusive.
+};
+
+/// Renders a verdict for reports.
+const char *parVerdictName(ParVerdict V);
+
+/// Resolves a requested worker count (0 = std::thread::hardware_concurrency,
+/// clamped to at least 1).
+unsigned resolveThreadCount(unsigned Requested);
+
+/// Options for the parallel engine. Semantic options mirror
+/// ExploreOptions; exploration-order options (BFS/DFS, bitstate) do not
+/// exist here by design.
+struct ParExploreOptions {
+  unsigned Threads = 0;  ///< Worker count; 0 = hardware concurrency.
+  uint64_t MaxStates = UINT64_MAX;
+  double MaxSeconds = 0; ///< Wall-clock budget; 0 = unlimited.
+  bool StopOnViolation = true;
+  bool CheckAssertions = true;
+  bool CheckRaces = false;
+  bool CollectProgramStates = false;
+  bool CollapseLocalSteps = false;
+  /// Reconstruct traces via the sequential replay (see file comment).
+  bool RecordTrace = true;
+  /// Run the deterministic sequential replay when a violation is found.
+  bool ReplayOnViolation = true;
+  unsigned ShardCountLog2 = 8; ///< Visited-set shards = 2^k.
+};
+
+/// Result of a parallel exploration.
+struct ParExploreResult {
+  ParVerdict Verdict = ParVerdict::NoViolation;
+  ExploreStats Stats;
+  /// After a successful replay these are byte-identical to the sequential
+  /// engine's violations; otherwise the raw parallel findings (StateId 0).
+  std::vector<Violation> Violations;
+  std::vector<TraceStep> FirstViolationTrace;
+  std::string FirstViolationText;
+  /// True when the violations above come from the deterministic replay.
+  bool Replayed = false;
+  /// True when the run stopped on the wall-clock budget.
+  bool TimedOut = false;
+  /// Program-state projections (when requested).
+  std::unordered_set<std::string, StateKeyHash> ProgramStates;
+
+  bool hasViolation() const { return !Violations.empty(); }
+};
+
+/// Dijkstra-style termination detection: a state is "in flight" from
+/// enqueue until its expansion retired, so inFlight() == 0 means no queued
+/// work exists and no expansion that could produce more is running.
+class TerminationBarrier {
+public:
+  void enqueued() { InFlight.fetch_add(1, std::memory_order_acq_rel); }
+  void retired() { InFlight.fetch_sub(1, std::memory_order_acq_rel); }
+  uint64_t inFlight() const {
+    return InFlight.load(std::memory_order_acquire);
+  }
+  void requestStop() { StopFlag.store(true, std::memory_order_release); }
+  bool stopped() const {
+    return StopFlag.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<uint64_t> InFlight{0};
+  std::atomic<bool> StopFlag{false};
+};
+
+/// The parallel product explorer. Hooks must be thread-safe: the access
+/// hook (same signature as ProductExplorer's) and the optional state hook
+/// (called once per newly discovered state) run concurrently from all
+/// workers against const state.
+template <typename MemSys> class ParallelExplorer {
+public:
+  using MemState = typename MemSys::State;
+
+  struct ProductState {
+    std::vector<ThreadState> Threads;
+    MemState M;
+  };
+
+  ParallelExplorer(const Program &P, const MemSys &Mem,
+                   ParExploreOptions Opts)
+      : P(P), Mem(Mem), Opts(Opts) {}
+
+  /// Runs the exploration with an access hook and a state hook. The state
+  /// hook sees every newly interned state exactly once (including the
+  /// initial state) and may report a Violation — used by the graph oracle
+  /// to check SC-consistency of each reached graph.
+  template <typename AccessHook, typename StateHook>
+  ParExploreResult runWithHooks(AccessHook AHook, StateHook SHook) {
+    auto Start = std::chrono::steady_clock::now();
+    ParExploreResult Res;
+
+    unsigned NumWorkers = resolveThreadCount(Opts.Threads);
+    Shared Sh(NumWorkers, Opts.ShardCountLog2);
+    Sh.HasDeadline = Opts.MaxSeconds > 0;
+    if (Sh.HasDeadline)
+      Sh.Deadline = Start + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    Opts.MaxSeconds));
+
+    // Intern the initial state.
+    ProductState Init;
+    Init.Threads.reserve(P.numThreads());
+    for (const SequentialProgram &S : P.Threads)
+      Init.Threads.push_back(ThreadState::initial(S));
+    Init.M = Mem.initial();
+    Sh.Visited.insert(keyOf(Init));
+    Sh.StateCount.store(1, std::memory_order_relaxed);
+    if (Opts.CollectProgramStates)
+      Sh.ProgStates.insert(programKeyOf(Init));
+    if (std::optional<Violation> V = SHook(Init))
+      recordViolation(Sh, std::move(*V));
+    Sh.TB.enqueued();
+    Sh.Workers[0]->Deque.push(std::move(Init));
+
+    std::vector<std::thread> Threads;
+    Threads.reserve(NumWorkers);
+    for (unsigned I = 0; I != NumWorkers; ++I)
+      Threads.emplace_back([this, &Sh, I, &AHook, &SHook] {
+        workerMain(Sh, I, AHook, SHook);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+
+    // Gather statistics (workers have quiesced; plain reads are safe).
+    Res.Stats.NumStates = Sh.StateCount.load(std::memory_order_relaxed);
+    Res.Stats.PeakFrontier =
+        Sh.PeakFrontier.load(std::memory_order_relaxed);
+    Res.Stats.Truncated = Sh.Bounded.load(std::memory_order_relaxed);
+    Res.TimedOut = Sh.TimedOut.load(std::memory_order_relaxed);
+    for (const std::unique_ptr<WorkerSlot> &W : Sh.Workers) {
+      Res.Stats.NumTransitions += W->Transitions;
+      Res.Stats.NumDeadlockStates += W->Deadlocks;
+      Res.Stats.DedupHits += W->DedupHits;
+      Res.Stats.PerThreadStatesPerSec.push_back(
+          W->Seconds > 0 ? W->Expanded / W->Seconds : 0.0);
+    }
+    if (Opts.CollectProgramStates)
+      Sh.ProgStates.drainInto(Res.ProgramStates);
+    Res.Violations = std::move(Sh.RawViolations);
+
+    if (!Res.Violations.empty()) {
+      Res.Verdict = ParVerdict::Violation;
+      if (Opts.ReplayOnViolation)
+        replay(Res, AHook);
+      if (!Res.Replayed && !Res.Violations.empty())
+        Res.FirstViolationText =
+            formatViolation(P, Res.Violations.front(), {});
+    } else {
+      Res.Verdict = Res.Stats.Truncated ? ParVerdict::Bounded
+                                        : ParVerdict::NoViolation;
+    }
+
+    Res.Stats.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+    return Res;
+  }
+
+  template <typename AccessHook>
+  ParExploreResult runWithHook(AccessHook AHook) {
+    return runWithHooks(AHook, [](const ProductState &)
+                            -> std::optional<Violation> {
+      return std::nullopt;
+    });
+  }
+
+  ParExploreResult run() {
+    return runWithHook([](const MemState &, ThreadId, uint32_t,
+                          const MemAccess &) -> std::optional<Violation> {
+      return std::nullopt;
+    });
+  }
+
+private:
+  /// Per-worker frontier and statistics. Stats fields are written only by
+  /// the owning worker and read after the join.
+  struct alignas(64) WorkerSlot {
+    WorkDeque<ProductState> Deque;
+    uint64_t Expanded = 0;
+    uint64_t Transitions = 0;
+    uint64_t Deadlocks = 0;
+    uint64_t DedupHits = 0;
+    double Seconds = 0;
+  };
+
+  /// State shared by all workers of one run.
+  struct Shared {
+    Shared(unsigned NumWorkers, unsigned ShardCountLog2)
+        : Visited(ShardCountLog2), ProgStates(ShardCountLog2) {
+      Workers.reserve(NumWorkers);
+      for (unsigned I = 0; I != NumWorkers; ++I)
+        Workers.push_back(std::make_unique<WorkerSlot>());
+    }
+    ShardedStateSet Visited;
+    ShardedStateSet ProgStates;
+    TerminationBarrier TB;
+    std::vector<std::unique_ptr<WorkerSlot>> Workers;
+    std::atomic<uint64_t> StateCount{0};
+    std::atomic<uint64_t> PeakFrontier{0};
+    std::atomic<bool> Bounded{false};
+    std::atomic<bool> TimedOut{false};
+    std::mutex ViolM;
+    std::vector<Violation> RawViolations;
+    std::chrono::steady_clock::time_point Deadline;
+    bool HasDeadline = false;
+  };
+
+  static void atomicMax(std::atomic<uint64_t> &A, uint64_t V) {
+    uint64_t Cur = A.load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::string keyOf(const ProductState &S) const {
+    std::string Key;
+    Key.reserve(64);
+    for (const ThreadState &TS : S.Threads) {
+      Key.push_back(static_cast<char>(TS.Pc & 0xff));
+      Key.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
+      Key.append(reinterpret_cast<const char *>(TS.Regs.data()),
+                 TS.Regs.size());
+    }
+    Mem.serialize(S.M, Key);
+    return Key;
+  }
+
+  std::string programKeyOf(const ProductState &S) const {
+    std::string PKey;
+    for (const ThreadState &TS : S.Threads) {
+      PKey.push_back(static_cast<char>(TS.Pc & 0xff));
+      PKey.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
+      PKey.append(reinterpret_cast<const char *>(TS.Regs.data()),
+                  TS.Regs.size());
+    }
+    return PKey;
+  }
+
+  void recordViolation(Shared &Sh, Violation &&V) {
+    {
+      std::lock_guard<std::mutex> L(Sh.ViolM);
+      Sh.RawViolations.push_back(std::move(V));
+    }
+    if (Opts.StopOnViolation)
+      Sh.TB.requestStop();
+  }
+
+  /// Interns a successor: dedups against the sharded visited set and, when
+  /// new, runs the state hook, applies the state budget, and enqueues the
+  /// state on the discovering worker's deque.
+  template <typename StateHook>
+  void internChild(Shared &Sh, WorkerSlot &W, ProductState &&Next,
+                   StateHook &SHook) {
+    if (!Sh.Visited.insert(keyOf(Next))) {
+      ++W.DedupHits;
+      return;
+    }
+    if (Opts.CollectProgramStates)
+      Sh.ProgStates.insert(programKeyOf(Next));
+    if (std::optional<Violation> V = SHook(Next))
+      recordViolation(Sh, std::move(*V));
+    uint64_t N = Sh.StateCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (N >= Opts.MaxStates) {
+      Sh.Bounded.store(true, std::memory_order_relaxed);
+      Sh.TB.requestStop();
+    }
+    Sh.TB.enqueued();
+    atomicMax(Sh.PeakFrontier, Sh.TB.inFlight());
+    W.Deque.push(std::move(Next));
+  }
+
+  template <typename AccessHook, typename StateHook>
+  void workerMain(Shared &Sh, unsigned Me, AccessHook &AHook,
+                  StateHook &SHook) {
+    auto T0 = std::chrono::steady_clock::now();
+    WorkerSlot &W = *Sh.Workers[Me];
+    size_t NumWorkers = Sh.Workers.size();
+    while (!Sh.TB.stopped()) {
+      std::optional<ProductState> S = W.Deque.pop();
+      for (size_t I = 1; !S && I != NumWorkers; ++I)
+        S = Sh.Workers[(Me + I) % NumWorkers]->Deque.steal();
+      if (!S) {
+        if (Sh.TB.inFlight() == 0)
+          break;
+        std::this_thread::yield();
+        continue;
+      }
+      expandState(Sh, W, *S, AHook, SHook);
+      Sh.TB.retired();
+      ++W.Expanded;
+      if (Sh.HasDeadline && (W.Expanded & 63) == 0 &&
+          std::chrono::steady_clock::now() > Sh.Deadline) {
+        Sh.TimedOut.store(true, std::memory_order_relaxed);
+        Sh.Bounded.store(true, std::memory_order_relaxed);
+        Sh.TB.requestStop();
+      }
+    }
+    W.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      T0)
+            .count();
+  }
+
+  /// Expansion of one product state — the same successor generation and
+  /// per-state checks as ProductExplorer::expand, minus parent tracking.
+  template <typename AccessHook, typename StateHook>
+  void expandState(Shared &Sh, WorkerSlot &W, const ProductState &S,
+                   AccessHook &AHook, StateHook &SHook) {
+    struct NaAccess {
+      ThreadId T;
+      LocId Loc;
+      bool IsWrite;
+      uint32_t Pc;
+    };
+    std::vector<NaAccess> NaAccesses;
+    bool AnyStep = false;
+    bool AllHalted = true;
+
+    for (unsigned T = 0; T != P.numThreads(); ++T) {
+      ThreadStep Step =
+          inspectThread(P, static_cast<ThreadId>(T), S.Threads[T]);
+      if (Step.K != ThreadStep::Kind::Halted)
+        AllHalted = false;
+      switch (Step.K) {
+      case ThreadStep::Kind::Halted:
+        break;
+      case ThreadStep::Kind::Local: {
+        ProductState Next;
+        Next.Threads = S.Threads;
+        Next.M = S.M;
+        Next.Threads[T] = Step.Next;
+        if (Opts.CollapseLocalSteps) {
+          // Follow the deterministic ε-chain (bounded, as in the
+          // sequential engine, in case of a local-only infinite loop).
+          unsigned Collapsed = 1;
+          while (Collapsed < 4096) {
+            ThreadStep More = inspectThread(P, static_cast<ThreadId>(T),
+                                            Next.Threads[T]);
+            if (More.K != ThreadStep::Kind::Local)
+              break;
+            Next.Threads[T] = More.Next;
+            ++Collapsed;
+          }
+        }
+        ++W.Transitions;
+        internChild(Sh, W, std::move(Next), SHook);
+        AnyStep = true;
+        break;
+      }
+      case ThreadStep::Kind::AssertFail:
+        if (Opts.CheckAssertions) {
+          Violation V;
+          V.K = Violation::Kind::AssertFail;
+          V.StateId = 0;
+          V.Thread = static_cast<ThreadId>(T);
+          V.Pc = S.Threads[T].Pc;
+          V.Detail = "assertion failed: " +
+                     toString(P, static_cast<ThreadId>(T),
+                              P.Threads[T].Insts[V.Pc]);
+          recordViolation(Sh, std::move(V));
+          if (Opts.StopOnViolation)
+            return;
+        }
+        break;
+      case ThreadStep::Kind::Access: {
+        const MemAccess A = Step.A;
+        uint32_t Pc = S.Threads[T].Pc;
+        if (Opts.CheckRaces && A.IsNA)
+          NaAccesses.push_back(NaAccess{static_cast<ThreadId>(T), A.Loc,
+                                        A.isWriteOnly(), Pc});
+        if (std::optional<Violation> V =
+                AHook(S.M, static_cast<ThreadId>(T), Pc, A)) {
+          V->StateId = 0;
+          V->Thread = static_cast<ThreadId>(T);
+          V->Pc = Pc;
+          recordViolation(Sh, std::move(*V));
+          if (Opts.StopOnViolation)
+            return;
+        }
+        Mem.enumerate(S.M, static_cast<ThreadId>(T), A,
+                      [&](const Label &L, MemState &&M2) {
+                        AnyStep = true;
+                        ProductState Next;
+                        Next.Threads = S.Threads;
+                        Next.Threads[T] =
+                            applyAccess(P, static_cast<ThreadId>(T),
+                                        S.Threads[T], A, L);
+                        Next.M = std::move(M2);
+                        ++W.Transitions;
+                        internChild(Sh, W, std::move(Next), SHook);
+                      });
+        break;
+      }
+      }
+    }
+
+    // Definition 6.1 race check, as in the sequential engine.
+    if (Opts.CheckRaces) {
+      for (unsigned I = 0; I != NaAccesses.size(); ++I) {
+        for (unsigned J = I + 1; J != NaAccesses.size(); ++J) {
+          if (NaAccesses[I].Loc != NaAccesses[J].Loc)
+            continue;
+          if (!NaAccesses[I].IsWrite && !NaAccesses[J].IsWrite)
+            continue;
+          Violation V;
+          V.K = Violation::Kind::Race;
+          V.StateId = 0;
+          V.Thread = NaAccesses[I].T;
+          V.Pc = NaAccesses[I].Pc;
+          V.Loc = NaAccesses[I].Loc;
+          V.Detail = "data race on non-atomic '" +
+                     P.locName(NaAccesses[I].Loc) + "' between t" +
+                     std::to_string(NaAccesses[I].T) + " and t" +
+                     std::to_string(NaAccesses[J].T);
+          recordViolation(Sh, std::move(V));
+          if (Opts.StopOnViolation)
+            return;
+        }
+      }
+    }
+
+    // Memory-internal steps (e.g. TSO store-buffer flushes).
+    Mem.enumerateInternal(S.M, [&](ThreadId T, MemState &&M2) {
+      AnyStep = true;
+      ProductState Next;
+      Next.Threads = S.Threads;
+      Next.M = std::move(M2);
+      ++W.Transitions;
+      internChild(Sh, W, std::move(Next), SHook);
+      (void)T;
+    });
+
+    if (!AnyStep && !AllHalted)
+      ++W.Deadlocks;
+  }
+
+  /// Deterministic violation reporting: re-run the sequential BFS engine
+  /// under the same semantic options; its violations, trace, and report
+  /// replace the racy parallel findings byte-for-byte.
+  template <typename AccessHook>
+  void replay(ParExploreResult &Res, AccessHook &AHook) {
+    ExploreOptions EO;
+    EO.MaxStates = Opts.MaxStates;
+    EO.Order = SearchOrder::BFS;
+    EO.RecordParents = Opts.RecordTrace;
+    EO.StopOnViolation = Opts.StopOnViolation;
+    EO.CheckAssertions = Opts.CheckAssertions;
+    EO.CheckRaces = Opts.CheckRaces;
+    EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
+    ProductExplorer<MemSys> Seq(P, Mem, EO);
+    ExploreResult SR = Seq.runWithHook(AHook);
+    if (SR.Violations.empty())
+      return; // Budget-order mismatch: keep the raw parallel findings.
+    Res.Violations = SR.Violations;
+    Res.FirstViolationText = Seq.report(SR.Violations.front());
+    if (Opts.RecordTrace)
+      Res.FirstViolationTrace = Seq.trace(SR.Violations.front());
+    Res.Replayed = true;
+  }
+
+  const Program &P;
+  const MemSys &Mem;
+  ParExploreOptions Opts;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_PAREXPLORE_PARALLELEXPLORER_H

@@ -1,0 +1,67 @@
+//===- parexplore/WorkDeque.h - Per-worker work-stealing deque -*- C++ -*-===//
+///
+/// \file
+/// The per-worker frontier of the parallel exploration engine: the owner
+/// pushes and pops newly discovered states at the back (LIFO — keeps the
+/// resident frontier small, like a DFS), thieves steal the oldest state
+/// from the front (the root of the largest unexplored subtree, so a steal
+/// amortizes over many expansions). A plain mutex guards each deque: the
+/// unit of work it hands out — expanding one product state (serializing
+/// and hashing every successor) — is three orders of magnitude more
+/// expensive than an uncontended lock, so a Chase–Lev lock-free deque
+/// would not move the needle here while costing TSan-auditable clarity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_PAREXPLORE_WORKDEQUE_H
+#define ROCKER_PAREXPLORE_WORKDEQUE_H
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace rocker {
+
+/// A mutex-guarded deque of work items; owner at the back, thieves at the
+/// front.
+template <typename T> class WorkDeque {
+public:
+  void push(T &&V) {
+    std::lock_guard<std::mutex> L(M);
+    Q.push_back(std::move(V));
+  }
+
+  /// Owner side: newest item (LIFO).
+  std::optional<T> pop() {
+    std::lock_guard<std::mutex> L(M);
+    if (Q.empty())
+      return std::nullopt;
+    std::optional<T> V(std::move(Q.back()));
+    Q.pop_back();
+    return V;
+  }
+
+  /// Thief side: oldest item (FIFO).
+  std::optional<T> steal() {
+    std::lock_guard<std::mutex> L(M);
+    if (Q.empty())
+      return std::nullopt;
+    std::optional<T> V(std::move(Q.front()));
+    Q.pop_front();
+    return V;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> L(M);
+    return Q.size();
+  }
+
+private:
+  mutable std::mutex M;
+  std::deque<T> Q;
+};
+
+} // namespace rocker
+
+#endif // ROCKER_PAREXPLORE_WORKDEQUE_H

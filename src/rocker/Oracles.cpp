@@ -6,15 +6,34 @@
 #include "graph/GraphSemantics.h"
 #include "memory/RAMachine.h"
 #include "memory/SCMemory.h"
+#include "parexplore/ParallelExplorer.h"
+
+#include <chrono>
 
 using namespace rocker;
 
 namespace {
 
-/// Collects reachable program-state projections under a memory subsystem.
+/// Collects reachable program-state projections under a memory subsystem,
+/// on the engine selected by \p Threads (identical sets either way).
 template <typename MemSys>
 ExploreResult collectProgramStates(const Program &P, const MemSys &Mem,
-                                   uint64_t MaxStates) {
+                                   uint64_t MaxStates, unsigned Threads) {
+  if (Threads > 1) {
+    ParExploreOptions PE;
+    PE.Threads = Threads;
+    PE.MaxStates = MaxStates;
+    PE.StopOnViolation = false;
+    PE.CheckAssertions = false;
+    PE.CollectProgramStates = true;
+    PE.RecordTrace = false;
+    ParallelExplorer<MemSys> Ex(P, Mem, PE);
+    ParExploreResult R = Ex.run();
+    ExploreResult Out;
+    Out.Stats = std::move(R.Stats);
+    Out.ProgramStates = std::move(R.ProgramStates);
+    return Out;
+  }
   ExploreOptions EO;
   EO.MaxStates = MaxStates;
   EO.RecordParents = false;
@@ -29,8 +48,52 @@ ExploreResult collectProgramStates(const Program &P, const MemSys &Mem,
 
 OracleResult rocker::checkGraphRobustnessOracle(const Program &P,
                                                 uint64_t MaxStates,
-                                                bool NaExtension) {
+                                                bool NaExtension,
+                                                unsigned Threads) {
   RAGraphMem Mem(P, NaExtension);
+  auto AccessHook = [&](const ExecutionGraph &G, ThreadId T, uint32_t Pc,
+                        const MemAccess &A) -> std::optional<Violation> {
+    if (NaExtension && Mem.naRace(G, T, A)) {
+      Violation V;
+      V.K = Violation::Kind::MemoryViolation;
+      V.Loc = A.Loc;
+      V.Detail = "RAG+NA reaches the racy state ⊥ on '" +
+                 P.locName(A.Loc) + "'";
+      return V;
+    }
+    return std::nullopt;
+  };
+
+  if (Threads > 1) {
+    // Parallel path: check SC-consistency of each graph as it is
+    // discovered (the engine keeps no state store to sweep afterwards).
+    ParExploreOptions PE;
+    PE.Threads = Threads;
+    PE.MaxStates = MaxStates;
+    PE.StopOnViolation = true;
+    PE.CheckAssertions = false;
+    PE.RecordTrace = false;
+    PE.ReplayOnViolation = false; // Verdict + detail suffice here.
+    ParallelExplorer<RAGraphMem> Ex(P, Mem, PE);
+    ParExploreResult R = Ex.runWithHooks(
+        AccessHook, [&](const auto &S) -> std::optional<Violation> {
+          if (isSCConsistent(S.M))
+            return std::nullopt;
+          Violation V;
+          V.K = Violation::Kind::MemoryViolation;
+          V.Detail = "reachable RAG graph is not SC-consistent:\n" +
+                     S.M.toString(&P);
+          return V;
+        });
+    OracleResult Res;
+    Res.Complete = !R.Stats.Truncated;
+    Res.Stats = std::move(R.Stats);
+    Res.Robust = R.Violations.empty();
+    if (!Res.Robust)
+      Res.Detail = R.Violations.front().Detail;
+    return Res;
+  }
+
   ExploreOptions EO;
   EO.MaxStates = MaxStates;
   EO.RecordParents = false;
@@ -39,28 +102,11 @@ OracleResult rocker::checkGraphRobustnessOracle(const Program &P,
 
   ProductExplorer<RAGraphMem> Ex(P, Mem, EO);
   // Hook: every pending access lets us check the RAG+NA ⊥ transition; the
-  // SC-consistency of each *reached* graph is checked inside enumerate by
-  // wrapping the state check here (every reached ⟨q,G⟩ must be reachable
-  // in PSCG, i.e. G must be SC-consistent; Lemma A.11).
-  ExploreResult R = Ex.runWithHook(
-      [&](const ExecutionGraph &G, ThreadId T, uint32_t Pc,
-          const MemAccess &A) -> std::optional<Violation> {
-        if (NaExtension && Mem.naRace(G, T, A)) {
-          Violation V;
-          V.K = Violation::Kind::MemoryViolation;
-          V.Loc = A.Loc;
-          V.Detail = "RAG+NA reaches the racy state ⊥ on '" +
-                     P.locName(A.Loc) + "'";
-          return V;
-        }
-        // Check the current graph (cheap way to visit every reached
-        // state exactly once would be a state hook; checking at access
-        // time visits every non-terminal state, and terminal states are
-        // extensions of checked ones... but the *last* added event can
-        // itself break SC-consistency, so also check successors below
-        // via the final sweep in run()).
-        return std::nullopt;
-      });
+  // SC-consistency of every *reached* graph is checked by the sweep below
+  // (every reached ⟨q,G⟩ must be reachable in PSCG, i.e. G must be
+  // SC-consistent; Lemma A.11).
+  auto SweepStart = std::chrono::steady_clock::now();
+  ExploreResult R = Ex.runWithHook(AccessHook);
 
   OracleResult Res;
   Res.Complete = !R.Stats.Truncated;
@@ -70,29 +116,37 @@ OracleResult rocker::checkGraphRobustnessOracle(const Program &P,
     Res.Detail = R.Violations.front().Detail;
     return Res;
   }
-  // Sweep all stored graphs for SC-consistency.
+  // Sweep all stored graphs for SC-consistency. The sweep is part of the
+  // verification, so its time counts toward the engine-reported Seconds.
+  Res.Robust = true;
   for (uint64_t Id = 0; Id != Ex.numStates(); ++Id) {
     if (!isSCConsistent(Ex.state(Id).M)) {
       Res.Robust = false;
       Res.Detail = "reachable RAG graph is not SC-consistent:\n" +
                    Ex.state(Id).M.toString(&P);
-      return Res;
+      break;
     }
   }
-  Res.Robust = true;
+  Res.Stats.Seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - SweepStart)
+                          .count();
   return Res;
 }
 
 OracleResult rocker::checkStateRobustnessOracle(const Program &P,
-                                                uint64_t MaxStates) {
+                                                uint64_t MaxStates,
+                                                unsigned Threads) {
   RAMachine RA(P);
   SCMemory SC(P);
-  ExploreResult RRa = collectProgramStates(P, RA, MaxStates);
-  ExploreResult RSc = collectProgramStates(P, SC, MaxStates);
+  ExploreResult RRa = collectProgramStates(P, RA, MaxStates, Threads);
+  ExploreResult RSc = collectProgramStates(P, SC, MaxStates, Threads);
 
   OracleResult Res;
   Res.Complete = !RRa.Stats.Truncated && !RSc.Stats.Truncated;
   Res.Stats = RRa.Stats;
+  // Both explorations are part of the check; report their combined time
+  // (consistent with checkTSORobustness).
+  Res.Stats.Seconds += RSc.Stats.Seconds;
   for (const std::string &Key : RRa.ProgramStates) {
     if (!RSc.ProgramStates.count(Key)) {
       Res.Robust = false;
@@ -105,33 +159,36 @@ OracleResult rocker::checkStateRobustnessOracle(const Program &P,
 }
 
 std::optional<bool> rocker::crossCheckRAMachineVsRAG(const Program &P,
-                                                     uint64_t MaxStates) {
+                                                     uint64_t MaxStates,
+                                                     unsigned Threads) {
   RAMachine RA(P);
   RAGraphMem RAG(P, /*NaExtension=*/false);
-  ExploreResult A = collectProgramStates(P, RA, MaxStates);
-  ExploreResult B = collectProgramStates(P, RAG, MaxStates);
+  ExploreResult A = collectProgramStates(P, RA, MaxStates, Threads);
+  ExploreResult B = collectProgramStates(P, RAG, MaxStates, Threads);
   if (A.Stats.Truncated || B.Stats.Truncated)
     return std::nullopt;
   return A.ProgramStates == B.ProgramStates;
 }
 
 std::optional<bool> rocker::crossCheckSCVsSCG(const Program &P,
-                                              uint64_t MaxStates) {
+                                              uint64_t MaxStates,
+                                              unsigned Threads) {
   SCMemory SC(P);
   SCGraphMem SCG(P);
-  ExploreResult A = collectProgramStates(P, SC, MaxStates);
-  ExploreResult B = collectProgramStates(P, SCG, MaxStates);
+  ExploreResult A = collectProgramStates(P, SC, MaxStates, Threads);
+  ExploreResult B = collectProgramStates(P, SCG, MaxStates, Threads);
   if (A.Stats.Truncated || B.Stats.Truncated)
     return std::nullopt;
   return A.ProgramStates == B.ProgramStates;
 }
 
 std::optional<bool> rocker::crossCheckSCSubsetOfRA(const Program &P,
-                                                   uint64_t MaxStates) {
+                                                   uint64_t MaxStates,
+                                                   unsigned Threads) {
   SCMemory SC(P);
   RAMachine RA(P);
-  ExploreResult A = collectProgramStates(P, SC, MaxStates);
-  ExploreResult B = collectProgramStates(P, RA, MaxStates);
+  ExploreResult A = collectProgramStates(P, SC, MaxStates, Threads);
+  ExploreResult B = collectProgramStates(P, RA, MaxStates, Threads);
   if (A.Stats.Truncated || B.Stats.Truncated)
     return std::nullopt;
   for (const std::string &Key : A.ProgramStates)

@@ -4,12 +4,67 @@
 
 #include "memory/SCMemory.h"
 #include "monitor/SCMState.h"
+#include "parexplore/ParallelExplorer.h"
 
 using namespace rocker;
+
+namespace {
+
+/// Maps RockerOptions onto the parallel engine's options.
+ParExploreOptions parOptions(const RockerOptions &Opts) {
+  ParExploreOptions PE;
+  PE.Threads = Opts.Threads;
+  PE.MaxStates = Opts.MaxStates;
+  PE.MaxSeconds = Opts.MaxSeconds;
+  PE.StopOnViolation = Opts.StopOnViolation;
+  PE.CheckAssertions = Opts.CheckAssertions;
+  PE.CheckRaces = Opts.CheckRaces;
+  PE.CollapseLocalSteps = Opts.CollapseLocalSteps;
+  PE.RecordTrace = Opts.RecordTrace;
+  return PE;
+}
+
+/// True when the request can use the parallel engine (bitstate hashing
+/// exists only in the sequential engine).
+bool useParallel(const RockerOptions &Opts) {
+  return Opts.Threads > 1 && Opts.BitstateLog2 == 0;
+}
+
+RockerReport reportFromParallel(ParExploreResult &&R) {
+  RockerReport Rep;
+  Rep.Complete = !R.Stats.Truncated;
+  Rep.Robust = R.Violations.empty();
+  Rep.Stats = std::move(R.Stats);
+  Rep.Violations = std::move(R.Violations);
+  Rep.FirstViolationText = std::move(R.FirstViolationText);
+  Rep.FirstViolationTrace = std::move(R.FirstViolationTrace);
+  return Rep;
+}
+
+} // namespace
 
 RockerReport rocker::checkRobustness(const Program &P,
                                      const RockerOptions &Opts) {
   SCMonitor Mem(P, Opts.UseCriticalAbstraction);
+  auto Hook = [&](const SCMState &S, ThreadId T, uint32_t Pc,
+                  const MemAccess &A) -> std::optional<Violation> {
+    std::optional<MonitorViolation> MV = Mem.checkAccess(S, T, A);
+    if (!MV)
+      return std::nullopt;
+    Violation V;
+    V.K = Violation::Kind::Robustness;
+    V.Loc = MV->Loc;
+    V.Witness =
+        MV->WitnessIsCritical ? MV->WitnessVal : static_cast<Val>(0xff);
+    V.Type = MV->Type;
+    return V;
+  };
+
+  if (useParallel(Opts)) {
+    ParallelExplorer<SCMonitor> Ex(P, Mem, parOptions(Opts));
+    return reportFromParallel(Ex.runWithHook(Hook));
+  }
+
   ExploreOptions EO;
   EO.MaxStates = Opts.MaxStates;
   EO.RecordParents = Opts.RecordTrace;
@@ -21,20 +76,7 @@ RockerReport rocker::checkRobustness(const Program &P,
   EO.BitstateLog2 = Opts.BitstateLog2;
 
   ProductExplorer<SCMonitor> Ex(P, Mem, EO);
-  ExploreResult R = Ex.runWithHook(
-      [&](const SCMState &S, ThreadId T, uint32_t Pc,
-          const MemAccess &A) -> std::optional<Violation> {
-        std::optional<MonitorViolation> MV = Mem.checkAccess(S, T, A);
-        if (!MV)
-          return std::nullopt;
-        Violation V;
-        V.K = Violation::Kind::Robustness;
-        V.Loc = MV->Loc;
-        V.Witness = MV->WitnessIsCritical ? MV->WitnessVal
-                                          : static_cast<Val>(0xff);
-        V.Type = MV->Type;
-        return V;
-      });
+  ExploreResult R = Ex.runWithHook(Hook);
 
   RockerReport Rep;
   Rep.Complete = !R.Stats.Truncated;
@@ -51,6 +93,12 @@ RockerReport rocker::checkRobustness(const Program &P,
 
 RockerReport rocker::exploreSC(const Program &P, const RockerOptions &Opts) {
   SCMemory Mem(P);
+
+  if (useParallel(Opts)) {
+    ParallelExplorer<SCMemory> Ex(P, Mem, parOptions(Opts));
+    return reportFromParallel(Ex.run());
+  }
+
   ExploreOptions EO;
   EO.MaxStates = Opts.MaxStates;
   EO.RecordParents = Opts.RecordTrace;

@@ -45,6 +45,16 @@ struct RockerOptions {
   /// Spin-style bitstate hashing with 2^k bits when non-zero; "robust"
   /// results become approximate (see ExploreOptions::BitstateLog2).
   unsigned BitstateLog2 = 0;
+  /// Worker threads. 1 = the sequential engine (default); >1 = the
+  /// work-stealing engine (parexplore/ParallelExplorer.h), which ignores
+  /// Order and falls back to sequential when BitstateLog2 is set.
+  /// Verdicts and full-exploration state counts are identical either way;
+  /// violation traces are reconstructed by a sequential replay, so they
+  /// are byte-identical too.
+  unsigned Threads = 1;
+  /// Wall-clock budget in seconds (parallel engine only; 0 = unlimited).
+  /// Exceeding it yields Complete == false instead of running forever.
+  double MaxSeconds = 0;
 };
 
 /// The verification verdict.

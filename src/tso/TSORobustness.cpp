@@ -4,6 +4,7 @@
 
 #include "memory/SCMemory.h"
 #include "memory/TSOMachine.h"
+#include "parexplore/ParallelExplorer.h"
 
 using namespace rocker;
 
@@ -64,6 +65,41 @@ Program rocker::lowerBlockingInstructions(const Program &P) {
   return Out;
 }
 
+namespace {
+
+/// One exploration collecting program-state projections, via the engine
+/// selected by \p Threads. Both engines visit the same reachable set, so
+/// the resulting projection sets are identical.
+template <typename MemSys>
+ExploreResult collectStates(const Program &P, const MemSys &Mem,
+                            uint64_t MaxStates, unsigned Threads) {
+  if (Threads > 1) {
+    ParExploreOptions PE;
+    PE.Threads = Threads;
+    PE.MaxStates = MaxStates;
+    PE.StopOnViolation = false;
+    PE.CheckAssertions = false;
+    PE.CollectProgramStates = true;
+    PE.RecordTrace = false;
+    ParallelExplorer<MemSys> Ex(P, Mem, PE);
+    ParExploreResult R = Ex.run();
+    ExploreResult Out;
+    Out.Stats = std::move(R.Stats);
+    Out.ProgramStates = std::move(R.ProgramStates);
+    return Out;
+  }
+  ExploreOptions EO;
+  EO.MaxStates = MaxStates;
+  EO.RecordParents = false;
+  EO.StopOnViolation = false;
+  EO.CheckAssertions = false;
+  EO.CollectProgramStates = true;
+  ProductExplorer<MemSys> Ex(P, Mem, EO);
+  return Ex.run();
+}
+
+} // namespace
+
 TSORobustnessResult rocker::checkTSORobustness(const Program &Input,
                                                const TSOOptions &Opts) {
   Program Lowered;
@@ -73,20 +109,12 @@ TSORobustnessResult rocker::checkTSORobustness(const Program &Input,
     P = &Lowered;
   }
 
-  ExploreOptions EO;
-  EO.MaxStates = Opts.MaxStates;
-  EO.RecordParents = false;
-  EO.StopOnViolation = false;
-  EO.CheckAssertions = false;
-  EO.CollectProgramStates = true;
-
   TSOMachine TSO(*P, Opts.BufferBound);
-  ProductExplorer<TSOMachine> ExTso(*P, TSO, EO);
-  ExploreResult RTso = ExTso.run();
+  ExploreResult RTso =
+      collectStates(*P, TSO, Opts.MaxStates, Opts.Threads);
 
   SCMemory SC(*P);
-  ProductExplorer<SCMemory> ExSc(*P, SC, EO);
-  ExploreResult RSc = ExSc.run();
+  ExploreResult RSc = collectStates(*P, SC, Opts.MaxStates, Opts.Threads);
 
   TSORobustnessResult Res;
   Res.Complete = !RTso.Stats.Truncated && !RSc.Stats.Truncated;

@@ -38,6 +38,9 @@ struct TSOOptions {
   /// Lower wait/BCAS to spin loops first (Trencher-style input language).
   bool TrencherMode = false;
   uint64_t MaxStates = 50'000'000;
+  /// Worker threads for the two explorations; >1 selects the parallel
+  /// engine (parexplore/ParallelExplorer.h), same verdicts and counts.
+  unsigned Threads = 1;
 };
 
 /// Rewrites every wait(x == e) into `L: r := x; if r != e goto L` and

@@ -129,6 +129,45 @@ TEST(Fuzz, BlockingPrimitivesAgreeWithOracle) {
   EXPECT_GT(Conclusive, 80u);
 }
 
+TEST(Fuzz, ParallelEngineMatchesSequentialOnRandomPrograms) {
+  // The work-stealing engine (src/parexplore) must agree with the
+  // sequential engine on verdict, state count, and transition count for
+  // arbitrary programs — full exploration, so the counts are
+  // order-independent and exactly comparable.
+  std::mt19937 Rng(20260805);
+  unsigned NonRobustSeen = 0;
+  for (unsigned I = 0; I != 150; ++I) {
+    Program P = randomProgram(Rng);
+    RockerOptions O;
+    O.StopOnViolation = false;
+    O.RecordTrace = false;
+    for (unsigned Threads : {2u, 4u}) {
+      RockerOptions PO = O;
+      PO.Threads = Threads;
+      RockerReport Seq = checkRobustness(P, O);
+      RockerReport Par = checkRobustness(P, PO);
+      ASSERT_TRUE(Seq.Complete && Par.Complete);
+      EXPECT_EQ(Seq.Robust, Par.Robust)
+          << "sequential/parallel verdict divergence at " << Threads
+          << " threads on:\n"
+          << toString(P);
+      EXPECT_EQ(Seq.Stats.NumStates, Par.Stats.NumStates) << toString(P);
+      EXPECT_EQ(Seq.Stats.NumTransitions, Par.Stats.NumTransitions)
+          << toString(P);
+      if (!Seq.Robust)
+        ++NonRobustSeen;
+
+      // SC assertion checking must agree as well.
+      RockerReport SeqSc = exploreSC(P, O);
+      RockerReport ParSc = exploreSC(P, PO);
+      EXPECT_EQ(SeqSc.Robust, ParSc.Robust) << toString(P);
+      EXPECT_EQ(SeqSc.Stats.NumStates, ParSc.Stats.NumStates)
+          << toString(P);
+    }
+  }
+  EXPECT_GT(NonRobustSeen, 30u); // The sample must exercise violations.
+}
+
 TEST(Fuzz, GraphRobustImpliesStateRobust) {
   std::mt19937 Rng(42);
   for (unsigned I = 0; I != 120; ++I) {
