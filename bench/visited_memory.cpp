@@ -1,0 +1,160 @@
+//===- bench/visited_memory.cpp - Visited-set memory comparison ------------===//
+//
+// Sizes the Figure 7 corpus under the three visited-set representations:
+// the raw full-key set, the collapse-compressed set (interned component
+// tuples, support/StateInterner.h — the default), and Spin-style bitstate
+// hashing (approximate). Every program runs to a full exploration
+// (StopOnViolation off); raw and compressed runs must agree exactly on
+// verdict, states, transitions, and dedup hits — disagreement is flagged
+// with "!" and a nonzero exit code.
+//
+// Bytes are the engine-reported Stats.VisitedBytes: estimated actual heap
+// footprint for the raw set (node + bucket + string + heap buffer per
+// key), actual arena/index/table bytes for the compressed set, and the
+// bit-array size for bitstate. The headline number is the compression
+// ratio on programs with at least --min-states states (default 1e5 —
+// below that, fixed table overheads dominate and the ratio is noise).
+//
+// Usage: visited_memory [--min-states N] [--bitstate-log2 K]
+//                       [--json FILE] [program-name ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rocker;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  uint64_t States = 0;
+  uint64_t RawBytes = 0;
+  uint64_t CompressedBytes = 0;
+  uint64_t BitstateBytes = 0;
+  double Ratio = 0;
+  bool CountsMatch = true;
+};
+
+double mib(uint64_t B) { return B / (1024.0 * 1024.0); }
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t MinStates = 100'000;
+  unsigned BitstateLog2 = 24;
+  const char *JsonPath = nullptr;
+  std::vector<std::string> Only;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--min-states") && I + 1 != argc)
+      MinStates = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--bitstate-log2") && I + 1 != argc)
+      BitstateLog2 = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--json") && I + 1 != argc)
+      JsonPath = argv[++I];
+    else
+      Only.push_back(argv[I]);
+  }
+
+  std::printf("%-22s | %9s | %9s | %9s | %6s | %9s\n", "Program", "States",
+              "Raw[MiB]", "Comp[MiB]", "Ratio", "Bit[MiB]");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  std::vector<Row> Rows;
+  bool AllMatch = true;
+  for (const CorpusEntry &E : figure7Programs()) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      continue;
+    Program P = E.parse();
+
+    RockerOptions RO;
+    RO.RecordTrace = false;
+    RO.StopOnViolation = false; // Full exploration: comparable sets.
+    RO.MaxStates = 4'000'000;
+
+    RockerOptions Raw = RO;
+    Raw.CompressVisited = false;
+    RockerReport RRaw = checkRobustness(P, Raw);
+
+    RockerOptions Comp = RO;
+    Comp.CompressVisited = true;
+    RockerReport RComp = checkRobustness(P, Comp);
+
+    RockerOptions Bit = RO;
+    Bit.BitstateLog2 = BitstateLog2;
+    RockerReport RBit = checkRobustness(P, Bit);
+
+    Row R;
+    R.Name = E.Name;
+    R.States = RRaw.Stats.NumStates;
+    R.RawBytes = RRaw.Stats.VisitedBytes;
+    R.CompressedBytes = RComp.Stats.VisitedBytes;
+    R.BitstateBytes = RBit.Stats.VisitedBytes;
+    R.Ratio = R.CompressedBytes
+                  ? static_cast<double>(R.RawBytes) / R.CompressedBytes
+                  : 0.0;
+    R.CountsMatch = RRaw.Robust == RComp.Robust &&
+                    RRaw.Stats.NumStates == RComp.Stats.NumStates &&
+                    RRaw.Stats.NumTransitions == RComp.Stats.NumTransitions &&
+                    RRaw.Stats.DedupHits == RComp.Stats.DedupHits;
+    AllMatch &= R.CountsMatch;
+    Rows.push_back(R);
+
+    std::printf("%-22s | %9llu | %9.2f | %9.2f | %5.2fx%s | %9.2f\n",
+                R.Name.c_str(), static_cast<unsigned long long>(R.States),
+                mib(R.RawBytes), mib(R.CompressedBytes), R.Ratio,
+                R.CountsMatch ? "" : "!", mib(R.BitstateBytes));
+    std::fflush(stdout);
+  }
+
+  std::printf("%s\n", std::string(78, '-').c_str());
+  double MinRatio = 0;
+  unsigned Large = 0;
+  for (const Row &R : Rows)
+    if (R.States >= MinStates) {
+      MinRatio = Large ? std::min(MinRatio, R.Ratio) : R.Ratio;
+      ++Large;
+    }
+  std::printf("%u program%s with >= %llu states; min compression there: "
+              "%.2fx%s\n",
+              Large, Large == 1 ? "" : "s",
+              static_cast<unsigned long long>(MinStates), MinRatio,
+              AllMatch ? "" : "  (! = raw/compressed count MISMATCH)");
+
+  if (JsonPath) {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 2;
+    }
+    std::fprintf(F, "{\n  \"min_states\": %llu,\n  \"min_ratio_large\": "
+                    "%.4f,\n  \"counts_match\": %s,\n  \"programs\": [\n",
+                 static_cast<unsigned long long>(MinStates), MinRatio,
+                 AllMatch ? "true" : "false");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(
+          F,
+          "    {\"name\": \"%s\", \"states\": %llu, \"raw_bytes\": %llu, "
+          "\"compressed_bytes\": %llu, \"bitstate_bytes\": %llu, "
+          "\"ratio\": %.4f, \"counts_match\": %s}%s\n",
+          R.Name.c_str(), static_cast<unsigned long long>(R.States),
+          static_cast<unsigned long long>(R.RawBytes),
+          static_cast<unsigned long long>(R.CompressedBytes),
+          static_cast<unsigned long long>(R.BitstateBytes), R.Ratio,
+          R.CountsMatch ? "true" : "false",
+          I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
+  return AllMatch ? 0 : 1;
+}

@@ -2,23 +2,9 @@
 //
 // Usage: rocker_cli [options] <program.rkr | corpus-name>
 //
-//   --full           disable the critical-value abstraction (Section 5.1)
-//   --no-races       skip the non-atomic data-race check (Section 6)
-//   --no-asserts     skip assertion checking under SC
-//   --max-states N   state budget (default 50M)
-//   --max-seconds S  wall-clock budget (parallel engine; default none)
-//   --threads N      worker threads (default 1 = sequential engine;
-//                    0 = hardware concurrency)
-//   --stats          print exploration statistics (dedup hit rate, peak
-//                    frontier, per-thread throughput)
-//   --tso            also run the TSO robustness baseline
-//   --sc-only        only explore under SC (assertion checking)
-//   --print          echo the parsed program
-//   --promela        emit the instrumented Promela model (Section 7
-//                    pipeline) to stdout and exit
-//   --dump-graph     on a violation, print the witness execution graph
-//                    and its Graphviz rendering
-//   --all            collect all violations instead of the first
+// The option table below is the single source of truth: usage() is
+// generated from it, so the help text cannot go stale against the parser
+// again (it used to omit --promela and --dump-graph).
 //
 // The input is a file in the textual language (see lang/Parser.h), or the
 // name of a bundled corpus program (e.g. "peterson-ra", "SB").
@@ -42,16 +28,102 @@
 
 using namespace rocker;
 
-static int usage() {
+namespace {
+
+/// Everything the option handlers may set.
+struct CliState {
+  RockerOptions Opts;
+  bool RunTso = false;
+  bool ScOnly = false;
+  bool Print = false;
+  bool Promela = false;
+  bool DumpGraph = false;
+  bool Stats = false;
+};
+
+/// One command-line option: flag name, argument placeholder (null for
+/// plain flags), help text, and its effect.
+struct CliOption {
+  const char *Name;
+  const char *Arg; ///< e.g. "N"; null when the option takes no argument.
+  const char *Help;
+  void (*Apply)(CliState &, const char *Value);
+};
+
+const CliOption Options[] = {
+    {"--full", nullptr,
+     "disable the critical-value abstraction (Section 5.1)",
+     [](CliState &C, const char *) {
+       C.Opts.UseCriticalAbstraction = false;
+     }},
+    {"--no-races", nullptr,
+     "skip the non-atomic data-race check (Section 6)",
+     [](CliState &C, const char *) { C.Opts.CheckRaces = false; }},
+    {"--no-asserts", nullptr, "skip assertion checking under SC",
+     [](CliState &C, const char *) { C.Opts.CheckAssertions = false; }},
+    {"--max-states", "N", "state budget (default 200M)",
+     [](CliState &C, const char *V) {
+       C.Opts.MaxStates = std::strtoull(V, nullptr, 10);
+     }},
+    {"--max-seconds", "S",
+     "wall-clock budget (parallel engine; default none)",
+     [](CliState &C, const char *V) {
+       C.Opts.MaxSeconds = std::strtod(V, nullptr);
+     }},
+    {"--threads", "N",
+     "worker threads (default 1 = sequential engine; 0 = hardware "
+     "concurrency)",
+     [](CliState &C, const char *V) {
+       unsigned N = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+       C.Opts.Threads = N ? N : resolveThreadCount(0);
+     }},
+    {"--bitstate", "K",
+     "Spin-style bitstate hashing with 2^K bits (approximate; sequential "
+     "engine only)",
+     [](CliState &C, const char *V) {
+       C.Opts.BitstateLog2 =
+           static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+     }},
+    {"--no-compress", nullptr,
+     "store full state keys instead of the compressed (interned-"
+     "component) visited set",
+     [](CliState &C, const char *) { C.Opts.CompressVisited = false; }},
+    {"--stats", nullptr,
+     "print exploration statistics (dedup hit rate, peak frontier, "
+     "visited-set bytes + compression ratio, per-thread throughput)",
+     [](CliState &C, const char *) { C.Stats = true; }},
+    {"--tso", nullptr, "also run the TSO robustness baseline",
+     [](CliState &C, const char *) { C.RunTso = true; }},
+    {"--sc-only", nullptr, "only explore under SC (assertion checking)",
+     [](CliState &C, const char *) { C.ScOnly = true; }},
+    {"--print", nullptr, "echo the parsed program",
+     [](CliState &C, const char *) { C.Print = true; }},
+    {"--promela", nullptr,
+     "emit the instrumented Promela model (Section 7 pipeline) to stdout "
+     "and exit",
+     [](CliState &C, const char *) { C.Promela = true; }},
+    {"--dump-graph", nullptr,
+     "on a violation, print the witness execution graph and its Graphviz "
+     "rendering",
+     [](CliState &C, const char *) { C.DumpGraph = true; }},
+    {"--all", nullptr, "collect all violations instead of the first",
+     [](CliState &C, const char *) { C.Opts.StopOnViolation = false; }},
+};
+
+int usage() {
   std::fprintf(stderr,
-               "usage: rocker_cli [--full] [--no-races] [--no-asserts] "
-               "[--max-states N] [--max-seconds S] [--threads N] [--stats] "
-               "[--tso] [--sc-only] [--print] [--all] "
-               "<program-file | corpus-name>\n");
+               "usage: rocker_cli [options] <program-file | corpus-name>\n"
+               "\noptions:\n");
+  for (const CliOption &O : Options) {
+    std::string Flag = O.Name;
+    if (O.Arg)
+      Flag += std::string(" ") + O.Arg;
+    std::fprintf(stderr, "  %-16s %s\n", Flag.c_str(), O.Help);
+  }
   return 2;
 }
 
-static std::optional<Program> loadInput(const std::string &Arg) {
+std::optional<Program> loadInput(const std::string &Arg) {
   std::ifstream In(Arg);
   if (In) {
     std::stringstream Buf;
@@ -80,7 +152,7 @@ static std::optional<Program> loadInput(const std::string &Arg) {
   return std::nullopt;
 }
 
-static void printStats(const ExploreStats &S) {
+void printStats(const ExploreStats &S) {
   double HitRate = S.DedupHits + S.NumStates
                        ? 100.0 * S.DedupHits / (S.DedupHits + S.NumStates)
                        : 0.0;
@@ -90,55 +162,40 @@ static void printStats(const ExploreStats &S) {
               static_cast<unsigned long long>(S.NumTransitions),
               static_cast<unsigned long long>(S.DedupHits), HitRate,
               static_cast<unsigned long long>(S.PeakFrontier));
+  std::printf("stats: visited set %.2f MiB (raw would be %.2f MiB, "
+              "%.2fx compression)\n",
+              S.VisitedBytes / (1024.0 * 1024.0),
+              S.VisitedRawBytes / (1024.0 * 1024.0),
+              S.compressionRatio());
   for (size_t I = 0; I != S.PerThreadStatesPerSec.size(); ++I)
     std::printf("stats: worker %zu: %.0f states/s\n", I,
                 S.PerThreadStatesPerSec[I]);
 }
 
+} // namespace
+
 int main(int argc, char **argv) {
-  RockerOptions Opts;
-  bool RunTso = false, ScOnly = false, Print = false, Promela = false;
-  bool DumpGraph = false, Stats = false;
+  CliState C;
   std::string Input;
 
   for (int I = 1; I != argc; ++I) {
     std::string A = argv[I];
-    if (A == "--full") {
-      Opts.UseCriticalAbstraction = false;
-    } else if (A == "--no-races") {
-      Opts.CheckRaces = false;
-    } else if (A == "--no-asserts") {
-      Opts.CheckAssertions = false;
-    } else if (A == "--max-states") {
-      if (++I == argc)
+    if (!A.empty() && A[0] == '-') {
+      const CliOption *Found = nullptr;
+      for (const CliOption &O : Options)
+        if (A == O.Name) {
+          Found = &O;
+          break;
+        }
+      if (!Found)
         return usage();
-      Opts.MaxStates = std::strtoull(argv[I], nullptr, 10);
-    } else if (A == "--max-seconds") {
-      if (++I == argc)
-        return usage();
-      Opts.MaxSeconds = std::strtod(argv[I], nullptr);
-    } else if (A == "--threads") {
-      if (++I == argc)
-        return usage();
-      unsigned N =
-          static_cast<unsigned>(std::strtoul(argv[I], nullptr, 10));
-      Opts.Threads = N ? N : resolveThreadCount(0);
-    } else if (A == "--stats") {
-      Stats = true;
-    } else if (A == "--tso") {
-      RunTso = true;
-    } else if (A == "--sc-only") {
-      ScOnly = true;
-    } else if (A == "--print") {
-      Print = true;
-    } else if (A == "--promela") {
-      Promela = true;
-    } else if (A == "--dump-graph") {
-      DumpGraph = true;
-    } else if (A == "--all") {
-      Opts.StopOnViolation = false;
-    } else if (!A.empty() && A[0] == '-') {
-      return usage();
+      const char *Value = nullptr;
+      if (Found->Arg) {
+        if (++I == argc)
+          return usage();
+        Value = argv[I];
+      }
+      Found->Apply(C, Value);
     } else if (Input.empty()) {
       Input = A;
     } else {
@@ -151,33 +208,35 @@ int main(int argc, char **argv) {
   std::optional<Program> P = loadInput(Input);
   if (!P)
     return 2;
-  if (Print)
+  if (C.Print)
     std::printf("%s\n", toString(*P).c_str());
-  if (Promela) {
+  if (C.Promela) {
     std::printf("%s", exportPromela(*P).c_str());
     return 0;
   }
 
-  if (ScOnly) {
-    RockerReport R = exploreSC(*P, Opts);
+  if (C.ScOnly) {
+    RockerReport R = exploreSC(*P, C.Opts);
     std::printf("SC exploration: %llu states in %.3fs — %s\n",
                 static_cast<unsigned long long>(R.Stats.NumStates),
                 R.Stats.Seconds,
                 R.Robust ? "no violations" : "VIOLATIONS FOUND");
     if (!R.Robust)
       std::printf("%s\n", R.FirstViolationText.c_str());
-    if (Stats)
+    if (C.Stats)
       printStats(R.Stats);
     return R.Robust ? 0 : 1;
   }
 
-  RockerReport R = checkRobustness(*P, Opts);
+  RockerReport R = checkRobustness(*P, C.Opts);
   std::printf("%s: %s against release/acquire (%llu states, %.3fs, "
-              "%u thread%s%s)\n",
+              "%u thread%s%s%s)\n",
               P->Name.empty() ? Input.c_str() : P->Name.c_str(),
               R.Robust ? "ROBUST" : "NOT ROBUST",
               static_cast<unsigned long long>(R.Stats.NumStates),
-              R.Stats.Seconds, Opts.Threads, Opts.Threads == 1 ? "" : "s",
+              R.Stats.Seconds, C.Opts.Threads,
+              C.Opts.Threads == 1 ? "" : "s",
+              R.Approximate ? ", bitstate — ROBUST is approximate" : "",
               R.Complete ? "" : ", budget hit — result incomplete");
   for (const Violation &V : R.Violations)
     if (V.K != Violation::Kind::Robustness)
@@ -188,25 +247,26 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(R.Stats.NumDeadlockStates));
   if (!R.Robust)
     std::printf("\n%s\n", R.FirstViolationText.c_str());
-  if (Stats)
+  if (C.Stats)
     printStats(R.Stats);
-  if (DumpGraph && !R.FirstViolationTrace.empty()) {
+  if (C.DumpGraph && !R.FirstViolationTrace.empty()) {
     ExecutionGraph G = buildWitnessGraph(*P, R.FirstViolationTrace);
     std::printf("witness execution graph (Theorem 5.1's G):\n%s\n",
                 G.toString(&*P).c_str());
     std::printf("%s\n", G.toDot(&*P).c_str());
   }
 
-  if (RunTso) {
+  if (C.RunTso) {
     TSOOptions TO;
     TO.TrencherMode = true;
-    TO.Threads = Opts.Threads;
+    TO.Threads = C.Opts.Threads;
+    TO.CompressVisited = C.Opts.CompressVisited;
     TSORobustnessResult T = checkTSORobustness(*P, TO);
     std::printf("TSO baseline (trencher mode): %s (%llu states)%s\n",
                 T.Robust ? "robust" : "not robust",
                 static_cast<unsigned long long>(T.Stats.NumStates),
                 T.BufferSaturated ? " [buffer bound hit]" : "");
-    if (Stats)
+    if (C.Stats)
       printStats(T.Stats);
   }
   return R.Robust ? 0 : 1;

@@ -33,6 +33,8 @@
 #include "lang/Program.h"
 #include "lang/Step.h"
 #include "support/Hashing.h"
+#include "support/StateInterner.h"
+#include "support/StateKey.h"
 
 #include <algorithm>
 #include <chrono>
@@ -90,6 +92,11 @@ struct ExploreStats {
   uint64_t DedupHits = 0;
   /// Maximum number of discovered-but-unexpanded states at any point.
   uint64_t PeakFrontier = 0;
+  /// Estimated heap bytes held by the visited set at the end of the run.
+  uint64_t VisitedBytes = 0;
+  /// Estimated heap bytes a raw (full serialized key per state) visited
+  /// set would have held; equals VisitedBytes when compression is off.
+  uint64_t VisitedRawBytes = 0;
   /// Engine-reported wall-clock time of the exploration; benches consume
   /// this instead of re-timing externally.
   double Seconds = 0;
@@ -97,6 +104,13 @@ struct ExploreStats {
   /// Expansion throughput per worker (one entry for the sequential
   /// engine, one per worker thread for the parallel engine).
   std::vector<double> PerThreadStatesPerSec;
+
+  /// Visited-set compression ratio (raw / actual); 1 when uncompressed.
+  double compressionRatio() const {
+    return VisitedBytes
+               ? static_cast<double>(VisitedRawBytes) / VisitedBytes
+               : 1.0;
+  }
 };
 
 /// Search order for the exploration.
@@ -111,10 +125,19 @@ struct ExploreOptions {
   uint64_t MaxStates = UINT64_MAX;
   SearchOrder Order = SearchOrder::BFS;
   /// When non-zero, use Spin-style bitstate hashing with 2^k bits
-  /// instead of storing full state keys: memory drops to 2^k/8 bytes,
-  /// but hash collisions may prune reachable states, making "no
-  /// violation" results approximate (violations found remain real).
+  /// instead of storing full state keys: the visited set shrinks to
+  /// 2^k/8 bytes and expanded states' payloads are released, so only
+  /// the visited bits and the unexpanded frontier occupy memory — but
+  /// hash collisions may prune reachable states, making "no violation"
+  /// results approximate (violations found remain real). Takes
+  /// precedence over CompressVisited.
   unsigned BitstateLog2 = 0;
+  /// Store visited states as tuples of interned component ids
+  /// (support/StateInterner.h) instead of full serialized keys. Exact —
+  /// identical verdicts, counts, and reports — while typically shrinking
+  /// the visited set several-fold. Default on; ROCKER_NO_COMPRESS=1
+  /// flips the default (for CI equivalence runs and A/B measurement).
+  bool CompressVisited = defaultCompressVisited();
   bool RecordParents = true;
   bool StopOnViolation = true;
   bool CheckAssertions = true;
@@ -170,6 +193,10 @@ public:
       Res.Approximate = true;
       Bitstate.assign((static_cast<size_t>(1) << Opts.BitstateLog2) / 64,
                       0);
+    } else if (Opts.CompressVisited) {
+      Interner.emplace(P.numThreads() + memComponentCount(Mem));
+      SlotOrder = buildSlotOrder(P.numThreads(), memComponentCount(Mem),
+                                 memPerThreadTailComponents(Mem));
     }
 
     ProductState Init;
@@ -188,6 +215,13 @@ public:
         Res.Stats.PeakFrontier =
             std::max(Res.Stats.PeakFrontier, States.size() - Id);
         expand(Id, Res, Hook);
+        // Under bitstate hashing the stored payloads exist only to be
+        // expanded once (there is no exact visited map pointing back at
+        // them), so release each one as soon as it has been expanded —
+        // this is what makes the "memory drops to the bit array" claim
+        // true instead of aspirational.
+        if (Opts.BitstateLog2)
+          States[Id] = ProductState();
         if (!Res.Violations.empty() && Opts.StopOnViolation)
           break;
       }
@@ -204,12 +238,24 @@ public:
         uint64_t Id = DfsStack.back();
         DfsStack.pop_back();
         expand(Id, Res, Hook);
+        if (Opts.BitstateLog2) // See the BFS loop.
+          States[Id] = ProductState();
         if (!Res.Violations.empty() && Opts.StopOnViolation)
           break;
       }
     }
 
     Res.Stats.NumStates = States.size();
+    if (Opts.BitstateLog2) {
+      Res.Stats.VisitedBytes = Bitstate.size() * sizeof(uint64_t);
+      Res.Stats.VisitedRawBytes = RawVisitedBytes;
+    } else if (Interner) {
+      Res.Stats.VisitedBytes = Interner->bytesUsed();
+      Res.Stats.VisitedRawBytes = Interner->rawBytes();
+    } else {
+      Res.Stats.VisitedBytes = RawVisitedBytes;
+      Res.Stats.VisitedRawBytes = RawVisitedBytes;
+    }
     Res.Stats.Seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
@@ -260,19 +306,6 @@ private:
     std::string Text;
   };
 
-  std::string keyOf(const ProductState &S) const {
-    std::string Key;
-    Key.reserve(64);
-    for (const ThreadState &TS : S.Threads) {
-      Key.push_back(static_cast<char>(TS.Pc & 0xff));
-      Key.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
-      Key.append(reinterpret_cast<const char *>(TS.Regs.data()),
-                 TS.Regs.size());
-    }
-    Mem.serialize(S.M, Key);
-    return Key;
-  }
-
   /// Adds a state if new; returns its id (or the existing one). Under
   /// bitstate hashing, "new" is approximated by two independent hash
   /// bits (Spin's double-bit scheme); colliding states are treated as
@@ -280,8 +313,8 @@ private:
   static constexpr uint64_t NoId = ~static_cast<uint64_t>(0);
 
   uint64_t intern(ProductState &&S, ExploreResult &Res) {
-    std::string Key = keyOf(S);
     if (Opts.BitstateLog2) {
+      std::string Key = productStateKey(Mem, S.Threads, S.M);
       uint64_t H = hashBytes(
           reinterpret_cast<const uint8_t *>(Key.data()), Key.size());
       uint64_t Mask = (static_cast<uint64_t>(1) << Opts.BitstateLog2) - 1;
@@ -295,28 +328,54 @@ private:
       }
       Bitstate[B1 / 64] |= static_cast<uint64_t>(1) << (B1 % 64);
       Bitstate[B2 / 64] |= static_cast<uint64_t>(1) << (B2 % 64);
-      States.push_back(std::move(S));
-      if (Opts.RecordParents)
-        Parents.emplace_back();
-      if (Opts.Order == SearchOrder::DFS && States.size() > 1)
-        DfsStack.push_back(States.size() - 1);
-      return States.size() - 1;
+      RawVisitedBytes += stringNodeBytes(Key.size(), sizeof(uint64_t));
+      return finishNew(std::move(S), Res);
     }
+
+    if (Interner) {
+      // Intern per-thread and memory components, then the id tuple. The
+      // component bytes are exactly productStateKey's (permuted per
+      // SlotOrder), so the tuple is new iff the raw key would have been.
+      TupleBuf.resize(Interner->numSlots());
+      CompBuf.clear();
+      uint64_t RawLen = 0;
+      unsigned Idx = 0;
+      auto Cut = [&] {
+        RawLen += CompBuf.size();
+        unsigned Slot = SlotOrder[Idx++];
+        TupleBuf[Slot] = Interner->internComponent(Slot, CompBuf);
+        CompBuf.clear();
+      };
+      for (const ThreadState &TS : S.Threads) {
+        appendThreadStateKey(CompBuf, TS);
+        Cut();
+      }
+      serializeMemComponents(Mem, S.M, CompBuf, Cut);
+      auto [Id, New] = Interner->insertTuple(
+          TupleBuf.data(), stringNodeBytes(RawLen, sizeof(uint64_t)));
+      if (!New) {
+        ++Res.Stats.DedupHits;
+        return Id; // Dense tuple ids coincide with state ids.
+      }
+      return finishNew(std::move(S), Res);
+    }
+
+    std::string Key = productStateKey(Mem, S.Threads, S.M);
+    size_t KeyLen = Key.size();
     auto [It, New] = Visited.emplace(std::move(Key), States.size());
     if (!New) {
       ++Res.Stats.DedupHits;
       return It->second;
     }
-    if (Opts.CollectProgramStates) {
-      std::string PKey;
-      for (const ThreadState &TS : S.Threads) {
-        PKey.push_back(static_cast<char>(TS.Pc & 0xff));
-        PKey.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
-        PKey.append(reinterpret_cast<const char *>(TS.Regs.data()),
-                    TS.Regs.size());
-      }
-      Res.ProgramStates.insert(std::move(PKey));
-    }
+    RawVisitedBytes += stringNodeBytes(KeyLen, sizeof(uint64_t));
+    return finishNew(std::move(S), Res);
+  }
+
+  /// Common tail for newly visited states: record the program-state
+  /// projection, store the state, and schedule it.
+  uint64_t finishNew(ProductState &&S, ExploreResult &Res) {
+    if (Opts.CollectProgramStates)
+      Res.ProgramStates.insert(programStateKey(S.Threads));
     States.push_back(std::move(S));
     if (Opts.RecordParents)
       Parents.emplace_back();
@@ -488,7 +547,14 @@ private:
   ExploreOptions Opts;
   std::deque<ProductState> States;
   std::vector<ParentEdge> Parents;
+  /// Raw visited map (CompressVisited off and no bitstate hashing).
   std::unordered_map<std::string, uint64_t, StateKeyHash> Visited;
+  /// Compressed visited set (engaged when CompressVisited is on).
+  std::optional<StateInterner> Interner;
+  std::string CompBuf;            ///< Scratch: current component bytes.
+  std::vector<uint32_t> TupleBuf; ///< Scratch: current id tuple.
+  std::vector<uint32_t> SlotOrder; ///< Emission index → tuple slot.
+  uint64_t RawVisitedBytes = 0;   ///< Raw-key byte accounting.
   std::vector<uint64_t> Bitstate; ///< Bitstate-hashing visited bits.
   std::vector<uint64_t> DfsStack;
 };

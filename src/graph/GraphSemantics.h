@@ -34,6 +34,9 @@ public:
 
   State initial() const { return ExecutionGraph::initial(NumLocs); }
 
+  // No serializeComponents hook: an execution graph is one densely
+  // interconnected object (po/rf/mo edges cross all threads), so the
+  // compressed visited set's single-chunk default applies.
   void serialize(const State &S, std::string &Out) const {
     S.serialize(Out);
   }

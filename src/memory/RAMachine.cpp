@@ -47,15 +47,5 @@ RAMachine::State RAMachine::insertAfterFor(const State &S, ThreadId T,
 }
 
 void RAMachine::serialize(const State &S, std::string &Out) const {
-  for (const std::vector<RAMessage> &Ms : S.Mem) {
-    Out.push_back(static_cast<char>(Ms.size()));
-    for (const RAMessage &M : Ms) {
-      Out.push_back(static_cast<char>(M.V));
-      Out.push_back(static_cast<char>(M.IsRmw));
-      Out.append(reinterpret_cast<const char *>(M.MsgView.data()),
-                 M.MsgView.size());
-    }
-  }
-  for (const View &Vw : S.TView)
-    Out.append(reinterpret_cast<const char *>(Vw.data()), Vw.size());
+  serializeComponents(S, Out, [] {});
 }

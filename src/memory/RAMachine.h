@@ -124,6 +124,36 @@ public:
 
   void serialize(const State &S, std::string &Out) const;
 
+  /// Component split for the compressed visited set
+  /// (support/StateInterner.h): one chunk per location (its message list)
+  /// plus one per thread view. A step inserts into or reads one location
+  /// and advances one view, but message insertion shifts views globally,
+  /// so per-location granularity is what keeps untouched locations'
+  /// chunks shared. Concatenating the chunks reproduces serialize()'s
+  /// byte string exactly.
+  unsigned numComponents() const { return NumLocs + NumThreads; }
+  /// The trailing NumThreads view chunks are per-thread (tree-layout
+  /// hint; see buildSlotOrder in support/StateInterner.h).
+  unsigned perThreadTailComponents() const { return NumThreads; }
+
+  template <typename Fn>
+  void serializeComponents(const State &S, std::string &Out, Fn Cut) const {
+    for (const std::vector<RAMessage> &Ms : S.Mem) {
+      Out.push_back(static_cast<char>(Ms.size()));
+      for (const RAMessage &M : Ms) {
+        Out.push_back(static_cast<char>(M.V));
+        Out.push_back(static_cast<char>(M.IsRmw));
+        Out.append(reinterpret_cast<const char *>(M.MsgView.data()),
+                   M.MsgView.size());
+      }
+      Cut();
+    }
+    for (const View &Vw : S.TView) {
+      Out.append(reinterpret_cast<const char *>(Vw.data()), Vw.size());
+      Cut();
+    }
+  }
+
   /// Inserts a new message for thread \p T at position Pred+1 of location
   /// \p L, shifting all views that point at or beyond the insertion point.
   /// Sets the thread's view to the new message and stamps the message with

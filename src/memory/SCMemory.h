@@ -62,6 +62,9 @@ public:
   template <typename Fn>
   void enumerateInternal(const State &S, Fn F) const {}
 
+  // No serializeComponents hook: the state is a single flat value vector,
+  // so the compressed visited set's one-chunk default (see
+  // support/StateInterner.h) is already the right granularity.
   void serialize(const State &S, std::string &Out) const {
     Out.append(reinterpret_cast<const char *>(S.data()), S.size());
   }

@@ -76,6 +76,17 @@ public:
     Inner.serialize(S, Out);
   }
 
+  /// Same component split as RAMachine (the state type is shared).
+  unsigned numComponents() const { return Inner.numComponents(); }
+  unsigned perThreadTailComponents() const {
+    return Inner.perThreadTailComponents();
+  }
+
+  template <typename Fn>
+  void serializeComponents(const State &S, std::string &Out, Fn Cut) const {
+    Inner.serializeComponents(S, Out, Cut);
+  }
+
 private:
   static void joinInto(View &Dst, const View &Src) {
     for (unsigned I = 0; I != Dst.size(); ++I)

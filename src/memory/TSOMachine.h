@@ -114,13 +114,30 @@ public:
   }
 
   void serialize(const State &S, std::string &Out) const {
+    serializeComponents(S, Out, [] {});
+  }
+
+  /// Component split for the compressed visited set
+  /// (support/StateInterner.h): main memory is one chunk, each thread's
+  /// store buffer another — an exploration step touches at most one
+  /// buffer, so the buffer chunks hash-cons well. Concatenating the
+  /// chunks reproduces serialize()'s byte string exactly.
+  unsigned numComponents() const { return 1 + NumThreads; }
+  /// The trailing NumThreads buffer chunks are per-thread (tree-layout
+  /// hint; see buildSlotOrder in support/StateInterner.h).
+  unsigned perThreadTailComponents() const { return NumThreads; }
+
+  template <typename Fn>
+  void serializeComponents(const State &S, std::string &Out, Fn Cut) const {
     Out.append(reinterpret_cast<const char *>(S.Mem.data()), S.Mem.size());
+    Cut();
     for (const std::vector<BufferedWrite> &B : S.Buf) {
       Out.push_back(static_cast<char>(B.size()));
       for (const BufferedWrite &W : B) {
         Out.push_back(static_cast<char>(W.Loc));
         Out.push_back(static_cast<char>(W.V));
       }
+      Cut();
     }
   }
 

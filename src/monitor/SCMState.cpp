@@ -311,49 +311,56 @@ static void appendMask(std::string &Out, uint64_t Mask, unsigned Bytes) {
     Out.push_back(static_cast<char>((Mask >> (8 * I)) & 0xff));
 }
 
-void SCMonitor::serialize(const State &S, std::string &Out) const {
+// In abstract mode value sets only ever contain critical values; pack
+// them into ceil(|Val(P,y)|/8) bytes (this is the Section 5.1 metadata
+// bound: 2(|Tid|+|Loc|)·Σ_x |Val(P,x)| bits instead of full domains).
+void SCMonitor::appendValSet(std::string &Out, const BitSet64 &B,
+                             LocId Y) const {
+  if (!Abstract) {
+    appendMask(Out, B.mask(), (NumVals + 7) / 8);
+    return;
+  }
+  uint64_t Packed = 0;
+  unsigned Bit = 0;
+  for (unsigned V : Crit[Y]) {
+    if (B.contains(V))
+      Packed |= static_cast<uint64_t>(1) << Bit;
+    ++Bit;
+  }
+  appendMask(Out, Packed, (Bit + 7) / 8);
+}
+
+void SCMonitor::serializeGlobal(const State &S, std::string &Out) const {
   unsigned LocB = (NumLocs + 7) / 8;
-  unsigned ValB = (NumVals + 7) / 8;
-
-  // In abstract mode value sets only ever contain critical values; pack
-  // them into ceil(|Val(P,y)|/8) bytes (this is the Section 5.1 metadata
-  // bound: 2(|Tid|+|Loc|)·Σ_x |Val(P,x)| bits instead of full domains).
-  auto appendValSet = [&](const BitSet64 &B, LocId Y) {
-    if (!Abstract) {
-      appendMask(Out, B.mask(), ValB);
-      return;
-    }
-    uint64_t Packed = 0;
-    unsigned Bit = 0;
-    for (unsigned V : Crit[Y]) {
-      if (B.contains(V))
-        Packed |= static_cast<uint64_t>(1) << Bit;
-      ++Bit;
-    }
-    appendMask(Out, Packed, (Bit + 7) / 8);
-  };
-
   Out.append(reinterpret_cast<const char *>(S.M.data()), S.M.size());
-  for (const BitSet64 &B : S.VSC)
-    appendMask(Out, B.mask(), LocB);
   for (const BitSet64 &B : S.MSC)
     appendMask(Out, B.mask(), LocB);
   for (const BitSet64 &B : S.WSC)
     appendMask(Out, B.mask(), LocB);
-  for (unsigned I = 0; I != S.V.size(); ++I)
-    appendValSet(S.V[I], static_cast<LocId>(I % NumLocs));
-  for (unsigned I = 0; I != S.VRmw.size(); ++I)
-    appendValSet(S.VRmw[I], static_cast<LocId>(I % NumLocs));
   for (unsigned I = 0; I != S.W.size(); ++I)
-    appendValSet(S.W[I], static_cast<LocId>(I % NumLocs));
+    appendValSet(Out, S.W[I], static_cast<LocId>(I % NumLocs));
   for (unsigned I = 0; I != S.WRmw.size(); ++I)
-    appendValSet(S.WRmw[I], static_cast<LocId>(I % NumLocs));
-  for (const BitSet64 &B : S.CV)
-    appendMask(Out, B.mask(), LocB);
-  for (const BitSet64 &B : S.CVRmw)
-    appendMask(Out, B.mask(), LocB);
+    appendValSet(Out, S.WRmw[I], static_cast<LocId>(I % NumLocs));
   for (const BitSet64 &B : S.CW)
     appendMask(Out, B.mask(), LocB);
   for (const BitSet64 &B : S.CWRmw)
     appendMask(Out, B.mask(), LocB);
+}
+
+void SCMonitor::serializeThread(const State &S, unsigned T,
+                                std::string &Out) const {
+  unsigned LocB = (NumLocs + 7) / 8;
+  appendMask(Out, S.VSC[T].mask(), LocB);
+  for (unsigned X = 0; X != NumLocs; ++X)
+    appendValSet(Out, S.V[T * NumLocs + X], static_cast<LocId>(X));
+  for (unsigned X = 0; X != NumLocs; ++X)
+    appendValSet(Out, S.VRmw[T * NumLocs + X], static_cast<LocId>(X));
+  if (!S.CV.empty()) {
+    appendMask(Out, S.CV[T].mask(), LocB);
+    appendMask(Out, S.CVRmw[T].mask(), LocB);
+  }
+}
+
+void SCMonitor::serialize(const State &S, std::string &Out) const {
+  serializeComponents(S, Out, [] {});
 }

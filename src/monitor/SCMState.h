@@ -124,6 +124,28 @@ public:
 
   void serialize(const State &S, std::string &Out) const;
 
+  /// Component split for the compressed visited set
+  /// (support/StateInterner.h): one chunk of location-indexed
+  /// instrumentation (M, MSC, WSC, W, WRMW, CW, CWRMW) plus one chunk per
+  /// thread (VSC[τ], V/VRMW rows of τ, CV[τ], CVRMW[τ]) — a step by τ
+  /// leaves the other threads' rows mostly untouched, so those chunks
+  /// hash-cons well. serialize() emits the same chunks in the same order,
+  /// so both visited-set representations induce the same state equality.
+  unsigned numComponents() const { return 1 + NumThreads; }
+  /// The trailing NumThreads chunks are per-thread (tree-layout hint;
+  /// see buildSlotOrder in support/StateInterner.h).
+  unsigned perThreadTailComponents() const { return NumThreads; }
+
+  template <typename Fn>
+  void serializeComponents(const State &S, std::string &Out, Fn Cut) const {
+    serializeGlobal(S, Out);
+    Cut();
+    for (unsigned T = 0; T != NumThreads; ++T) {
+      serializeThread(S, T, Out);
+      Cut();
+    }
+  }
+
   /// Theorem 5.3 (+ Section 5.1 additions): does thread \p T's pending
   /// access witness non-robustness in state \p S?
   std::optional<MonitorViolation> checkAccess(const State &S, ThreadId T,
@@ -146,6 +168,11 @@ private:
   void updateHbScOnWrite(State &S, ThreadId T, LocId X) const;
   /// Figure 5 maintenance for a read of X by T.
   void updateHbScOnRead(State &S, ThreadId T, LocId X) const;
+
+  // serializeComponents' chunk emitters (see above).
+  void serializeGlobal(const State &S, std::string &Out) const;
+  void serializeThread(const State &S, unsigned T, std::string &Out) const;
+  void appendValSet(std::string &Out, const BitSet64 &B, LocId Y) const;
 
   unsigned NumThreads;
   unsigned NumLocs;

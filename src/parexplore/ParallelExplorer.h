@@ -7,10 +7,13 @@
 /// robustness to reachability (Theorem 5.3), so every oracle in this repo
 /// bottlenecks on the exploration loop; this engine parallelizes it:
 ///
-///  * Visited set: a sharded, striped-lock set of serialized product
-///    states (support/ShardedSet.h). Dedup is exact, so a run that is not
-///    truncated visits exactly the reachable state set — state and
-///    transition counts are equal to the sequential engine's.
+///  * Visited set: by default a sharded collapse-compressed set of
+///    interned component-id tuples (support/StateInterner.h); with
+///    CompressVisited off, a sharded, striped-lock set of serialized
+///    product states (support/ShardedSet.h). Either way dedup is exact,
+///    so a run that is not truncated visits exactly the reachable state
+///    set — state and transition counts are equal to the sequential
+///    engine's.
 ///  * Frontier: one WorkDeque per worker (owner LIFO, thieves FIFO), with
 ///    round-robin stealing.
 ///  * Termination: a Dijkstra-style in-flight counter (TerminationBarrier)
@@ -41,6 +44,8 @@
 #include "lang/Step.h"
 #include "parexplore/WorkDeque.h"
 #include "support/ShardedSet.h"
+#include "support/StateInterner.h"
+#include "support/StateKey.h"
 
 #include <atomic>
 #include <chrono>
@@ -85,6 +90,9 @@ struct ParExploreOptions {
   /// Run the deterministic sequential replay when a violation is found.
   bool ReplayOnViolation = true;
   unsigned ShardCountLog2 = 8; ///< Visited-set shards = 2^k.
+  /// Use the sharded collapse-compressed visited set (exact; see
+  /// ExploreOptions::CompressVisited).
+  bool CompressVisited = defaultCompressVisited();
 };
 
 /// Result of a parallel exploration.
@@ -154,6 +162,12 @@ public:
 
     unsigned NumWorkers = resolveThreadCount(Opts.Threads);
     Shared Sh(NumWorkers, Opts.ShardCountLog2);
+    if (Opts.CompressVisited) {
+      Sh.Interner.emplace(P.numThreads() + memComponentCount(Mem),
+                          Opts.ShardCountLog2);
+      SlotOrder = buildSlotOrder(P.numThreads(), memComponentCount(Mem),
+                                 memPerThreadTailComponents(Mem));
+    }
     Sh.HasDeadline = Opts.MaxSeconds > 0;
     if (Sh.HasDeadline)
       Sh.Deadline = Start + std::chrono::duration_cast<
@@ -167,10 +181,10 @@ public:
     for (const SequentialProgram &S : P.Threads)
       Init.Threads.push_back(ThreadState::initial(S));
     Init.M = Mem.initial();
-    Sh.Visited.insert(keyOf(Init));
+    markVisited(Sh, Init, *Sh.Workers[0]); // Workers not yet running.
     Sh.StateCount.store(1, std::memory_order_relaxed);
     if (Opts.CollectProgramStates)
-      Sh.ProgStates.insert(programKeyOf(Init));
+      Sh.ProgStates.insert(programStateKey(Init.Threads));
     if (std::optional<Violation> V = SHook(Init))
       recordViolation(Sh, std::move(*V));
     Sh.TB.enqueued();
@@ -187,6 +201,13 @@ public:
 
     // Gather statistics (workers have quiesced; plain reads are safe).
     Res.Stats.NumStates = Sh.StateCount.load(std::memory_order_relaxed);
+    if (Sh.Interner) {
+      Res.Stats.VisitedBytes = Sh.Interner->bytesUsed();
+      Res.Stats.VisitedRawBytes = Sh.Interner->rawBytes();
+    } else {
+      Res.Stats.VisitedBytes = Sh.Visited.bytesUsed();
+      Res.Stats.VisitedRawBytes = Res.Stats.VisitedBytes;
+    }
     Res.Stats.PeakFrontier =
         Sh.PeakFrontier.load(std::memory_order_relaxed);
     Res.Stats.Truncated = Sh.Bounded.load(std::memory_order_relaxed);
@@ -246,6 +267,9 @@ private:
     uint64_t Deadlocks = 0;
     uint64_t DedupHits = 0;
     double Seconds = 0;
+    // Reused scratch for the compressed visited set (markVisited).
+    std::string CompBuf;
+    std::vector<uint32_t> TupleBuf;
   };
 
   /// State shared by all workers of one run.
@@ -256,7 +280,9 @@ private:
       for (unsigned I = 0; I != NumWorkers; ++I)
         Workers.push_back(std::make_unique<WorkerSlot>());
     }
-    ShardedStateSet Visited;
+    ShardedStateSet Visited; ///< Raw mode (CompressVisited off).
+    /// Compressed mode: engaged by runWithHooks before workers start.
+    std::optional<ShardedStateInterner> Interner;
     ShardedStateSet ProgStates;
     TerminationBarrier TB;
     std::vector<std::unique_ptr<WorkerSlot>> Workers;
@@ -277,28 +303,31 @@ private:
     }
   }
 
-  std::string keyOf(const ProductState &S) const {
-    std::string Key;
-    Key.reserve(64);
-    for (const ThreadState &TS : S.Threads) {
-      Key.push_back(static_cast<char>(TS.Pc & 0xff));
-      Key.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
-      Key.append(reinterpret_cast<const char *>(TS.Regs.data()),
-                 TS.Regs.size());
+  /// Dedups \p S against the active visited representation (compressed
+  /// tuple set or raw key set); returns true iff the state is new. Uses
+  /// \p W's scratch buffers so the hot path does not allocate.
+  bool markVisited(Shared &Sh, const ProductState &S, WorkerSlot &W) const {
+    if (Sh.Interner) {
+      W.TupleBuf.resize(Sh.Interner->numSlots());
+      W.CompBuf.clear();
+      uint64_t RawLen = 0;
+      unsigned Idx = 0;
+      auto Cut = [&] {
+        RawLen += W.CompBuf.size();
+        unsigned Slot = SlotOrder[Idx++];
+        W.TupleBuf[Slot] =
+            Sh.Interner->internComponent(Slot, W.CompBuf);
+        W.CompBuf.clear();
+      };
+      for (const ThreadState &TS : S.Threads) {
+        appendThreadStateKey(W.CompBuf, TS);
+        Cut();
+      }
+      serializeMemComponents(Mem, S.M, W.CompBuf, Cut);
+      return Sh.Interner->insertTuple(W.TupleBuf.data(),
+                                      stringNodeBytes(RawLen, 0));
     }
-    Mem.serialize(S.M, Key);
-    return Key;
-  }
-
-  std::string programKeyOf(const ProductState &S) const {
-    std::string PKey;
-    for (const ThreadState &TS : S.Threads) {
-      PKey.push_back(static_cast<char>(TS.Pc & 0xff));
-      PKey.push_back(static_cast<char>((TS.Pc >> 8) & 0xff));
-      PKey.append(reinterpret_cast<const char *>(TS.Regs.data()),
-                  TS.Regs.size());
-    }
-    return PKey;
+    return Sh.Visited.insert(productStateKey(Mem, S.Threads, S.M));
   }
 
   void recordViolation(Shared &Sh, Violation &&V) {
@@ -316,12 +345,12 @@ private:
   template <typename StateHook>
   void internChild(Shared &Sh, WorkerSlot &W, ProductState &&Next,
                    StateHook &SHook) {
-    if (!Sh.Visited.insert(keyOf(Next))) {
+    if (!markVisited(Sh, Next, W)) {
       ++W.DedupHits;
       return;
     }
     if (Opts.CollectProgramStates)
-      Sh.ProgStates.insert(programKeyOf(Next));
+      Sh.ProgStates.insert(programStateKey(Next.Threads));
     if (std::optional<Violation> V = SHook(Next))
       recordViolation(Sh, std::move(*V));
     uint64_t N = Sh.StateCount.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -512,6 +541,7 @@ private:
     EO.CheckAssertions = Opts.CheckAssertions;
     EO.CheckRaces = Opts.CheckRaces;
     EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
+    EO.CompressVisited = Opts.CompressVisited;
     ProductExplorer<MemSys> Seq(P, Mem, EO);
     ExploreResult SR = Seq.runWithHook(AHook);
     if (SR.Violations.empty())
@@ -526,6 +556,7 @@ private:
   const Program &P;
   const MemSys &Mem;
   ParExploreOptions Opts;
+  std::vector<uint32_t> SlotOrder; ///< Emission index → tuple slot.
 };
 
 } // namespace rocker

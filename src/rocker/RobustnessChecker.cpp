@@ -21,6 +21,7 @@ ParExploreOptions parOptions(const RockerOptions &Opts) {
   PE.CheckRaces = Opts.CheckRaces;
   PE.CollapseLocalSteps = Opts.CollapseLocalSteps;
   PE.RecordTrace = Opts.RecordTrace;
+  PE.CompressVisited = Opts.CompressVisited;
   return PE;
 }
 
@@ -74,6 +75,7 @@ RockerReport rocker::checkRobustness(const Program &P,
   EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
   EO.Order = Opts.Order;
   EO.BitstateLog2 = Opts.BitstateLog2;
+  EO.CompressVisited = Opts.CompressVisited;
 
   ProductExplorer<SCMonitor> Ex(P, Mem, EO);
   ExploreResult R = Ex.runWithHook(Hook);
@@ -108,6 +110,7 @@ RockerReport rocker::exploreSC(const Program &P, const RockerOptions &Opts) {
   EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
   EO.Order = Opts.Order;
   EO.BitstateLog2 = Opts.BitstateLog2;
+  EO.CompressVisited = Opts.CompressVisited;
 
   ProductExplorer<SCMemory> Ex(P, Mem, EO);
   ExploreResult R = Ex.run();

@@ -55,6 +55,10 @@ struct RockerOptions {
   /// Wall-clock budget in seconds (parallel engine only; 0 = unlimited).
   /// Exceeding it yields Complete == false instead of running forever.
   double MaxSeconds = 0;
+  /// Collapse-compressed visited set (exact; identical verdicts, counts,
+  /// and reports — see ExploreOptions::CompressVisited). `rocker_cli
+  /// --no-compress` turns it off.
+  bool CompressVisited = defaultCompressVisited();
 };
 
 /// The verification verdict.

@@ -31,6 +31,19 @@ inline uint64_t hashCombine(uint64_t Seed, uint64_t V) {
   return Seed ^ (V + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2));
 }
 
+/// splitmix64 finalizer: full-avalanche mixing of a single 64-bit value.
+/// Open-addressing tables keyed by near-sequential integers (dense intern
+/// ids) need this — a mere combine maps consecutive keys to consecutive
+/// slots and degenerates linear probing into one long cluster.
+inline uint64_t hashMix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
 /// Hash functor for std::string keys holding raw state bytes.
 struct StateKeyHash {
   size_t operator()(const std::string &S) const {

@@ -23,6 +23,7 @@
 #define ROCKER_SUPPORT_SHARDEDSET_H
 
 #include "support/Hashing.h"
+#include "support/StateInterner.h"
 
 #include <atomic>
 #include <cstdint>
@@ -49,11 +50,13 @@ public:
   bool insert(std::string &&Key) {
     uint64_t H = hashBytes(reinterpret_cast<const uint8_t *>(Key.data()),
                            Key.size());
+    size_t KeyLen = Key.size();
     Shard &Sh = shardFor(H);
     std::lock_guard<std::mutex> L(Sh.M);
     if (!Sh.Set.insert(std::move(Key)).second)
       return false;
     Count.fetch_add(1, std::memory_order_relaxed);
+    Bytes.fetch_add(stringNodeBytes(KeyLen, 0), std::memory_order_relaxed);
     return true;
   }
 
@@ -70,6 +73,12 @@ public:
   /// once all inserters have quiesced, e.g. after the worker join).
   uint64_t size() const { return Count.load(std::memory_order_relaxed); }
 
+  /// Estimated heap bytes held (see stringNodeBytes); same quiescence
+  /// caveat as size().
+  uint64_t bytesUsed() const {
+    return Bytes.load(std::memory_order_relaxed);
+  }
+
   /// Moves all keys into \p Out and empties the set. Not thread-safe
   /// against concurrent inserts; call after workers have joined.
   template <typename SetT> void drainInto(SetT &Out) {
@@ -79,6 +88,7 @@ public:
         Out.insert(std::move(Shards[I].Set.extract(It++).value()));
     }
     Count.store(0, std::memory_order_relaxed);
+    Bytes.store(0, std::memory_order_relaxed);
   }
 
   unsigned numShards() const { return NumShards; }
@@ -100,6 +110,7 @@ private:
   std::unique_ptr<Shard[]> Shards;
   unsigned NumShards;
   std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Bytes{0};
 };
 
 } // namespace rocker

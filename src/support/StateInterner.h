@@ -1,0 +1,640 @@
+//===- support/StateInterner.h - Collapse-compressed visited set -*- C++ -*-===//
+///
+/// \file
+/// An LTSmin-style collapse-compressed visited set for the exploration
+/// engines. Instead of storing one full serialized byte string per visited
+/// product state, the state is split into *components* — one ⟨pc, Φ⟩
+/// chunk per thread plus one or more memory-subsystem chunks — and each
+/// component is hash-consed into a per-slot intern table. A visited state
+/// is then only a tuple of 32-bit component ids — and in the sequential
+/// engine that tuple is itself collapsed by LTSmin-style tree
+/// compression: adjacent ids are interned pairwise, level by level, so a
+/// state is ultimately one entry in the root table (a pair, or a triple
+/// when an odd leftover chunk survives to the end). Successive states
+/// share subtrees, making the inner tables sublinear; the asymptotic
+/// per-state cost drops from the full key (often 100+ heap bytes) to one
+/// 8–12-byte root entry plus ~6 index bytes. The sharded
+/// (parallel) variant keeps the tuples flat in a per-shard arena —
+/// 4·NumSlots bytes per state — trading some compression for lock-free-ish
+/// striping.
+///
+/// All hash tables here key near-sequential dense ids, so probing uses
+/// the full-avalanche hashMix64 (support/Hashing.h) rather than a plain
+/// combine — see the note there.
+///
+/// Memory subsystems opt into multi-chunk splitting by providing
+///
+///   unsigned numComponents() const;
+///   template <typename Fn>
+///   void serializeComponents(const State &S, std::string &Out, Fn Cut) const;
+///
+/// where the hook appends one chunk's bytes to \p Out and calls Cut() to
+/// seal it, exactly numComponents() times; the framework interns the
+/// sealed bytes and clears \p Out between chunks. Subsystems without the
+/// hook default to a single chunk (their serialize() output), so every
+/// subsystem works unchanged. Each chunk encoding must be injective for
+/// that slot; the chunk decomposition then induces exactly the same state
+/// equality as the full serialization.
+///
+/// Two implementations share the format: StateInterner for the sequential
+/// engine (dense tuple ids that double as state ids) and
+/// ShardedStateInterner for the work-stealing engine (striped locks, as
+/// in support/ShardedSet.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SUPPORT_STATEINTERNER_H
+#define ROCKER_SUPPORT_STATEINTERNER_H
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rocker {
+
+/// Process-wide default for ExploreOptions/ParExploreOptions::
+/// CompressVisited: on, unless the ROCKER_NO_COMPRESS environment
+/// variable is set (used by CI to run the whole test suite against the
+/// raw visited set).
+inline bool defaultCompressVisited() {
+  static const bool Off = std::getenv("ROCKER_NO_COMPRESS") != nullptr;
+  return !Off;
+}
+
+namespace detail {
+/// Probe callable for the serializeComponents concept check below.
+struct CutProbe {
+  void operator()() const {}
+};
+} // namespace detail
+
+/// True when \p MemSys provides the component-wise serialization hook.
+template <typename MemSys>
+concept HasSerializeComponents =
+    requires(const MemSys &M, const typename MemSys::State &S,
+             std::string &Out) {
+      M.serializeComponents(S, Out, detail::CutProbe{});
+    };
+
+/// Number of memory chunks \p M contributes to a state tuple (1 for
+/// subsystems without the hook).
+template <typename MemSys> unsigned memComponentCount(const MemSys &M) {
+  if constexpr (HasSerializeComponents<MemSys>)
+    return M.numComponents();
+  else
+    return 1;
+}
+
+/// True when \p MemSys declares that its trailing chunks are per-thread
+/// (chunk LeadCount + t belongs to thread t).
+template <typename MemSys>
+concept HasPerThreadTail = requires(const MemSys &M) {
+  M.perThreadTailComponents();
+};
+
+/// Number of trailing per-thread chunks \p M declares (0 without the
+/// hint — the layout optimization below is then skipped).
+template <typename MemSys>
+unsigned memPerThreadTailComponents(const MemSys &M) {
+  if constexpr (HasPerThreadTail<MemSys>)
+    return M.perThreadTailComponents();
+  else
+    return 0;
+}
+
+/// Emission-order → tuple-slot mapping shared by both engines. Components
+/// are emitted threads-first (0..T-1), memory chunks second. When the
+/// subsystem marks its trailing Tail == T chunks as per-thread, thread
+/// t's ⟨pc, Φ⟩ chunk and its memory chunk are placed in adjacent slots
+/// (2t, 2t + 1) and the leading global chunks go last: a step changes
+/// exactly one thread's pair of components, so the tree compressor's
+/// level-1 tables pair the two leaves that change together and the rest
+/// of the tree is reused. Identity layout otherwise. The permutation is
+/// fixed per exploration, so injectivity of the tuple is unaffected.
+inline std::vector<uint32_t> buildSlotOrder(unsigned NumThreads,
+                                            unsigned MemComponents,
+                                            unsigned Tail) {
+  std::vector<uint32_t> Order(NumThreads + MemComponents);
+  if (Tail != NumThreads || MemComponents < Tail) {
+    for (unsigned I = 0; I != Order.size(); ++I)
+      Order[I] = I;
+    return Order;
+  }
+  unsigned Lead = MemComponents - Tail;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Order[T] = 2 * T;
+  for (unsigned J = 0; J != Lead; ++J)
+    Order[NumThreads + J] = 2 * NumThreads + J;
+  for (unsigned T = 0; T != Tail; ++T)
+    Order[NumThreads + Lead + T] = 2 * T + 1;
+  return Order;
+}
+
+/// Runs the component hook (or the single-chunk fallback): appends each
+/// chunk's bytes to \p Out and calls \p Cut after each chunk.
+template <typename MemSys, typename Fn>
+void serializeMemComponents(const MemSys &M,
+                            const typename MemSys::State &S,
+                            std::string &Out, Fn Cut) {
+  if constexpr (HasSerializeComponents<MemSys>) {
+    M.serializeComponents(S, Out, Cut);
+  } else {
+    M.serialize(S, Out);
+    Cut();
+  }
+}
+
+/// Estimated heap bytes of one entry of an unordered container keyed by a
+/// std::string: node header (next pointer + cached hash), one bucket
+/// slot, the string object, its heap buffer when beyond the 15-byte SSO
+/// capacity, and \p MappedBytes of mapped value. Used so raw and
+/// compressed visited-set sizes are compared on actual memory footprint,
+/// not payload bytes alone.
+inline uint64_t stringNodeBytes(size_t KeyLen, size_t MappedBytes) {
+  uint64_t B = 16 + 8 + sizeof(std::string) + MappedBytes;
+  if (KeyLen > 15)
+    B += KeyLen + 1;
+  return B;
+}
+
+/// Incremental tuple hash over component ids.
+inline uint64_t hashTuple(const uint32_t *Ids, unsigned N) {
+  uint64_t H = 0x9e3779b97f4a7c15ull ^ N;
+  for (unsigned I = 0; I != N; ++I)
+    H = hashCombine(H, Ids[I]);
+  return H;
+}
+
+namespace detail {
+
+/// Dense byte-string interner backing the sequential component tables:
+/// payloads live back-to-back in one flat arena (entry id -> start
+/// offset; the next start delimits the length), deduplicated via an
+/// open-addressing uint32 index (entry = id + 1; 0 = empty). Per new
+/// entry this costs the payload bytes plus ~10 bookkeeping bytes,
+/// instead of the ~60-byte node/bucket/string overhead of an
+/// unordered_map<std::string, uint32_t> entry.
+class ByteArena {
+public:
+  ByteArena() : Index(64, 0) {}
+
+  /// Interns \p Bytes; returns {dense id, was-new}.
+  std::pair<uint32_t, bool> insert(const std::string &Bytes) {
+    if ((Num + 1) * 10 >= Index.size() * 7) // Load factor cap 0.7.
+      grow();
+    uint64_t H = hashBytes(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                           Bytes.size());
+    uint64_t Mask = Index.size() - 1;
+    for (uint64_t Slot = H & Mask;; Slot = (Slot + 1) & Mask) {
+      if (!Index[Slot]) {
+        Index[Slot] = Num + 1;
+        Starts.push_back(static_cast<uint32_t>(Data.size()));
+        Data.append(Bytes);
+        return {Num++, true};
+      }
+      uint32_t Id = Index[Slot] - 1;
+      if (length(Id) == Bytes.size() &&
+          std::equal(Bytes.begin(), Bytes.end(), Data.begin() + Starts[Id]))
+        return {Id, false};
+    }
+  }
+
+  uint32_t size() const { return Num; }
+
+  uint64_t bytes() const {
+    return Data.size() + Starts.size() * sizeof(uint32_t) +
+           Index.size() * sizeof(uint32_t);
+  }
+
+private:
+  size_t length(uint32_t Id) const {
+    return (Id + 1 < Starts.size() ? Starts[Id + 1] : Data.size()) -
+           Starts[Id];
+  }
+
+  void grow() {
+    std::vector<uint32_t> Next(Index.size() * 2, 0);
+    uint64_t Mask = Next.size() - 1;
+    for (uint32_t Id = 0; Id != Num; ++Id) {
+      uint64_t Slot =
+          hashBytes(reinterpret_cast<const uint8_t *>(Data.data()) +
+                        Starts[Id],
+                    length(Id)) &
+          Mask;
+      while (Next[Slot])
+        Slot = (Slot + 1) & Mask;
+      Next[Slot] = Id + 1;
+    }
+    Index = std::move(Next);
+  }
+
+  std::string Data;
+  std::vector<uint32_t> Starts;
+  std::vector<uint32_t> Index;
+  uint32_t Num = 0;
+};
+
+/// Interns ⟨left, right⟩ id pairs — one tree node of the recursive
+/// collapse below. 8 payload bytes per entry plus a uint32
+/// open-addressing index (entry = id + 1; 0 = empty); ids are dense in
+/// insertion order, so the root table's ids double as state ids.
+class PairTable {
+public:
+  PairTable() : Index(64, 0) {}
+
+  std::pair<uint32_t, bool> insert(uint32_t A, uint32_t B) {
+    if ((Num + 1) * 10 >= Index.size() * 7) // Load factor cap 0.7.
+      grow();
+    uint64_t P = (static_cast<uint64_t>(A) << 32) | B;
+    uint64_t Mask = Index.size() - 1;
+    for (uint64_t Slot = hashMix64(P) & Mask;; Slot = (Slot + 1) & Mask) {
+      if (!Index[Slot]) {
+        Index[Slot] = Num + 1;
+        Pairs.push_back(P);
+        return {Num++, true};
+      }
+      if (Pairs[Index[Slot] - 1] == P)
+        return {Index[Slot] - 1, false};
+    }
+  }
+
+  uint32_t size() const { return Num; }
+
+  uint64_t bytes() const {
+    return Pairs.size() * sizeof(uint64_t) +
+           Index.size() * sizeof(uint32_t);
+  }
+
+private:
+  void grow() {
+    std::vector<uint32_t> Next(Index.size() * 2, 0);
+    uint64_t Mask = Next.size() - 1;
+    for (uint32_t Id = 0; Id != Num; ++Id) {
+      uint64_t Slot = hashMix64(Pairs[Id]) & Mask;
+      while (Next[Slot])
+        Slot = (Slot + 1) & Mask;
+      Next[Slot] = Id + 1;
+    }
+    Index = std::move(Next);
+  }
+
+  std::vector<uint64_t> Pairs;
+  std::vector<uint32_t> Index;
+  uint32_t Num = 0;
+};
+
+/// Interns ⟨a, b, c⟩ id triples — the tree root whenever the pairwise
+/// reduction bottoms out at three elements (two subtree ids plus the odd
+/// passthrough chunk). Folding all three into one table matters: the
+/// passthrough chunk is typically the near-constant global memory chunk,
+/// so a pair root over ⟨join(a,b), c⟩ would duplicate the ⟨a, b⟩ table
+/// entry-for-entry — an extra ~14 bytes per state for nothing.
+class TripleTable {
+public:
+  TripleTable() : Index(64, 0) {}
+
+  std::pair<uint32_t, bool> insert(uint32_t A, uint32_t B, uint32_t C) {
+    if ((Num + 1) * 10 >= Index.size() * 7) // Load factor cap 0.7.
+      grow();
+    uint64_t Mask = Index.size() - 1;
+    for (uint64_t Slot = hash(A, B, C) & Mask;; Slot = (Slot + 1) & Mask) {
+      if (!Index[Slot]) {
+        Index[Slot] = Num + 1;
+        Triples.push_back(A);
+        Triples.push_back(B);
+        Triples.push_back(C);
+        return {Num++, true};
+      }
+      const uint32_t *T = Triples.data() + (Index[Slot] - 1) * 3u;
+      if (T[0] == A && T[1] == B && T[2] == C)
+        return {Index[Slot] - 1, false};
+    }
+  }
+
+  uint32_t size() const { return Num; }
+
+  uint64_t bytes() const {
+    return Triples.size() * sizeof(uint32_t) +
+           Index.size() * sizeof(uint32_t);
+  }
+
+private:
+  static uint64_t hash(uint32_t A, uint32_t B, uint32_t C) {
+    return hashMix64(hashMix64((static_cast<uint64_t>(A) << 32) | B) + C);
+  }
+
+  void grow() {
+    std::vector<uint32_t> Next(Index.size() * 2, 0);
+    uint64_t Mask = Next.size() - 1;
+    for (uint32_t Id = 0; Id != Num; ++Id) {
+      const uint32_t *T = Triples.data() + Id * 3u;
+      uint64_t Slot = hash(T[0], T[1], T[2]) & Mask;
+      while (Next[Slot])
+        Slot = (Slot + 1) & Mask;
+      Next[Slot] = Id + 1;
+    }
+    Index = std::move(Next);
+  }
+
+  std::vector<uint32_t> Triples;
+  std::vector<uint32_t> Index;
+  uint32_t Num = 0;
+};
+
+/// LTSmin-style tree compression over component-id tuples: adjacent ids
+/// are interned pairwise, level by level, until two or three elements
+/// remain; those form the root entry — a pair, or a triple when an odd
+/// leftover passed through to the end. The root entry is new exactly when
+/// the state is new, and its dense id doubles as the state id. Successive
+/// states share subtrees, so the inner tables grow sublinearly and the
+/// asymptotic per-state cost is one root entry (8–12 payload bytes +
+/// ~6 index bytes) — far below the 4·NumSlots bytes a flat tuple arena
+/// must spend. Ids are uint32, capping the visited set at 2^32 - 1 states
+/// (the engines' state budgets sit well below that).
+class TreeArena {
+public:
+  explicit TreeArena(unsigned NumLeaves)
+      : NumLeaves(NumLeaves), Scratch(NumLeaves) {
+    unsigned Total = 0;
+    unsigned N = NumLeaves;
+    for (; N > 3; N = N / 2 + (N & 1))
+      Total += N / 2;
+    if (N == 3)
+      Root3.emplace();
+    else
+      Total += 1; // Pair root (N == 2).
+    Tables.resize(Total);
+  }
+
+  /// Inserts the NumLeaves-sized tuple; returns {dense id, was-new}.
+  /// NumLeaves must be at least 2 (the engines always have at least one
+  /// thread component and one memory component).
+  std::pair<uint64_t, bool> insert(const uint32_t *Ids) {
+    std::copy(Ids, Ids + NumLeaves, Scratch.begin());
+    unsigned Table = 0;
+    unsigned N = NumLeaves;
+    while (N > 3) {
+      unsigned Out = 0;
+      for (unsigned I = 0; I + 1 < N; I += 2)
+        Scratch[Out++] =
+            Tables[Table++].insert(Scratch[I], Scratch[I + 1]).first;
+      if (N & 1)
+        Scratch[Out++] = Scratch[N - 1];
+      N = Out;
+    }
+    // Root entry: its dense id doubles as the state id.
+    if (N == 3) {
+      auto [Id, New] = Root3->insert(Scratch[0], Scratch[1], Scratch[2]);
+      return {Id, New};
+    }
+    auto [Id, New] = Tables[Table].insert(Scratch[0], Scratch[1]);
+    return {Id, New};
+  }
+
+  uint64_t size() const {
+    return Root3 ? Root3->size() : Tables.back().size();
+  }
+
+  uint64_t bytes() const {
+    uint64_t B = 0;
+    for (const PairTable &T : Tables)
+      B += T.bytes();
+    if (Root3)
+      B += Root3->bytes();
+    return B;
+  }
+
+private:
+  unsigned NumLeaves;
+  std::vector<PairTable> Tables;
+  std::optional<TripleTable> Root3; ///< Set when the reduction ends at 3.
+  std::vector<uint32_t> Scratch;
+};
+
+/// Fixed-width tuples of component ids in a flat arena, deduplicated via
+/// an open-addressing index (entry = tuple id + 1; 0 = empty). Tuple ids
+/// are dense in insertion order. Used by the sharded (parallel) interner,
+/// where the single-owner TreeArena above cannot be striped cheaply; the
+/// sequential interner uses tree compression instead.
+class TupleArena {
+public:
+  explicit TupleArena(unsigned Width) : Width(Width), Index(64, 0) {}
+
+  /// Inserts the Width-sized tuple; returns {dense id, was-new}.
+  std::pair<uint64_t, bool> insert(const uint32_t *Ids) {
+    return insertHashed(Ids, hashTuple(Ids, Width));
+  }
+
+  /// As insert(), with the tuple hash supplied by the caller (the sharded
+  /// variant hashes once to pick the shard).
+  std::pair<uint64_t, bool> insertHashed(const uint32_t *Ids, uint64_t H) {
+    if ((Num + 1) * 10 >= Index.size() * 7) // Load factor cap 0.7.
+      grow();
+    uint64_t Mask = Index.size() - 1;
+    for (uint64_t Slot = H & Mask;; Slot = (Slot + 1) & Mask) {
+      if (!Index[Slot]) {
+        Index[Slot] = Num + 1;
+        Arena.insert(Arena.end(), Ids, Ids + Width);
+        return {Num++, true};
+      }
+      uint64_t T = Index[Slot] - 1;
+      if (std::equal(Ids, Ids + Width, Arena.data() + T * Width))
+        return {T, false};
+    }
+  }
+
+  uint64_t size() const { return Num; }
+
+  /// Actual bytes held: arena payload plus index slots.
+  uint64_t bytes() const {
+    return Arena.size() * sizeof(uint32_t) + Index.size() * sizeof(uint64_t);
+  }
+
+private:
+  void grow() {
+    std::vector<uint64_t> Next(Index.size() * 2, 0);
+    uint64_t Mask = Next.size() - 1;
+    for (uint64_t T = 0; T != Num; ++T) {
+      uint64_t Slot = hashTuple(Arena.data() + T * Width, Width) & Mask;
+      while (Next[Slot])
+        Slot = (Slot + 1) & Mask;
+      Next[Slot] = T + 1;
+    }
+    Index = std::move(Next);
+  }
+
+  unsigned Width;
+  std::vector<uint32_t> Arena;
+  std::vector<uint64_t> Index;
+  uint64_t Num = 0;
+};
+
+} // namespace detail
+
+/// The sequential collapse-compressed visited set. Slots 0..N-1 are
+/// per-thread components, the remaining slots are memory chunks; the
+/// caller interns each component into its slot's ByteArena, then inserts
+/// the id tuple into the tree-compressed TreeArena. New states get dense
+/// ids in insertion order, which the sequential explorer relies on
+/// (tree-root id == state id in its state store).
+class StateInterner {
+public:
+  explicit StateInterner(unsigned NumSlots)
+      : Slots(NumSlots), Tuples(NumSlots) {}
+
+  StateInterner(const StateInterner &) = delete;
+  StateInterner &operator=(const StateInterner &) = delete;
+
+  unsigned numSlots() const { return static_cast<unsigned>(Slots.size()); }
+
+  /// Hash-conses \p Bytes into slot \p Slot; returns its component id.
+  uint32_t internComponent(unsigned Slot, const std::string &Bytes) {
+    return Slots[Slot].insert(Bytes).first;
+  }
+
+  /// Inserts the tuple of numSlots() component ids. \p RawKeyEstimate is
+  /// the caller's estimate of what a raw visited set would spend on this
+  /// state (accumulated only for new states, for the compression-ratio
+  /// statistic). Returns {dense state id, was-new}.
+  std::pair<uint64_t, bool> insertTuple(const uint32_t *Ids,
+                                        uint64_t RawKeyEstimate) {
+    std::pair<uint64_t, bool> R = Tuples.insert(Ids);
+    if (R.second)
+      RawBytes += RawKeyEstimate;
+    return R;
+  }
+
+  uint64_t size() const { return Tuples.size(); }
+
+  /// Actual bytes held by the compressed set: component arenas plus the
+  /// tree tables.
+  uint64_t bytesUsed() const {
+    uint64_t B = Tuples.bytes();
+    for (const detail::ByteArena &S : Slots)
+      B += S.bytes();
+    return B;
+  }
+
+  /// Estimated bytes a raw (full-key) visited set would hold.
+  uint64_t rawBytes() const { return RawBytes; }
+
+private:
+  std::vector<detail::ByteArena> Slots;
+  detail::TreeArena Tuples;
+  uint64_t RawBytes = 0;
+};
+
+/// The concurrent variant for the work-stealing engine: component tables
+/// and the tuple set are striped-locked (same rationale as
+/// support/ShardedSet.h — the critical sections are single hash-table
+/// operations and contention per shard is low). Tuple ids are not exposed
+/// (the parallel engine keeps no state store); insert() only reports
+/// newness. Component ids are unique per slot but not dense.
+class ShardedStateInterner {
+public:
+  /// \p TupleShardCountLog2 selects 2^k tuple shards (clamped to [0,16]);
+  /// component tables use a fixed small stripe count per slot.
+  explicit ShardedStateInterner(unsigned NumSlots,
+                                unsigned TupleShardCountLog2 = 8)
+      : Slots(NumSlots) {
+    if (TupleShardCountLog2 > 16)
+      TupleShardCountLog2 = 16;
+    NumTupleShards = 1u << TupleShardCountLog2;
+    TupleShards = std::make_unique<TupleShard[]>(NumTupleShards);
+    for (unsigned I = 0; I != NumTupleShards; ++I)
+      TupleShards[I].Tuples.emplace(NumSlots);
+  }
+
+  ShardedStateInterner(const ShardedStateInterner &) = delete;
+  ShardedStateInterner &operator=(const ShardedStateInterner &) = delete;
+
+  unsigned numSlots() const { return static_cast<unsigned>(Slots.size()); }
+
+  uint32_t internComponent(unsigned Slot, const std::string &Bytes) {
+    SlotTable &T = Slots[Slot];
+    uint64_t H = hashBytes(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                           Bytes.size());
+    // High bits pick the stripe; the table uses the low bits (see
+    // ShardedSet.h on decorrelation).
+    SlotTable::Stripe &S = T.Stripes[(H >> 48) % SlotStripes];
+    std::lock_guard<std::mutex> L(S.M);
+    auto It = S.Map.find(Bytes);
+    if (It != S.Map.end())
+      return It->second;
+    uint32_t Id = T.NextId.fetch_add(1, std::memory_order_relaxed);
+    S.Map.emplace(Bytes, Id);
+    CompBytes.fetch_add(stringNodeBytes(Bytes.size(), sizeof(uint32_t)),
+                        std::memory_order_relaxed);
+    return Id;
+  }
+
+  /// Inserts the tuple; returns true iff it was new (see StateInterner::
+  /// insertTuple for RawKeyEstimate).
+  bool insertTuple(const uint32_t *Ids, uint64_t RawKeyEstimate) {
+    uint64_t H = hashTuple(Ids, numSlots());
+    TupleShard &Sh = TupleShards[(H >> 48) & (NumTupleShards - 1)];
+    std::lock_guard<std::mutex> L(Sh.M);
+    if (!Sh.Tuples->insertHashed(Ids, H).second)
+      return false;
+    Count.fetch_add(1, std::memory_order_relaxed);
+    RawBytes.fetch_add(RawKeyEstimate, std::memory_order_relaxed);
+    return true;
+  }
+
+  uint64_t size() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Actual bytes held. Exact once all inserters have quiesced (call
+  /// after the worker join, like ShardedStateSet::size()).
+  uint64_t bytesUsed() const {
+    uint64_t B = CompBytes.load(std::memory_order_relaxed);
+    for (unsigned I = 0; I != NumTupleShards; ++I) {
+      std::lock_guard<std::mutex> L(TupleShards[I].M);
+      B += TupleShards[I].Tuples->bytes();
+    }
+    return B;
+  }
+
+  uint64_t rawBytes() const {
+    return RawBytes.load(std::memory_order_relaxed);
+  }
+
+private:
+  static constexpr unsigned SlotStripes = 16;
+
+  struct SlotTable {
+    struct alignas(64) Stripe {
+      std::mutex M;
+      std::unordered_map<std::string, uint32_t, StateKeyHash> Map;
+    };
+    Stripe Stripes[SlotStripes];
+    std::atomic<uint32_t> NextId{0};
+  };
+
+  struct alignas(64) TupleShard {
+    mutable std::mutex M;
+    /// Deferred construction: the arena width is only known at
+    /// ShardedStateInterner construction.
+    std::optional<detail::TupleArena> Tuples;
+  };
+
+  std::vector<SlotTable> Slots;
+  std::unique_ptr<TupleShard[]> TupleShards;
+  unsigned NumTupleShards;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> CompBytes{0};
+  std::atomic<uint64_t> RawBytes{0};
+};
+
+} // namespace rocker
+
+#endif // ROCKER_SUPPORT_STATEINTERNER_H

@@ -72,15 +72,16 @@ namespace {
 /// the resulting projection sets are identical.
 template <typename MemSys>
 ExploreResult collectStates(const Program &P, const MemSys &Mem,
-                            uint64_t MaxStates, unsigned Threads) {
-  if (Threads > 1) {
+                            const TSOOptions &Opts) {
+  if (Opts.Threads > 1) {
     ParExploreOptions PE;
-    PE.Threads = Threads;
-    PE.MaxStates = MaxStates;
+    PE.Threads = Opts.Threads;
+    PE.MaxStates = Opts.MaxStates;
     PE.StopOnViolation = false;
     PE.CheckAssertions = false;
     PE.CollectProgramStates = true;
     PE.RecordTrace = false;
+    PE.CompressVisited = Opts.CompressVisited;
     ParallelExplorer<MemSys> Ex(P, Mem, PE);
     ParExploreResult R = Ex.run();
     ExploreResult Out;
@@ -89,11 +90,12 @@ ExploreResult collectStates(const Program &P, const MemSys &Mem,
     return Out;
   }
   ExploreOptions EO;
-  EO.MaxStates = MaxStates;
+  EO.MaxStates = Opts.MaxStates;
   EO.RecordParents = false;
   EO.StopOnViolation = false;
   EO.CheckAssertions = false;
   EO.CollectProgramStates = true;
+  EO.CompressVisited = Opts.CompressVisited;
   ProductExplorer<MemSys> Ex(P, Mem, EO);
   return Ex.run();
 }
@@ -110,11 +112,10 @@ TSORobustnessResult rocker::checkTSORobustness(const Program &Input,
   }
 
   TSOMachine TSO(*P, Opts.BufferBound);
-  ExploreResult RTso =
-      collectStates(*P, TSO, Opts.MaxStates, Opts.Threads);
+  ExploreResult RTso = collectStates(*P, TSO, Opts);
 
   SCMemory SC(*P);
-  ExploreResult RSc = collectStates(*P, SC, Opts.MaxStates, Opts.Threads);
+  ExploreResult RSc = collectStates(*P, SC, Opts);
 
   TSORobustnessResult Res;
   Res.Complete = !RTso.Stats.Truncated && !RSc.Stats.Truncated;

@@ -41,6 +41,9 @@ struct TSOOptions {
   /// Worker threads for the two explorations; >1 selects the parallel
   /// engine (parexplore/ParallelExplorer.h), same verdicts and counts.
   unsigned Threads = 1;
+  /// Collapse-compressed visited sets for both explorations (exact; see
+  /// ExploreOptions::CompressVisited).
+  bool CompressVisited = defaultCompressVisited();
 };
 
 /// Rewrites every wait(x == e) into `L: r := x; if r != e goto L` and
