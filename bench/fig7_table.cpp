@@ -7,11 +7,15 @@
 // instrumented vs plain exploration (absolute times differ: we use our
 // own explicit-state checker instead of Spin, on different hardware).
 //
-// Usage: fig7_table [program-name ...]   (default: the whole table)
+// Usage: fig7_table [-v] [--reports FILE] [program-name ...]
+//        (default: the whole table; --reports writes a JSON array of
+//        run reports, one per program — CI diffs it against the
+//        checked-in BENCH_fig7_reports.json baseline)
 //
 //===----------------------------------------------------------------------===//
 
 #include "litmus/Corpus.h"
+#include "obs/RunReport.h"
 #include "rocker/RobustnessChecker.h"
 #include "tso/TSORobustness.h"
 
@@ -27,14 +31,24 @@ static const char *mark(bool B) { return B ? "yes" : "no "; }
 int main(int argc, char **argv) {
   std::vector<std::string> Only(argv + 1, argv + argc);
   bool Verbose = false;
+  std::string ReportsPath;
   for (auto It = Only.begin(); It != Only.end();) {
     if (*It == "-v") {
       Verbose = true;
+      It = Only.erase(It);
+    } else if (*It == "--reports") {
+      It = Only.erase(It);
+      if (It == Only.end()) {
+        std::fprintf(stderr, "error: --reports needs a file argument\n");
+        return 2;
+      }
+      ReportsPath = *It;
       It = Only.erase(It);
     } else {
       ++It;
     }
   }
+  std::vector<obs::RunReport> Reports;
 
   std::printf("%-22s | %-3s %-4s | %2s | %4s | %9s %8s | %8s | %-4s %8s\n",
               "Program", "Res", "(exp)", "#T", "LoC", "States", "Time[s]",
@@ -51,7 +65,11 @@ int main(int argc, char **argv) {
     RockerOptions RO;
     RO.RecordTrace = Verbose;
     RO.MaxStates = 4'000'000;
+    obs::Snapshot Before = obs::snapshot();
     RockerReport R = checkRobustness(P, RO);
+    if (!ReportsPath.empty())
+      Reports.push_back(obs::buildRunReport(E.Name, "robustness", RO, R,
+                                            Before, obs::snapshot()));
 
     RockerOptions SO;
     SO.RecordTrace = false;
@@ -95,5 +113,14 @@ int main(int argc, char **argv) {
   std::printf("verdict mismatches vs paper: %u\n", Mismatches);
   std::printf("(* = paper marks the Trencher verdict as an artifact of "
               "lowering blocking instructions)\n");
+  if (!ReportsPath.empty()) {
+    if (!obs::writeRunReports(ReportsPath, Reports)) {
+      std::fprintf(stderr, "error: cannot write reports to '%s'\n",
+                   ReportsPath.c_str());
+      return 2;
+    }
+    std::printf("wrote %zu run reports to %s\n", Reports.size(),
+                ReportsPath.c_str());
+  }
   return Mismatches == 0 ? 0 : 1;
 }

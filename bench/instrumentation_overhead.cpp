@@ -13,10 +13,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+// It doubles as the telemetry-overhead harness (docs/ALGORITHM.md §10):
+// build once with default options and once with -DROCKER_NO_TELEMETRY=ON,
+// run both, and compare the total-seconds footers — state counts must be
+// identical and the time delta is the telemetry cost on the hot loop.
+
 #include "explore/Explorer.h"
 #include "litmus/Corpus.h"
 #include "memory/SCMemory.h"
 #include "monitor/SCMState.h"
+#include "obs/Telemetry.h"
 #include "rocker/RobustnessChecker.h"
 
 #include <cstdio>
@@ -43,12 +49,16 @@ int main() {
   std::printf("%-22s | %10s %8s | %10s %8s | %8s\n", "program", "SC[st]",
               "SC[s]", "SCM[st]", "SCM[s]", "blow-up");
   std::printf("%s\n", std::string(80, '-').c_str());
+  uint64_t TotalStates = 0;
+  double TotalSeconds = 0;
   for (const CorpusEntry &E : figure7Programs()) {
     Program P = E.parse();
     SCMemory SC(P);
     ExploreStats A = exploreAll(P, SC);
     SCMonitor Mon(P, /*Abstract=*/true);
     ExploreStats B = exploreAll(P, Mon);
+    TotalStates += A.NumStates + B.NumStates;
+    TotalSeconds += A.Seconds + B.Seconds;
     std::printf("%-22s | %10llu %8.3f | %10llu %8.3f | %7.2fx%s\n",
                 E.Name.c_str(), static_cast<unsigned long long>(A.NumStates),
                 A.Seconds, static_cast<unsigned long long>(B.NumStates),
@@ -57,5 +67,10 @@ int main() {
                 (A.Truncated || B.Truncated) ? " (budget hit)" : "");
     std::fflush(stdout);
   }
+  // A/B anchor for the telemetry-overhead methodology (see file comment).
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf("total: %llu states in %.3fs (telemetry compiled %s)\n",
+              static_cast<unsigned long long>(TotalStates), TotalSeconds,
+              obs::telemetryEnabled() ? "in" : "out");
   return 0;
 }

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare two rocker run-report files and flag performance regressions.
+
+Usage:
+    python3 bench/report_diff.py BASELINE CURRENT [--warn-only]
+                                 [--threshold PCT]
+
+Each file is either a single run report or an array of them, as written
+by `rocker_cli --report` / `fig7_table --reports` (schema
+"rocker-run-report/1"). Reports are matched by program name; for each
+pair the tool flags:
+
+  * verdict changes (robust/complete flipped) — always an error;
+  * states/sec drops of more than the threshold (default 10%);
+  * visited-set byte growth of more than the threshold;
+  * state-count changes (the exploration is deterministic, so any
+    change means the engines diverged) — always an error.
+
+Exit status: 0 when clean, 1 when something was flagged. With
+--warn-only everything is printed but the exit status stays 0 — CI uses
+this to surface noise-prone timing regressions without blocking merges.
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "rocker-run-report/1"
+
+
+def load_reports(path):
+    """Returns {program-name: report} from a file holding one report or
+    an array of reports."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    reports = data if isinstance(data, list) else [data]
+    out = {}
+    for r in reports:
+        if r.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: unexpected schema {r.get('schema')!r} "
+                f"(want {SCHEMA!r})"
+            )
+        out[r["program"]] = r
+    return out
+
+
+def pct(new, old):
+    return 100.0 * (new - old) / old if old else 0.0
+
+
+def compare(base, cur, threshold):
+    """Yields (severity, message) pairs; severity is 'error' for verdict
+    or determinism changes and 'warn' for timing-class regressions."""
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            yield "error", f"{name}: present in baseline, missing now"
+            continue
+        if name not in base:
+            yield "warn", f"{name}: new program (no baseline)"
+            continue
+        b, c = base[name], cur[name]
+
+        bv, cv = b["verdict"], c["verdict"]
+        for key in ("robust", "complete"):
+            if bv.get(key) != cv.get(key):
+                yield "error", (
+                    f"{name}: verdict.{key} changed "
+                    f"{bv.get(key)} -> {cv.get(key)}"
+                )
+
+        bs, cs = b["stats"], c["stats"]
+        if bs.get("states") != cs.get("states"):
+            yield "error", (
+                f"{name}: state count changed "
+                f"{bs.get('states')} -> {cs.get('states')} "
+                "(exploration should be deterministic)"
+            )
+
+        rate_delta = pct(cs.get("states_per_sec", 0),
+                         bs.get("states_per_sec", 0))
+        if rate_delta < -threshold:
+            yield "warn", (
+                f"{name}: states/sec dropped {-rate_delta:.1f}% "
+                f"({bs.get('states_per_sec', 0):.0f} -> "
+                f"{cs.get('states_per_sec', 0):.0f})"
+            )
+
+        bytes_delta = pct(cs.get("visited_bytes", 0),
+                          bs.get("visited_bytes", 0))
+        if bytes_delta > threshold:
+            yield "warn", (
+                f"{name}: visited bytes grew {bytes_delta:.1f}% "
+                f"({bs.get('visited_bytes', 0)} -> "
+                f"{cs.get('visited_bytes', 0)})"
+            )
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("baseline", help="baseline report file (JSON)")
+    ap.add_argument("current", help="current report file (JSON)")
+    ap.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print findings but always exit 0 (for CI)",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="regression threshold in percent (default: 10)",
+    )
+    args = ap.parse_args(argv)
+
+    try:
+        base = load_reports(args.baseline)
+        cur = load_reports(args.current)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"report_diff: {e}", file=sys.stderr)
+        return 0 if args.warn_only else 2
+
+    findings = list(compare(base, cur, args.threshold))
+    for severity, msg in findings:
+        print(f"{severity}: {msg}")
+    if not findings:
+        print(
+            f"ok: {len(cur)} programs, no regressions beyond "
+            f"{args.threshold:.0f}%"
+        )
+        return 0
+    return 0 if args.warn_only else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,6 +14,8 @@
 #include "lang/Parser.h"
 #include "lang/Printer.h"
 #include "litmus/Corpus.h"
+#include "obs/RunReport.h"
+#include "obs/Telemetry.h"
 #include "parexplore/ParallelExplorer.h"
 #include "promela/PromelaExport.h"
 #include "rocker/RobustnessChecker.h"
@@ -21,6 +23,7 @@
 #include "tso/TSORobustness.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -39,16 +42,26 @@ struct CliState {
   bool Promela = false;
   bool DumpGraph = false;
   bool Stats = false;
+  std::string ReportPath;       ///< --report / ROCKER_REPORT.
+  double ProgressInterval = 0;  ///< --progress / ROCKER_PROGRESS; 0 = off.
 };
 
 /// One command-line option: flag name, argument placeholder (null for
-/// plain flags), help text, and its effect.
+/// plain flags), help text, and its effect. All options accept the
+/// --name=value spelling; OptionalArg ones accept a bare --name too.
 struct CliOption {
   const char *Name;
   const char *Arg; ///< e.g. "N"; null when the option takes no argument.
   const char *Help;
   void (*Apply)(CliState &, const char *Value);
+  bool OptionalArg = false; ///< The argument may be omitted (--name[=V]).
 };
+
+/// --progress interval from a flag or env value; bare/garbage = 2s.
+double progressInterval(const char *V) {
+  double S = V ? std::strtod(V, nullptr) : 0;
+  return S > 0 ? S : 2.0;
+}
 
 const CliOption Options[] = {
     {"--full", nullptr,
@@ -108,6 +121,18 @@ const CliOption Options[] = {
      [](CliState &C, const char *) { C.DumpGraph = true; }},
     {"--all", nullptr, "collect all violations instead of the first",
      [](CliState &C, const char *) { C.Opts.StopOnViolation = false; }},
+    {"--report", "FILE",
+     "write a JSON run report (schema rocker-run-report/1; \"-\" = "
+     "stdout); env equivalent: ROCKER_REPORT",
+     [](CliState &C, const char *V) { C.ReportPath = V; }},
+    {"--progress", "SECS",
+     "print live progress (states/s, frontier, dedup rate, visited "
+     "bytes, ETA) to stderr every SECS seconds (default 2); env "
+     "equivalent: ROCKER_PROGRESS",
+     [](CliState &C, const char *V) {
+       C.ProgressInterval = progressInterval(V);
+     },
+     /*OptionalArg=*/true},
 };
 
 int usage() {
@@ -117,8 +142,9 @@ int usage() {
   for (const CliOption &O : Options) {
     std::string Flag = O.Name;
     if (O.Arg)
-      Flag += std::string(" ") + O.Arg;
-    std::fprintf(stderr, "  %-16s %s\n", Flag.c_str(), O.Help);
+      Flag += O.OptionalArg ? std::string("[=") + O.Arg + "]"
+                            : std::string(" ") + O.Arg;
+    std::fprintf(stderr, "  %-18s %s\n", Flag.c_str(), O.Help);
   }
   return 2;
 }
@@ -167,9 +193,32 @@ void printStats(const ExploreStats &S) {
               S.VisitedBytes / (1024.0 * 1024.0),
               S.VisitedRawBytes / (1024.0 * 1024.0),
               S.compressionRatio());
-  for (size_t I = 0; I != S.PerThreadStatesPerSec.size(); ++I)
-    std::printf("stats: worker %zu: %.0f states/s\n", I,
-                S.PerThreadStatesPerSec[I]);
+  for (size_t I = 0; I != S.Workers.size(); ++I) {
+    const ExploreStats::WorkerCounters &W = S.Workers[I];
+    std::printf("stats: worker %zu: %llu expanded, %.0f states/s",
+                I, static_cast<unsigned long long>(W.Expanded),
+                W.statesPerSec());
+    if (W.Steals)
+      std::printf(", %llu steals",
+                  static_cast<unsigned long long>(W.Steals));
+    std::printf("\n");
+  }
+}
+
+/// Writes the run report when --report / ROCKER_REPORT asked for one.
+/// Returns false on I/O failure.
+bool emitReport(const CliState &C, const std::string &Name,
+                const char *Mode, const RockerReport &R,
+                const obs::Snapshot &Before) {
+  if (C.ReportPath.empty())
+    return true;
+  obs::RunReport Rep = obs::buildRunReport(Name, Mode, C.Opts, R, Before,
+                                           obs::snapshot());
+  if (obs::writeRunReport(C.ReportPath, Rep))
+    return true;
+  std::fprintf(stderr, "error: cannot write report to '%s'\n",
+               C.ReportPath.c_str());
+  return false;
 }
 
 } // namespace
@@ -178,19 +227,31 @@ int main(int argc, char **argv) {
   CliState C;
   std::string Input;
 
+  // Env equivalents are read first so flags override them.
+  if (const char *E = std::getenv("ROCKER_REPORT"); E && *E)
+    C.ReportPath = E;
+  if (const char *E = std::getenv("ROCKER_PROGRESS"); E && *E)
+    C.ProgressInterval = progressInterval(E);
+
   for (int I = 1; I != argc; ++I) {
     std::string A = argv[I];
     if (!A.empty() && A[0] == '-') {
+      std::string Name = A;
+      const char *Inline = nullptr; // --name=value spelling.
+      if (size_t Eq = A.find('='); Eq != std::string::npos) {
+        Name.resize(Eq);
+        Inline = argv[I] + Eq + 1;
+      }
       const CliOption *Found = nullptr;
       for (const CliOption &O : Options)
-        if (A == O.Name) {
+        if (Name == O.Name) {
           Found = &O;
           break;
         }
-      if (!Found)
+      if (!Found || (Inline && !Found->Arg))
         return usage();
-      const char *Value = nullptr;
-      if (Found->Arg) {
+      const char *Value = Inline;
+      if (Found->Arg && !Value && !Found->OptionalArg) {
         if (++I == argc)
           return usage();
         Value = argv[I];
@@ -205,6 +266,11 @@ int main(int argc, char **argv) {
   if (Input.empty())
     return usage();
 
+  // Bracket everything from parse onward, so run reports attribute the
+  // whole invocation (the Parse phase included, not just exploration).
+  obs::Snapshot Before = obs::snapshot();
+  obs::ProgressReporter Reporter(C.ProgressInterval);
+
   std::optional<Program> P = loadInput(Input);
   if (!P)
     return 2;
@@ -215,8 +281,11 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  std::string Name = P->Name.empty() ? Input : P->Name;
+
   if (C.ScOnly) {
     RockerReport R = exploreSC(*P, C.Opts);
+    Reporter.stop();
     std::printf("SC exploration: %llu states in %.3fs — %s\n",
                 static_cast<unsigned long long>(R.Stats.NumStates),
                 R.Stats.Seconds,
@@ -225,13 +294,17 @@ int main(int argc, char **argv) {
       std::printf("%s\n", R.FirstViolationText.c_str());
     if (C.Stats)
       printStats(R.Stats);
+    if (!emitReport(C, Name, "sc", R, Before))
+      return 2;
     return R.Robust ? 0 : 1;
   }
 
   RockerReport R = checkRobustness(*P, C.Opts);
+  bool ReportOk = emitReport(C, Name, "robustness", R, Before);
+
   std::printf("%s: %s against release/acquire (%llu states, %.3fs, "
               "%u thread%s%s%s)\n",
-              P->Name.empty() ? Input.c_str() : P->Name.c_str(),
+              Name.c_str(),
               R.Robust ? "ROBUST" : "NOT ROBUST",
               static_cast<unsigned long long>(R.Stats.NumStates),
               R.Stats.Seconds, C.Opts.Threads,
@@ -269,5 +342,7 @@ int main(int argc, char **argv) {
     if (C.Stats)
       printStats(T.Stats);
   }
+  if (!ReportOk)
+    return 2;
   return R.Robust ? 0 : 1;
 }

@@ -32,6 +32,7 @@
 #include "lang/Printer.h"
 #include "lang/Program.h"
 #include "lang/Step.h"
+#include "obs/Telemetry.h"
 #include "support/Hashing.h"
 #include "support/StateInterner.h"
 #include "support/StateKey.h"
@@ -105,6 +106,23 @@ struct ExploreStats {
   /// engine, one per worker thread for the parallel engine).
   std::vector<double> PerThreadStatesPerSec;
 
+  /// Per-worker counters, one entry per worker with the same layout for
+  /// both engines (a single entry for the sequential engine), so report
+  /// consumers don't special-case engine type. Totals across entries
+  /// equal the whole-run counters above on full explorations.
+  struct WorkerCounters {
+    uint64_t Expanded = 0;    ///< States popped and expanded.
+    uint64_t Transitions = 0; ///< Successor transitions generated.
+    uint64_t DedupHits = 0;   ///< Successors that were already visited.
+    uint64_t Deadlocks = 0;   ///< Deadlock states detected.
+    uint64_t Steals = 0;      ///< Successful work steals (parallel only).
+    double Seconds = 0;       ///< Worker wall time.
+    double statesPerSec() const {
+      return Seconds > 0 ? Expanded / Seconds : 0.0;
+    }
+  };
+  std::vector<WorkerCounters> Workers;
+
   /// Visited-set compression ratio (raw / actual); 1 when uncompressed.
   double compressionRatio() const {
     return VisitedBytes
@@ -151,6 +169,10 @@ struct ExploreOptions {
   /// changes the set of *stored* program states, so it must not be
   /// combined with CollectProgramStates.
   bool CollapseLocalSteps = false;
+  /// Phase the engine's wall time is attributed to. The parallel engine's
+  /// deterministic replay re-runs this engine under obs::Phase::Replay so
+  /// replay time is separable in run reports.
+  obs::Phase TelemetryPhase = obs::Phase::Explore;
 };
 
 /// Result of an exploration.
@@ -187,7 +209,10 @@ public:
   template <typename AccessHook>
   ExploreResult runWithHook(AccessHook Hook) {
     auto Start = std::chrono::steady_clock::now();
+    obs::Span PhaseSp(Opts.TelemetryPhase);
+    obs::ProgressScope Progress(Opts.MaxStates);
     ExploreResult Res;
+    uint64_t Expanded = 0;
 
     if (Opts.BitstateLog2) {
       Res.Approximate = true;
@@ -215,6 +240,8 @@ public:
         Res.Stats.PeakFrontier =
             std::max(Res.Stats.PeakFrontier, States.size() - Id);
         expand(Id, Res, Hook);
+        if ((++Expanded & 1023) == 0)
+          publishProgress(Res, States.size() - Id - 1);
         // Under bitstate hashing the stored payloads exist only to be
         // expanded once (there is no exact visited map pointing back at
         // them), so release each one as soon as it has been expanded —
@@ -238,6 +265,8 @@ public:
         uint64_t Id = DfsStack.back();
         DfsStack.pop_back();
         expand(Id, Res, Hook);
+        if ((++Expanded & 1023) == 0)
+          publishProgress(Res, DfsStack.size());
         if (Opts.BitstateLog2) // See the BFS loop.
           States[Id] = ProductState();
         if (!Res.Violations.empty() && Opts.StopOnViolation)
@@ -260,9 +289,23 @@ public:
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
-    Res.Stats.PerThreadStatesPerSec.push_back(
-        Res.Stats.Seconds > 0 ? Res.Stats.NumStates / Res.Stats.Seconds
-                              : 0.0);
+
+    ExploreStats::WorkerCounters W;
+    W.Expanded = Expanded;
+    W.Transitions = Res.Stats.NumTransitions;
+    W.DedupHits = Res.Stats.DedupHits;
+    W.Deadlocks = Res.Stats.NumDeadlockStates;
+    W.Seconds = Res.Stats.Seconds;
+    Res.Stats.Workers.push_back(W);
+    Res.Stats.PerThreadStatesPerSec.push_back(W.statesPerSec());
+
+    // Bulk counters are accumulated in the run totals and flushed once
+    // here, so the hot loop never touches telemetry TLS per transition.
+    obs::add(obs::Ctr::Expansions, Expanded);
+    obs::add(obs::Ctr::Transitions, Res.Stats.NumTransitions);
+    obs::add(obs::Ctr::DedupHits, Res.Stats.DedupHits);
+    obs::add(obs::Ctr::VisitedProbes, Res.Stats.NumTransitions + 1);
+    obs::add(obs::Ctr::VisitedInserts, Res.Stats.NumStates);
     return Res;
   }
 
@@ -313,6 +356,7 @@ private:
   static constexpr uint64_t NoId = ~static_cast<uint64_t>(0);
 
   uint64_t intern(ProductState &&S, ExploreResult &Res) {
+    obs::Span Sp(obs::Phase::VisitedProbe);
     if (Opts.BitstateLog2) {
       std::string Key = productStateKey(Mem, S.Threads, S.M);
       uint64_t H = hashBytes(
@@ -382,6 +426,27 @@ private:
     if (Opts.Order == SearchOrder::DFS && States.size() > 1)
       DfsStack.push_back(States.size() - 1);
     return States.size() - 1;
+  }
+
+  /// Publishes live counts for the progress reporter (every ~1k
+  /// expansions; the visited-set footprint every 8th push because
+  /// bytesUsed() walks the interner's arenas).
+  void publishProgress(ExploreResult &Res, uint64_t Frontier) {
+    if constexpr (!obs::telemetryEnabled())
+      return;
+    obs::progressUpdate(States.size(), Frontier);
+    obs::progressAddCounts(Res.Stats.NumTransitions - PubTransitions,
+                           Res.Stats.DedupHits - PubDedupHits);
+    PubTransitions = Res.Stats.NumTransitions;
+    PubDedupHits = Res.Stats.DedupHits;
+    if ((++PubCount & 7) != 0)
+      return;
+    if (Opts.BitstateLog2)
+      obs::progressVisitedBytes(Bitstate.size() * sizeof(uint64_t));
+    else if (Interner)
+      obs::progressVisitedBytes(Interner->bytesUsed());
+    else
+      obs::progressVisitedBytes(RawVisitedBytes);
   }
 
   void link(uint64_t Child, uint64_t Parent, ThreadId T, bool Internal,
@@ -557,6 +622,9 @@ private:
   uint64_t RawVisitedBytes = 0;   ///< Raw-key byte accounting.
   std::vector<uint64_t> Bitstate; ///< Bitstate-hashing visited bits.
   std::vector<uint64_t> DfsStack;
+  uint64_t PubTransitions = 0; ///< Progress: last published transitions.
+  uint64_t PubDedupHits = 0;   ///< Progress: last published dedup hits.
+  uint64_t PubCount = 0;       ///< Progress: pushes so far.
 };
 
 /// Renders a violation kind for reports.

@@ -8,6 +8,8 @@
 
 #include "lang/Parser.h"
 
+#include "obs/Telemetry.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -788,6 +790,8 @@ private:
 } // namespace
 
 ParseResult rocker::parseProgram(std::string_view Text) {
+  obs::Span Sp(obs::Phase::Parse);
+  obs::add(obs::Ctr::ParsedPrograms);
   return Parser(Text).run();
 }
 

@@ -1,0 +1,409 @@
+//===- obs/Json.h - Minimal JSON value, writer, and parser -----*- C++ -*-===//
+///
+/// \file
+/// A small dependency-free JSON layer for run reports and bench output:
+/// an ordered-member value DOM, a pretty-printing writer, and a
+/// recursive-descent parser (used by the report round-trip tests). Not a
+/// general-purpose library: numbers are stored as uint64 or double,
+/// strings are UTF-8 passthrough with control/quote/backslash escaping,
+/// and parse errors surface as std::nullopt rather than diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_OBS_JSON_H
+#define ROCKER_OBS_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rocker::obs::json {
+
+/// A JSON value. Object members preserve insertion order so reports are
+/// stable and diffable.
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  Value(std::nullptr_t) : K(Kind::Null) {}
+  Value(bool B) : K(Kind::Bool), B(B) {}
+  Value(uint64_t I) : K(Kind::Int), I(I) {}
+  Value(int I) : K(Kind::Int), I(static_cast<uint64_t>(I)) {}
+  Value(unsigned I) : K(Kind::Int), I(I) {}
+  Value(double D) : K(Kind::Double), D(D) {}
+  Value(std::string S) : K(Kind::String), S(std::move(S)) {}
+  Value(const char *S) : K(Kind::String), S(S) {}
+
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  bool asBool() const { return B; }
+  uint64_t asUInt() const {
+    return K == Kind::Double ? static_cast<uint64_t>(D) : I;
+  }
+  double asDouble() const {
+    return K == Kind::Int ? static_cast<double>(I) : D;
+  }
+  const std::string &asString() const { return S; }
+  const std::vector<Value> &items() const { return Items; }
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  void push(Value V) { Items.push_back(std::move(V)); }
+  Value &set(std::string Key, Value V) {
+    Members.emplace_back(std::move(Key), std::move(V));
+    return Members.back().second;
+  }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const Value *find(const std::string &Key) const {
+    for (const auto &[K2, V] : Members)
+      if (K2 == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Serializes with 2-space indentation.
+  std::string dump() const {
+    std::string Out;
+    write(Out, 0);
+    return Out;
+  }
+
+private:
+  void write(std::string &Out, unsigned Depth) const {
+    switch (K) {
+    case Kind::Null:
+      Out += "null";
+      break;
+    case Kind::Bool:
+      Out += B ? "true" : "false";
+      break;
+    case Kind::Int:
+      Out += std::to_string(I);
+      break;
+    case Kind::Double: {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.9g", D);
+      Out += Buf;
+      // Keep doubles re-parseable as doubles.
+      if (Out.find_first_of(".eEn", Out.size() - std::strlen(Buf)) ==
+          std::string::npos)
+        Out += ".0";
+      break;
+    }
+    case Kind::String:
+      writeString(Out, S);
+      break;
+    case Kind::Array:
+      if (Items.empty()) {
+        Out += "[]";
+        break;
+      }
+      Out += "[\n";
+      for (size_t N = 0; N != Items.size(); ++N) {
+        indent(Out, Depth + 1);
+        Items[N].write(Out, Depth + 1);
+        if (N + 1 != Items.size())
+          Out += ',';
+        Out += '\n';
+      }
+      indent(Out, Depth);
+      Out += ']';
+      break;
+    case Kind::Object:
+      if (Members.empty()) {
+        Out += "{}";
+        break;
+      }
+      Out += "{\n";
+      for (size_t N = 0; N != Members.size(); ++N) {
+        indent(Out, Depth + 1);
+        writeString(Out, Members[N].first);
+        Out += ": ";
+        Members[N].second.write(Out, Depth + 1);
+        if (N + 1 != Members.size())
+          Out += ',';
+        Out += '\n';
+      }
+      indent(Out, Depth);
+      Out += '}';
+      break;
+    }
+  }
+
+  static void indent(std::string &Out, unsigned Depth) {
+    Out.append(2 * Depth, ' ');
+  }
+
+  static void writeString(std::string &Out, const std::string &Str) {
+    Out += '"';
+    for (char C : Str) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    Out += '"';
+  }
+
+  Kind K;
+  bool B = false;
+  uint64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<Value> Items;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Recursive-descent parser; std::nullopt on any syntax error.
+class Parser {
+public:
+  static std::optional<Value> parse(const std::string &Text) {
+    Parser P(Text);
+    std::optional<Value> V = P.value();
+    if (!V)
+      return std::nullopt;
+    P.skipWs();
+    if (P.Pos != P.Text.size())
+      return std::nullopt; // Trailing garbage.
+    return V;
+  }
+
+private:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  void skipWs() {
+    while (Pos != Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\n' || Text[Pos] == '\t' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos == Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool lit(const char *S) {
+    size_t N = std::strlen(S);
+    if (Text.compare(Pos, N, S) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  std::optional<Value> value() {
+    skipWs();
+    if (Pos == Text.size())
+      return std::nullopt;
+    switch (Text[Pos]) {
+    case 'n':
+      return lit("null") ? std::optional<Value>(Value())
+                         : std::nullopt;
+    case 't':
+      return lit("true") ? std::optional<Value>(Value(true))
+                         : std::nullopt;
+    case 'f':
+      return lit("false") ? std::optional<Value>(Value(false))
+                          : std::nullopt;
+    case '"':
+      return string();
+    case '[':
+      return array();
+    case '{':
+      return object();
+    default:
+      return number();
+    }
+  }
+
+  std::optional<Value> string() {
+    if (!eat('"'))
+      return std::nullopt;
+    std::string S;
+    while (Pos != Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (Pos == Text.size())
+        return std::nullopt;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        S += E;
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return std::nullopt;
+        unsigned Code = 0;
+        for (unsigned N = 0; N != 4; ++N) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return std::nullopt;
+        }
+        // Reports only ever escape control characters; anything else
+        // would need UTF-8 encoding, which we don't emit.
+        if (Code > 0x7f)
+          return std::nullopt;
+        S += static_cast<char>(Code);
+        break;
+      }
+      default:
+        return std::nullopt;
+      }
+    }
+    if (!eat('"'))
+      return std::nullopt;
+    return Value(std::move(S));
+  }
+
+  std::optional<Value> number() {
+    size_t Start = Pos;
+    if (Pos != Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool IsDouble = false;
+    while (Pos != Text.size()) {
+      char C = Text[Pos];
+      if (C >= '0' && C <= '9') {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '+' ||
+                 C == '-') {
+        IsDouble = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start)
+      return std::nullopt;
+    std::string Tok = Text.substr(Start, Pos - Start);
+    try {
+      if (IsDouble || Tok[0] == '-')
+        return Value(std::stod(Tok));
+      return Value(static_cast<uint64_t>(std::stoull(Tok)));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> array() {
+    if (!eat('['))
+      return std::nullopt;
+    Value A = Value::array();
+    skipWs();
+    if (eat(']'))
+      return A;
+    for (;;) {
+      std::optional<Value> V = value();
+      if (!V)
+        return std::nullopt;
+      A.push(std::move(*V));
+      if (eat(']'))
+        return A;
+      if (!eat(','))
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Value> object() {
+    if (!eat('{'))
+      return std::nullopt;
+    Value O = Value::object();
+    skipWs();
+    if (eat('}'))
+      return O;
+    for (;;) {
+      skipWs();
+      std::optional<Value> Key = string();
+      if (!Key || !eat(':'))
+        return std::nullopt;
+      std::optional<Value> V = value();
+      if (!V)
+        return std::nullopt;
+      O.set(Key->asString(), std::move(*V));
+      if (eat('}'))
+        return O;
+      if (!eat(','))
+        return std::nullopt;
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+inline std::optional<Value> parse(const std::string &Text) {
+  return Parser::parse(Text);
+}
+
+} // namespace rocker::obs::json
+
+#endif // ROCKER_OBS_JSON_H

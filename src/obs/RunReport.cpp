@@ -1,0 +1,171 @@
+//===- obs/RunReport.cpp - Run-report construction and writing ------------===//
+
+#include "obs/RunReport.h"
+
+#include <cstdio>
+
+using namespace rocker;
+using namespace rocker::obs;
+
+RunReport obs::buildRunReport(std::string ProgramName, std::string Mode,
+                              const RockerOptions &Config,
+                              const RockerReport &Result,
+                              const Snapshot &Before,
+                              const Snapshot &After) {
+  RunReport R;
+  R.Program = std::move(ProgramName);
+  R.Mode = std::move(Mode);
+  R.Config = Config;
+  R.Robust = Result.Robust;
+  R.Complete = Result.Complete;
+  R.Approximate = Result.Approximate;
+  R.NumViolations = Result.Violations.size();
+  R.Stats = Result.Stats;
+  R.Telemetry = diff(After, Before);
+  return R;
+}
+
+namespace {
+
+json::Value toolJson() {
+  json::Value T = json::Value::object();
+  T.set("name", "rocker");
+#ifdef ROCKER_GIT_SHA
+  T.set("git_sha", ROCKER_GIT_SHA);
+#else
+  T.set("git_sha", "unknown");
+#endif
+#ifdef NDEBUG
+  T.set("build", "release");
+#else
+  T.set("build", "debug");
+#endif
+#ifdef __VERSION__
+  T.set("compiler", __VERSION__);
+#else
+  T.set("compiler", "unknown");
+#endif
+  T.set("telemetry", telemetryEnabled());
+  return T;
+}
+
+json::Value configJson(const RockerOptions &C) {
+  json::Value J = json::Value::object();
+  J.set("engine", C.Threads > 1 && C.BitstateLog2 == 0 ? "parallel"
+                                                       : "sequential");
+  J.set("threads", C.Threads);
+  J.set("max_states", C.MaxStates);
+  J.set("max_seconds", C.MaxSeconds);
+  J.set("order", C.Order == SearchOrder::BFS ? "bfs" : "dfs");
+  J.set("bitstate_log2", C.BitstateLog2);
+  J.set("compress_visited", C.CompressVisited);
+  J.set("critical_abstraction", C.UseCriticalAbstraction);
+  J.set("check_assertions", C.CheckAssertions);
+  J.set("check_races", C.CheckRaces);
+  J.set("collapse_local_steps", C.CollapseLocalSteps);
+  return J;
+}
+
+json::Value statsJson(const ExploreStats &S) {
+  json::Value J = json::Value::object();
+  J.set("states", S.NumStates);
+  J.set("transitions", S.NumTransitions);
+  J.set("dedup_hits", S.DedupHits);
+  J.set("peak_frontier", S.PeakFrontier);
+  J.set("visited_bytes", S.VisitedBytes);
+  J.set("visited_raw_bytes", S.VisitedRawBytes);
+  J.set("seconds", S.Seconds);
+  J.set("truncated", S.Truncated);
+  J.set("states_per_sec",
+        S.Seconds > 0 ? S.NumStates / S.Seconds : 0.0);
+  return J;
+}
+
+json::Value workersJson(const ExploreStats &S) {
+  json::Value A = json::Value::array();
+  for (const ExploreStats::WorkerCounters &W : S.Workers) {
+    json::Value J = json::Value::object();
+    J.set("expanded", W.Expanded);
+    J.set("transitions", W.Transitions);
+    J.set("dedup_hits", W.DedupHits);
+    J.set("deadlocks", W.Deadlocks);
+    J.set("steals", W.Steals);
+    J.set("seconds", W.Seconds);
+    J.set("states_per_sec", W.statesPerSec());
+    A.push(std::move(J));
+  }
+  return A;
+}
+
+json::Value telemetryJson(const Snapshot &S) {
+  json::Value Phases = json::Value::object();
+  for (unsigned I = 1; I != NumPhases; ++I) // Idle excluded by design.
+    Phases.set(phaseName(static_cast<Phase>(I)), S.PhaseSeconds[I]);
+  Phases.set("total", S.attributedSeconds());
+
+  json::Value Counters = json::Value::object();
+  for (unsigned I = 0; I != NumCounters; ++I)
+    Counters.set(counterName(static_cast<Ctr>(I)), S.Counters[I]);
+
+  json::Value J = json::Value::object();
+  J.set("phases", std::move(Phases));
+  J.set("counters", std::move(Counters));
+  return J;
+}
+
+} // namespace
+
+json::Value obs::toJson(const RunReport &R) {
+  json::Value J = json::Value::object();
+  J.set("schema", "rocker-run-report/1");
+  J.set("tool", toolJson());
+  J.set("program", R.Program);
+  J.set("mode", R.Mode);
+  J.set("config", configJson(R.Config));
+
+  json::Value V = json::Value::object();
+  V.set("robust", R.Robust);
+  V.set("complete", R.Complete);
+  V.set("approximate", R.Approximate);
+  V.set("violations", R.NumViolations);
+  J.set("verdict", std::move(V));
+
+  J.set("stats", statsJson(R.Stats));
+  J.set("workers", workersJson(R.Stats));
+  J.set("telemetry", telemetryJson(R.Telemetry));
+  return J;
+}
+
+json::Value obs::toJson(const std::vector<RunReport> &Reports) {
+  json::Value A = json::Value::array();
+  for (const RunReport &R : Reports)
+    A.push(toJson(R));
+  return A;
+}
+
+static bool writeText(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    std::fputs(Text.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fputs(Text.c_str(), F) >= 0 && std::fputc('\n', F) != EOF;
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+bool obs::writeRunReport(const std::string &Path, const RunReport &R) {
+  Span Sp(Phase::Report);
+  add(Ctr::ReportWrites);
+  return writeText(Path, toJson(R).dump());
+}
+
+bool obs::writeRunReports(const std::string &Path,
+                          const std::vector<RunReport> &Reports) {
+  Span Sp(Phase::Report);
+  add(Ctr::ReportWrites);
+  return writeText(Path, toJson(Reports).dump());
+}

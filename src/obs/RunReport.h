@@ -1,0 +1,58 @@
+//===- obs/RunReport.h - Machine-readable run reports ----------*- C++ -*-===//
+///
+/// \file
+/// Structured JSON run reports ("rocker-run-report/1"): verdict,
+/// exploration statistics, per-phase wall time, all telemetry counters,
+/// the engine configuration, and tool/build metadata. Written by
+/// `rocker_cli --report <path.json>` and `bench/fig7_table --reports`,
+/// diffed by `bench/report_diff.py`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_OBS_RUNREPORT_H
+#define ROCKER_OBS_RUNREPORT_H
+
+#include "obs/Json.h"
+#include "obs/Telemetry.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <string>
+#include <vector>
+
+namespace rocker::obs {
+
+/// Everything one verification run produced, ready to serialize.
+struct RunReport {
+  std::string Program; ///< Program name (usually the source file stem).
+  std::string Mode;    ///< "robustness" or "sc".
+  RockerOptions Config;
+  bool Robust = false;
+  bool Complete = true;
+  bool Approximate = false;
+  uint64_t NumViolations = 0;
+  ExploreStats Stats;
+  /// Telemetry delta bracketing the run (zeros when compiled out).
+  Snapshot Telemetry;
+};
+
+/// Builds a report from a finished run; \p Before / \p After are
+/// obs::snapshot() calls bracketing it.
+RunReport buildRunReport(std::string ProgramName, std::string Mode,
+                         const RockerOptions &Config,
+                         const RockerReport &Result, const Snapshot &Before,
+                         const Snapshot &After);
+
+/// Serializes one report (schema "rocker-run-report/1").
+json::Value toJson(const RunReport &R);
+
+/// Serializes a corpus sweep as a JSON array of reports.
+json::Value toJson(const std::vector<RunReport> &Reports);
+
+/// Writes \p R to \p Path ("-" = stdout). Returns false on I/O error.
+bool writeRunReport(const std::string &Path, const RunReport &R);
+bool writeRunReports(const std::string &Path,
+                     const std::vector<RunReport> &Reports);
+
+} // namespace rocker::obs
+
+#endif // ROCKER_OBS_RUNREPORT_H

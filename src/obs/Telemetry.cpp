@@ -1,0 +1,267 @@
+//===- obs/Telemetry.cpp - Telemetry registry and reporter ------------------===//
+
+#include "obs/Telemetry.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace rocker;
+using namespace rocker::obs;
+
+const char *obs::phaseName(Phase P) {
+  switch (P) {
+  case Phase::Idle:
+    return "idle";
+  case Phase::Parse:
+    return "parse";
+  case Phase::Explore:
+    return "explore";
+  case Phase::MonitorStep:
+    return "monitor_step";
+  case Phase::VisitedProbe:
+    return "visited_probe";
+  case Phase::OracleSweep:
+    return "oracle_sweep";
+  case Phase::Replay:
+    return "replay";
+  case Phase::Report:
+    return "report";
+  }
+  return "unknown";
+}
+
+const char *obs::counterName(Ctr C) {
+  switch (C) {
+  case Ctr::ParsedPrograms:
+    return "parse.programs";
+  case Ctr::Expansions:
+    return "explore.expansions";
+  case Ctr::Transitions:
+    return "explore.transitions";
+  case Ctr::DedupHits:
+    return "visited.dedup_hits";
+  case Ctr::VisitedProbes:
+    return "visited.probes";
+  case Ctr::VisitedInserts:
+    return "visited.inserts";
+  case Ctr::MonitorChecks:
+    return "monitor.checks";
+  case Ctr::SweptStates:
+    return "oracle.swept_states";
+  case Ctr::ReplayRuns:
+    return "replay.runs";
+  case Ctr::Steals:
+    return "explore.steals";
+  case Ctr::ProgressTicks:
+    return "progress.ticks";
+  case Ctr::ReportWrites:
+    return "report.writes";
+  }
+  return "unknown";
+}
+
+Snapshot obs::diff(const Snapshot &After, const Snapshot &Before) {
+  Snapshot D;
+  for (unsigned I = 0; I != NumPhases; ++I) {
+    double S = After.PhaseSeconds[I] - Before.PhaseSeconds[I];
+    D.PhaseSeconds[I] = S > 0 ? S : 0;
+  }
+  for (unsigned I = 0; I != NumCounters; ++I)
+    D.Counters[I] = After.Counters[I] >= Before.Counters[I]
+                        ? After.Counters[I] - Before.Counters[I]
+                        : 0;
+  return D;
+}
+
+#ifndef ROCKER_NO_TELEMETRY
+
+namespace {
+
+/// Global fold point: live thread blocks plus the totals of retired
+/// threads, and the cycle↔seconds calibration anchor.
+struct Registry {
+  std::mutex M;
+  std::vector<ThreadBlock *> Live;
+  uint64_t RetiredPhaseCycles[NumPhases] = {};
+  uint64_t RetiredCounters[NumCounters] = {};
+  std::chrono::steady_clock::time_point AnchorTime;
+  uint64_t AnchorCycles;
+
+  Registry() {
+    AnchorTime = std::chrono::steady_clock::now();
+    AnchorCycles = tick();
+  }
+
+  /// Cycles per second measured from the anchor to now. The window only
+  /// grows, so the estimate converges; a snapshot taken within the first
+  /// 100us busy-waits the window open (happens at most once, at process
+  /// start).
+  double cyclesPerSecond() {
+    for (;;) {
+      auto Now = std::chrono::steady_clock::now();
+      double Dt =
+          std::chrono::duration<double>(Now - AnchorTime).count();
+      if (Dt >= 1e-4)
+        return (tick() - AnchorCycles) / Dt;
+    }
+  }
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+ThreadBlock::ThreadBlock() {
+  LastStamp = tick();
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.Live.push_back(this);
+}
+
+ThreadBlock::~ThreadBlock() {
+  // Attribute the tail of the current (normally Idle) phase, then fold.
+  uint64_t Now = tick();
+  bump(PhaseCycles[static_cast<unsigned>(Cur)], Now - LastStamp);
+  LastStamp = Now;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  for (unsigned I = 0; I != NumPhases; ++I)
+    R.RetiredPhaseCycles[I] +=
+        PhaseCycles[I].load(std::memory_order_relaxed);
+  for (unsigned I = 0; I != NumCounters; ++I)
+    R.RetiredCounters[I] += Counters[I].load(std::memory_order_relaxed);
+  for (auto It = R.Live.begin(); It != R.Live.end(); ++It)
+    if (*It == this) {
+      R.Live.erase(It);
+      break;
+    }
+}
+
+ThreadBlock &obs::tls() {
+  thread_local ThreadBlock B;
+  return B;
+}
+
+Snapshot obs::snapshot() {
+  Registry &R = registry();
+  uint64_t Cycles[NumPhases];
+  Snapshot S;
+  {
+    std::lock_guard<std::mutex> L(R.M);
+    for (unsigned I = 0; I != NumPhases; ++I)
+      Cycles[I] = R.RetiredPhaseCycles[I];
+    for (unsigned I = 0; I != NumCounters; ++I)
+      S.Counters[I] = R.RetiredCounters[I];
+    for (const ThreadBlock *B : R.Live) {
+      for (unsigned I = 0; I != NumPhases; ++I)
+        Cycles[I] += B->PhaseCycles[I].load(std::memory_order_relaxed);
+      for (unsigned I = 0; I != NumCounters; ++I)
+        S.Counters[I] += B->Counters[I].load(std::memory_order_relaxed);
+    }
+  }
+  double Rate = R.cyclesPerSecond();
+  for (unsigned I = 0; I != NumPhases; ++I)
+    S.PhaseSeconds[I] = Cycles[I] / Rate;
+  return S;
+}
+
+ProgressData &obs::progressData() {
+  static ProgressData D;
+  return D;
+}
+
+ProgressScope::ProgressScope(uint64_t MaxStates) {
+  ProgressData &D = progressData();
+  PrevActive = D.Active.load(std::memory_order_relaxed);
+  PrevMax = D.MaxStates.load(std::memory_order_relaxed);
+  D.States.store(0, std::memory_order_relaxed);
+  D.Frontier.store(0, std::memory_order_relaxed);
+  D.Transitions.store(0, std::memory_order_relaxed);
+  D.DedupHits.store(0, std::memory_order_relaxed);
+  D.VisitedBytes.store(0, std::memory_order_relaxed);
+  D.MaxStates.store(MaxStates == UINT64_MAX ? 0 : MaxStates,
+                    std::memory_order_relaxed);
+  D.Active.store(true, std::memory_order_relaxed);
+}
+
+ProgressScope::~ProgressScope() {
+  ProgressData &D = progressData();
+  D.Active.store(PrevActive, std::memory_order_relaxed);
+  D.MaxStates.store(PrevMax, std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(double IntervalSeconds) {
+  if (IntervalSeconds > 0)
+    Th = std::thread([this, IntervalSeconds] { loop(IntervalSeconds); });
+}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+void ProgressReporter::stop() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    StopFlag = true;
+  }
+  CV.notify_all();
+  if (Th.joinable())
+    Th.join();
+}
+
+void ProgressReporter::loop(double IntervalSeconds) {
+  auto Interval = std::chrono::duration<double>(IntervalSeconds);
+  uint64_t LastStates = 0;
+  auto LastTime = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> L(M);
+  while (!CV.wait_for(L, Interval, [this] { return StopFlag; })) {
+    ProgressData &D = progressData();
+    if (!D.Active.load(std::memory_order_relaxed))
+      continue;
+    uint64_t States = D.States.load(std::memory_order_relaxed);
+    uint64_t Frontier = D.Frontier.load(std::memory_order_relaxed);
+    uint64_t Dedup = D.DedupHits.load(std::memory_order_relaxed);
+    uint64_t Bytes = D.VisitedBytes.load(std::memory_order_relaxed);
+    uint64_t Budget = D.MaxStates.load(std::memory_order_relaxed);
+
+    auto Now = std::chrono::steady_clock::now();
+    double Dt = std::chrono::duration<double>(Now - LastTime).count();
+    double Rate =
+        Dt > 0 && States >= LastStates ? (States - LastStates) / Dt : 0;
+    LastStates = States;
+    LastTime = Now;
+
+    double HitRate =
+        States + Dedup ? 100.0 * Dedup / (States + Dedup) : 0.0;
+    std::string Line = "progress: " + std::to_string(States) + " states";
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), " (%.0f st/s), frontier %llu, dedup %.1f%%",
+                  Rate, static_cast<unsigned long long>(Frontier), HitRate);
+    Line += Buf;
+    if (Bytes) {
+      std::snprintf(Buf, sizeof(Buf), ", visited %.1f MiB",
+                    Bytes / (1024.0 * 1024.0));
+      Line += Buf;
+    }
+    if (Budget) {
+      std::snprintf(Buf, sizeof(Buf), ", %.1f%% of %llu budget",
+                    100.0 * States / Budget,
+                    static_cast<unsigned long long>(Budget));
+      Line += Buf;
+      if (Rate > 0 && Budget > States) {
+        std::snprintf(Buf, sizeof(Buf), ", ETA %.0fs to budget",
+                      (Budget - States) / Rate);
+        Line += Buf;
+      }
+    }
+    std::fprintf(stderr, "%s\n", Line.c_str());
+    add(Ctr::ProgressTicks);
+  }
+}
+
+#else // ROCKER_NO_TELEMETRY
+
+Snapshot obs::snapshot() { return Snapshot{}; }
+
+#endif // ROCKER_NO_TELEMETRY

@@ -158,6 +158,10 @@ public:
   template <typename AccessHook, typename StateHook>
   ParExploreResult runWithHooks(AccessHook AHook, StateHook SHook) {
     auto Start = std::chrono::steady_clock::now();
+    // Workers span their own time (each thread owns its telemetry TLS),
+    // so parallel phase times sum to CPU seconds, not wall time; the main
+    // thread's join wait stays unattributed.
+    obs::ProgressScope Progress(Opts.MaxStates);
     ParExploreResult Res;
 
     unsigned NumWorkers = resolveThreadCount(Opts.Threads);
@@ -216,9 +220,20 @@ public:
       Res.Stats.NumTransitions += W->Transitions;
       Res.Stats.NumDeadlockStates += W->Deadlocks;
       Res.Stats.DedupHits += W->DedupHits;
-      Res.Stats.PerThreadStatesPerSec.push_back(
-          W->Seconds > 0 ? W->Expanded / W->Seconds : 0.0);
+      ExploreStats::WorkerCounters C;
+      C.Expanded = W->Expanded;
+      C.Transitions = W->Transitions;
+      C.DedupHits = W->DedupHits;
+      C.Deadlocks = W->Deadlocks;
+      C.Steals = W->Steals;
+      C.Seconds = W->Seconds;
+      Res.Stats.Workers.push_back(C);
+      Res.Stats.PerThreadStatesPerSec.push_back(C.statesPerSec());
     }
+    // The initial state is interned on this thread before workers start;
+    // everything else was flushed per worker in workerMain.
+    obs::add(obs::Ctr::VisitedProbes, 1);
+    obs::add(obs::Ctr::VisitedInserts, Res.Stats.NumStates);
     if (Opts.CollectProgramStates)
       Sh.ProgStates.drainInto(Res.ProgramStates);
     Res.Violations = std::move(Sh.RawViolations);
@@ -266,7 +281,10 @@ private:
     uint64_t Transitions = 0;
     uint64_t Deadlocks = 0;
     uint64_t DedupHits = 0;
+    uint64_t Steals = 0; ///< Successful steals from other deques.
     double Seconds = 0;
+    uint64_t PubTransitions = 0; ///< Progress: last published transitions.
+    uint64_t PubDedupHits = 0;   ///< Progress: last published dedup hits.
     // Reused scratch for the compressed visited set (markVisited).
     std::string CompBuf;
     std::vector<uint32_t> TupleBuf;
@@ -307,6 +325,7 @@ private:
   /// tuple set or raw key set); returns true iff the state is new. Uses
   /// \p W's scratch buffers so the hot path does not allocate.
   bool markVisited(Shared &Sh, const ProductState &S, WorkerSlot &W) const {
+    obs::Span Sp(obs::Phase::VisitedProbe);
     if (Sh.Interner) {
       W.TupleBuf.resize(Sh.Interner->numSlots());
       W.CompBuf.clear();
@@ -367,12 +386,17 @@ private:
   void workerMain(Shared &Sh, unsigned Me, AccessHook &AHook,
                   StateHook &SHook) {
     auto T0 = std::chrono::steady_clock::now();
+    obs::Span PhaseSp(obs::Phase::Explore);
     WorkerSlot &W = *Sh.Workers[Me];
     size_t NumWorkers = Sh.Workers.size();
     while (!Sh.TB.stopped()) {
       std::optional<ProductState> S = W.Deque.pop();
-      for (size_t I = 1; !S && I != NumWorkers; ++I)
-        S = Sh.Workers[(Me + I) % NumWorkers]->Deque.steal();
+      if (!S) {
+        for (size_t I = 1; !S && I != NumWorkers; ++I)
+          S = Sh.Workers[(Me + I) % NumWorkers]->Deque.steal();
+        if (S)
+          ++W.Steals;
+      }
       if (!S) {
         if (Sh.TB.inFlight() == 0)
           break;
@@ -382,6 +406,8 @@ private:
       expandState(Sh, W, *S, AHook, SHook);
       Sh.TB.retired();
       ++W.Expanded;
+      if ((W.Expanded & 255) == 0)
+        publishProgress(Sh, W, Me);
       if (Sh.HasDeadline && (W.Expanded & 63) == 0 &&
           std::chrono::steady_clock::now() > Sh.Deadline) {
         Sh.TimedOut.store(true, std::memory_order_relaxed);
@@ -393,6 +419,30 @@ private:
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       T0)
             .count();
+    // One bulk flush per worker; the expansion loop itself never touches
+    // telemetry TLS for counters.
+    obs::add(obs::Ctr::Expansions, W.Expanded);
+    obs::add(obs::Ctr::Transitions, W.Transitions);
+    obs::add(obs::Ctr::DedupHits, W.DedupHits);
+    obs::add(obs::Ctr::VisitedProbes, W.Transitions);
+    obs::add(obs::Ctr::Steals, W.Steals);
+  }
+
+  /// Publishes live counts for the progress reporter (every 256
+  /// expansions per worker; worker 0 additionally samples the visited-set
+  /// footprint every 4096 because bytesUsed() takes all shard locks).
+  void publishProgress(Shared &Sh, WorkerSlot &W, unsigned Me) const {
+    if constexpr (!obs::telemetryEnabled())
+      return;
+    obs::progressUpdate(Sh.StateCount.load(std::memory_order_relaxed),
+                        Sh.TB.inFlight());
+    obs::progressAddCounts(W.Transitions - W.PubTransitions,
+                           W.DedupHits - W.PubDedupHits);
+    W.PubTransitions = W.Transitions;
+    W.PubDedupHits = W.DedupHits;
+    if (Me == 0 && (W.Expanded & 4095) == 0)
+      obs::progressVisitedBytes(Sh.Interner ? Sh.Interner->bytesUsed()
+                                            : Sh.Visited.bytesUsed());
   }
 
   /// Expansion of one product state — the same successor generation and
@@ -542,6 +592,8 @@ private:
     EO.CheckRaces = Opts.CheckRaces;
     EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
     EO.CompressVisited = Opts.CompressVisited;
+    EO.TelemetryPhase = obs::Phase::Replay;
+    obs::add(obs::Ctr::ReplayRuns);
     ProductExplorer<MemSys> Seq(P, Mem, EO);
     ExploreResult SR = Seq.runWithHook(AHook);
     if (SR.Violations.empty())

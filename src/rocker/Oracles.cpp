@@ -6,6 +6,7 @@
 #include "graph/GraphSemantics.h"
 #include "memory/RAMachine.h"
 #include "memory/SCMemory.h"
+#include "obs/Telemetry.h"
 #include "parexplore/ParallelExplorer.h"
 
 #include <chrono>
@@ -80,6 +81,8 @@ OracleResult rocker::checkGraphRobustnessOracle(const Program &P,
     ParallelExplorer<RAGraphMem> Ex(P, Mem, PE);
     ParExploreResult R = Ex.runWithHooks(
         AccessHook, [&](const auto &S) -> std::optional<Violation> {
+          obs::Span Sp(obs::Phase::OracleSweep);
+          obs::add(obs::Ctr::SweptStates);
           if (isSCConsistent(S.M))
             return std::nullopt;
           Violation V;
@@ -122,13 +125,19 @@ OracleResult rocker::checkGraphRobustnessOracle(const Program &P,
   // Sweep all stored graphs for SC-consistency. The sweep is part of the
   // verification, so its time counts toward the engine-reported Seconds.
   Res.Robust = true;
-  for (uint64_t Id = 0; Id != Ex.numStates(); ++Id) {
-    if (!isSCConsistent(Ex.state(Id).M)) {
-      Res.Robust = false;
-      Res.Detail = "reachable RAG graph is not SC-consistent:\n" +
-                   Ex.state(Id).M.toString(&P);
-      break;
+  {
+    obs::Span Sp(obs::Phase::OracleSweep);
+    uint64_t Swept = 0;
+    for (uint64_t Id = 0; Id != Ex.numStates(); ++Id) {
+      ++Swept;
+      if (!isSCConsistent(Ex.state(Id).M)) {
+        Res.Robust = false;
+        Res.Detail = "reachable RAG graph is not SC-consistent:\n" +
+                     Ex.state(Id).M.toString(&P);
+        break;
+      }
     }
+    obs::add(obs::Ctr::SweptStates, Swept);
   }
   Res.Stats.Seconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - SweepStart)
@@ -150,6 +159,8 @@ OracleResult rocker::checkStateRobustnessOracle(const Program &P,
   // Both explorations are part of the check; report their combined time
   // (consistent with checkTSORobustness).
   Res.Stats.Seconds += RSc.Stats.Seconds;
+  obs::Span Sp(obs::Phase::OracleSweep);
+  obs::add(obs::Ctr::SweptStates, RRa.ProgramStates.size());
   for (const std::string &Key : RRa.ProgramStates) {
     if (!RSc.ProgramStates.count(Key)) {
       Res.Robust = false;
@@ -194,6 +205,8 @@ std::optional<bool> rocker::crossCheckSCSubsetOfRA(const Program &P,
   ExploreResult B = collectProgramStates(P, RA, MaxStates, Threads);
   if (A.Stats.Truncated || B.Stats.Truncated)
     return std::nullopt;
+  obs::Span Sp(obs::Phase::OracleSweep);
+  obs::add(obs::Ctr::SweptStates, A.ProgramStates.size());
   for (const std::string &Key : A.ProgramStates)
     if (!B.ProgramStates.count(Key))
       return false;

@@ -4,6 +4,7 @@
 
 #include "memory/SCMemory.h"
 #include "monitor/SCMState.h"
+#include "obs/Telemetry.h"
 #include "parexplore/ParallelExplorer.h"
 
 using namespace rocker;
@@ -49,6 +50,8 @@ RockerReport rocker::checkRobustness(const Program &P,
   SCMonitor Mem(P, Opts.UseCriticalAbstraction);
   auto Hook = [&](const SCMState &S, ThreadId T, uint32_t Pc,
                   const MemAccess &A) -> std::optional<Violation> {
+    obs::Span Sp(obs::Phase::MonitorStep);
+    obs::add(obs::Ctr::MonitorChecks);
     std::optional<MonitorViolation> MV = Mem.checkAccess(S, T, A);
     if (!MV)
       return std::nullopt;

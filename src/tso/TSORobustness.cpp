@@ -4,6 +4,7 @@
 
 #include "memory/SCMemory.h"
 #include "memory/TSOMachine.h"
+#include "obs/Telemetry.h"
 #include "parexplore/ParallelExplorer.h"
 
 using namespace rocker;
@@ -123,6 +124,8 @@ TSORobustnessResult rocker::checkTSORobustness(const Program &Input,
   Res.Stats = RTso.Stats;
   Res.Stats.Seconds += RSc.Stats.Seconds;
   Res.Robust = true;
+  obs::Span Sp(obs::Phase::OracleSweep);
+  obs::add(obs::Ctr::SweptStates, RTso.ProgramStates.size());
   for (const std::string &Key : RTso.ProgramStates) {
     if (!RSc.ProgramStates.count(Key)) {
       Res.Robust = false;

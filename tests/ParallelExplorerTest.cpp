@@ -231,6 +231,45 @@ TEST(ParallelExplorer, StatsArePopulated) {
   EXPECT_EQ(S.Stats.DedupHits, R.Stats.DedupHits);
 }
 
+// Both engines populate ExploreStats::Workers with the same layout, so
+// report consumers never special-case engine type: the sequential engine
+// contributes one entry, the parallel engine one per worker, and the
+// per-worker totals sum to the whole-run counters — equal across engines
+// on full explorations (exact dedup is order-independent).
+TEST(ParallelExplorer, WorkerCountersAgreeAcrossEngines) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Seq = checkRobustness(P, fullExploreOpts(1));
+  ASSERT_TRUE(Seq.Complete);
+  ASSERT_EQ(Seq.Stats.Workers.size(), 1u);
+  EXPECT_EQ(Seq.Stats.Workers[0].Expanded, Seq.Stats.NumStates);
+  EXPECT_EQ(Seq.Stats.Workers[0].Transitions, Seq.Stats.NumTransitions);
+  EXPECT_EQ(Seq.Stats.Workers[0].DedupHits, Seq.Stats.DedupHits);
+  EXPECT_EQ(Seq.Stats.Workers[0].Steals, 0u);
+  EXPECT_EQ(Seq.Stats.PerThreadStatesPerSec[0],
+            Seq.Stats.Workers[0].statesPerSec());
+
+  for (unsigned Threads : {2u, 4u}) {
+    RockerReport Par = checkRobustness(P, fullExploreOpts(Threads));
+    ASSERT_TRUE(Par.Complete);
+    ASSERT_EQ(Par.Stats.Workers.size(), Threads);
+    ExploreStats::WorkerCounters Sum;
+    for (const ExploreStats::WorkerCounters &W : Par.Stats.Workers) {
+      Sum.Expanded += W.Expanded;
+      Sum.Transitions += W.Transitions;
+      Sum.DedupHits += W.DedupHits;
+      Sum.Deadlocks += W.Deadlocks;
+    }
+    EXPECT_EQ(Sum.Expanded, Seq.Stats.NumStates)
+        << "at " << Threads << " threads";
+    EXPECT_EQ(Sum.Transitions, Seq.Stats.NumTransitions)
+        << "at " << Threads << " threads";
+    EXPECT_EQ(Sum.DedupHits, Seq.Stats.DedupHits)
+        << "at " << Threads << " threads";
+    EXPECT_EQ(Sum.Deadlocks, Seq.Stats.NumDeadlockStates)
+        << "at " << Threads << " threads";
+  }
+}
+
 TEST(ShardedStateSet, InsertContainsDrain) {
   ShardedStateSet Set(4);
   EXPECT_TRUE(Set.insert("alpha"));
