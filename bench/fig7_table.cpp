@@ -7,9 +7,11 @@
 // instrumented vs plain exploration (absolute times differ: we use our
 // own explicit-state checker instead of Spin, on different hardware).
 //
-// Usage: fig7_table [-v] [--reports FILE] [program-name ...]
-//        (default: the whole table; --reports writes a JSON array of
-//        run reports, one per program — CI diffs it against the
+// Usage: fig7_table [-v] [--no-por] [--reports FILE] [program-name ...]
+//        (default: the whole table; --no-por disables the ample-set
+//        partial-order reduction for all three checkers, like
+//        `rocker_cli --no-por` / ROCKER_NO_POR; --reports writes a JSON
+//        array of run reports, one per program — CI diffs it against the
 //        checked-in BENCH_fig7_reports.json baseline)
 //
 //===----------------------------------------------------------------------===//
@@ -31,10 +33,14 @@ static const char *mark(bool B) { return B ? "yes" : "no "; }
 int main(int argc, char **argv) {
   std::vector<std::string> Only(argv + 1, argv + argc);
   bool Verbose = false;
+  bool UsePor = defaultUsePor();
   std::string ReportsPath;
   for (auto It = Only.begin(); It != Only.end();) {
     if (*It == "-v") {
       Verbose = true;
+      It = Only.erase(It);
+    } else if (*It == "--no-por") {
+      UsePor = false;
       It = Only.erase(It);
     } else if (*It == "--reports") {
       It = Only.erase(It);
@@ -65,6 +71,7 @@ int main(int argc, char **argv) {
     RockerOptions RO;
     RO.RecordTrace = Verbose;
     RO.MaxStates = 4'000'000;
+    RO.UsePor = UsePor;
     obs::Snapshot Before = obs::snapshot();
     RockerReport R = checkRobustness(P, RO);
     if (!ReportsPath.empty())
@@ -74,11 +81,13 @@ int main(int argc, char **argv) {
     RockerOptions SO;
     SO.RecordTrace = false;
     SO.MaxStates = 4'000'000;
+    SO.UsePor = UsePor;
     RockerReport SC = exploreSC(P, SO);
 
     TSOOptions TO;
     TO.TrencherMode = true;
     TO.MaxStates = 4'000'000;
+    TO.UsePor = UsePor;
     TSORobustnessResult Tso = checkTSORobustness(P, TO);
 
     bool ResMatch = R.Robust == E.ExpectRobust;

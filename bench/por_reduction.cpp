@@ -1,0 +1,155 @@
+//===- bench/por_reduction.cpp - Ample-set POR state reduction -------------===//
+//
+// Measures the monitor-aware ample-set partial-order reduction
+// (explore/Por.h) on the Figure 7 corpus: every program runs to a full
+// exploration (StopOnViolation off) twice, with POR disabled and enabled,
+// and the table reports states, time, and the reduction ratio. The two
+// runs must agree on the verdict and on completeness — the reduction is
+// verdict-preserving by construction (tests/PorTest.cpp enforces it
+// corpus-wide), so disagreement is flagged with "!" and a nonzero exit
+// code.
+//
+// The headline number is the reduction ratio on programs with at least
+// --min-states full-exploration states (default 1e5 — small programs
+// finish either way and their ratios are noise). The ISSUE acceptance
+// criterion is >= 5x on >= 5 such programs.
+//
+// Usage: por_reduction [--min-states N] [--json FILE] [program-name ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rocker;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  uint64_t FullStates = 0;
+  uint64_t PorStates = 0;
+  double FullSeconds = 0;
+  double PorSeconds = 0;
+  double Ratio = 0;
+  bool VerdictsMatch = true;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t MinStates = 100'000;
+  const char *JsonPath = nullptr;
+  std::vector<std::string> Only;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--min-states") && I + 1 != argc)
+      MinStates = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--json") && I + 1 != argc)
+      JsonPath = argv[++I];
+    else
+      Only.push_back(argv[I]);
+  }
+
+  std::printf("%-22s | %-3s | %9s %8s | %9s %8s | %7s\n", "Program", "Res",
+              "Full", "Time[s]", "POR", "Time[s]", "Ratio");
+  std::printf("%s\n", std::string(82, '-').c_str());
+
+  std::vector<Row> Rows;
+  bool AllMatch = true;
+  for (const CorpusEntry &E : figure7Programs()) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      continue;
+    Program P = E.parse();
+
+    RockerOptions RO;
+    RO.RecordTrace = false;
+    RO.StopOnViolation = false; // Full exploration: comparable graphs.
+    RO.MaxStates = 4'000'000;
+
+    RockerOptions Full = RO;
+    Full.UsePor = false;
+    RockerReport RFull = checkRobustness(P, Full);
+
+    RockerOptions Por = RO;
+    Por.UsePor = true;
+    RockerReport RPor = checkRobustness(P, Por);
+
+    Row R;
+    R.Name = E.Name;
+    R.FullStates = RFull.Stats.NumStates;
+    R.PorStates = RPor.Stats.NumStates;
+    R.FullSeconds = RFull.Stats.Seconds;
+    R.PorSeconds = RPor.Stats.Seconds;
+    R.Ratio = R.PorStates
+                  ? static_cast<double>(R.FullStates) / R.PorStates
+                  : 0.0;
+    // Raw violation counts legitimately differ (the full graph reports
+    // the same logical violation from every commuted state); the
+    // deduplicated-set equality is enforced by tests/PorTest.cpp.
+    R.VerdictsMatch = RFull.Robust == RPor.Robust &&
+                      RFull.Complete == RPor.Complete;
+    AllMatch &= R.VerdictsMatch;
+    Rows.push_back(R);
+
+    std::printf("%-22s | %-3s | %9llu %8.3f | %9llu %8.3f | %6.2fx%s\n",
+                R.Name.c_str(), RFull.Robust ? "yes" : "no ",
+                static_cast<unsigned long long>(R.FullStates), R.FullSeconds,
+                static_cast<unsigned long long>(R.PorStates), R.PorSeconds,
+                R.Ratio, R.VerdictsMatch ? "" : "!");
+    std::fflush(stdout);
+  }
+
+  std::printf("%s\n", std::string(82, '-').c_str());
+  unsigned Large = 0;
+  unsigned LargeReduced5x = 0;
+  double MinRatio = 0;
+  for (const Row &R : Rows)
+    if (R.FullStates >= MinStates) {
+      MinRatio = Large ? std::min(MinRatio, R.Ratio) : R.Ratio;
+      ++Large;
+      if (R.Ratio >= 5.0)
+        ++LargeReduced5x;
+    }
+  std::printf("%u program%s with >= %llu full states; %u reduced >= 5x; "
+              "min ratio there: %.2fx%s\n",
+              Large, Large == 1 ? "" : "s",
+              static_cast<unsigned long long>(MinStates), LargeReduced5x,
+              MinRatio, AllMatch ? "" : "  (! = verdict MISMATCH)");
+
+  if (JsonPath) {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 2;
+    }
+    std::fprintf(F,
+                 "{\n  \"min_states\": %llu,\n  \"large_programs\": %u,\n"
+                 "  \"large_reduced_5x\": %u,\n  \"verdicts_match\": %s,\n"
+                 "  \"programs\": [\n",
+                 static_cast<unsigned long long>(MinStates), Large,
+                 LargeReduced5x, AllMatch ? "true" : "false");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(
+          F,
+          "    {\"name\": \"%s\", \"full_states\": %llu, "
+          "\"por_states\": %llu, \"full_seconds\": %.4f, "
+          "\"por_seconds\": %.4f, \"ratio\": %.4f, "
+          "\"verdicts_match\": %s}%s\n",
+          R.Name.c_str(), static_cast<unsigned long long>(R.FullStates),
+          static_cast<unsigned long long>(R.PorStates), R.FullSeconds,
+          R.PorSeconds, R.Ratio, R.VerdictsMatch ? "true" : "false",
+          I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
+  return AllMatch ? 0 : 1;
+}

@@ -14,12 +14,19 @@ pair the tool flags:
   * states/sec drops of more than the threshold (default 10%);
   * visited-set byte growth of more than the threshold;
   * state-count changes (the exploration is deterministic, so any
-    change means the engines diverged) — always an error.
+    change means the engines diverged) — an error, unless the two
+    reports disagree on config.use_por: the ample-set reduction changes
+    state counts by design, so a POR-config difference downgrades the
+    state-count finding to a warning (verdict changes stay errors).
 
 Exit status: 0 when clean, 1 when something was flagged. With
 --warn-only everything is printed but the exit status stays 0 — CI uses
 this to surface noise-prone timing regressions without blocking merges.
-Stdlib only; no third-party imports.
+With --update-baseline the comparison is printed as usual, then the
+CURRENT file's contents are written over BASELINE and the exit status
+is 0 — for regenerating the committed baseline after an intentional
+change (e.g. flipping the POR default). Stdlib only; no third-party
+imports.
 """
 
 import argparse
@@ -72,11 +79,21 @@ def compare(base, cur, threshold):
 
         bs, cs = b["stats"], c["stats"]
         if bs.get("states") != cs.get("states"):
-            yield "error", (
-                f"{name}: state count changed "
-                f"{bs.get('states')} -> {cs.get('states')} "
-                "(exploration should be deterministic)"
-            )
+            b_por = b.get("config", {}).get("use_por")
+            c_por = c.get("config", {}).get("use_por")
+            if b_por != c_por:
+                yield "warn", (
+                    f"{name}: state count changed "
+                    f"{bs.get('states')} -> {cs.get('states')} "
+                    f"(expected: config.use_por differs, "
+                    f"{b_por} -> {c_por})"
+                )
+            else:
+                yield "error", (
+                    f"{name}: state count changed "
+                    f"{bs.get('states')} -> {cs.get('states')} "
+                    "(exploration should be deterministic)"
+                )
 
         rate_delta = pct(cs.get("states_per_sec", 0),
                          bs.get("states_per_sec", 0))
@@ -116,6 +133,12 @@ def main(argv):
         metavar="PCT",
         help="regression threshold in percent (default: 10)",
     )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="after printing the comparison, overwrite BASELINE with "
+        "CURRENT and exit 0 (for intentional config changes)",
+    )
     args = ap.parse_args(argv)
 
     try:
@@ -133,6 +156,14 @@ def main(argv):
             f"ok: {len(cur)} programs, no regressions beyond "
             f"{args.threshold:.0f}%"
         )
+    if args.update_baseline:
+        with open(args.current, "r", encoding="utf-8") as f:
+            contents = f.read()
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write(contents)
+        print(f"updated baseline {args.baseline} from {args.current}")
+        return 0
+    if not findings:
         return 0
     return 0 if args.warn_only else 1
 

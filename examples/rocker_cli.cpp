@@ -101,6 +101,10 @@ const CliOption Options[] = {
      "store full state keys instead of the compressed (interned-"
      "component) visited set",
      [](CliState &C, const char *) { C.Opts.CompressVisited = false; }},
+    {"--no-por", nullptr,
+     "disable the ample-set partial-order reduction (full expansion; "
+     "identical verdicts, more states); env equivalent: ROCKER_NO_POR",
+     [](CliState &C, const char *) { C.Opts.UsePor = false; }},
     {"--stats", nullptr,
      "print exploration statistics (dedup hit rate, peak frontier, "
      "visited-set bytes + compression ratio, per-thread throughput)",

@@ -29,6 +29,7 @@
 #ifndef ROCKER_EXPLORE_EXPLORER_H
 #define ROCKER_EXPLORE_EXPLORER_H
 
+#include "explore/Por.h"
 #include "lang/Printer.h"
 #include "lang/Program.h"
 #include "lang/Step.h"
@@ -169,6 +170,13 @@ struct ExploreOptions {
   /// changes the set of *stored* program states, so it must not be
   /// combined with CollectProgramStates.
   bool CollapseLocalSteps = false;
+  /// Monitor-aware ample-set partial-order reduction (explore/Por.h):
+  /// verdicts, violation sets, deadlock counts, and counterexample
+  /// replay are preserved while typically far fewer states are expanded.
+  /// Inert for subsystems without POR support and for
+  /// CollectProgramStates runs (projection sets need the full state
+  /// space). Default on; ROCKER_NO_POR=1 flips the default.
+  bool UsePor = defaultUsePor();
   /// Phase the engine's wall time is attributed to. The parallel engine's
   /// deterministic replay re-runs this engine under obs::Phase::Replay so
   /// replay time is separable in run reports.
@@ -196,7 +204,7 @@ public:
   using MemState = typename MemSys::State;
 
   ProductExplorer(const Program &P, const MemSys &Mem, ExploreOptions Opts)
-      : P(P), Mem(Mem), Opts(Opts) {}
+      : P(P), Mem(Mem), Opts(Opts), Por(P) {}
 
   /// A full product state.
   struct ProductState {
@@ -229,7 +237,8 @@ public:
     for (const SequentialProgram &S : P.Threads)
       Init.Threads.push_back(ThreadState::initial(S));
     Init.M = Mem.initial();
-    intern(std::move(Init), Res);
+    // The initial state fast-forwards too: state 0 is its chain endpoint.
+    intern(fastForward(std::move(Init), 0, Res, Hook), Res);
 
     if (Opts.Order == SearchOrder::BFS) {
       for (uint64_t Id = 0; Id != States.size(); ++Id) {
@@ -306,6 +315,10 @@ public:
     obs::add(obs::Ctr::DedupHits, Res.Stats.DedupHits);
     obs::add(obs::Ctr::VisitedProbes, Res.Stats.NumTransitions + 1);
     obs::add(obs::Ctr::VisitedInserts, Res.Stats.NumStates);
+    obs::add(obs::Ctr::AmpleHits, AmpleStates);
+    obs::add(obs::Ctr::PorFallbacks, PorFullStates);
+    obs::add(obs::Ctr::PorSavedSteps, PorSavedSteps);
+    obs::add(obs::Ctr::PorChainedStates, PorChainedStates);
     return Res;
   }
 
@@ -466,6 +479,172 @@ private:
     Parents[Child] = E;
   }
 
+  /// The per-state checks of expand() — assertions, the access hook, the
+  /// Definition 6.1 race check — for a state skipped by ample-chain
+  /// fast-forwarding (see fastForward). \p Steps is inspectThread's
+  /// result for every thread; violations report \p Id, the stored state
+  /// whose expansion produced the chain. Returns false when a violation
+  /// was recorded and the run stops on violations.
+  template <typename AccessHook>
+  bool chainChecks(const ProductState &S,
+                   const std::vector<ThreadStep> &Steps, int Ample,
+                   uint64_t Id, ExploreResult &Res, AccessHook &Hook) {
+    struct NaAccess {
+      ThreadId T;
+      LocId Loc;
+      bool IsWrite;
+      uint32_t Pc;
+    };
+    std::vector<NaAccess> NaAccesses;
+    for (unsigned T = 0; T != Steps.size(); ++T) {
+      const ThreadStep &Step = Steps[T];
+      switch (Step.K) {
+      case ThreadStep::Kind::Halted:
+        break;
+      case ThreadStep::Kind::Local:
+        if (static_cast<int>(T) != Ample)
+          ++PorSavedSteps; // The ample thread's step covers this state.
+        break;
+      case ThreadStep::Kind::AssertFail:
+        if (Opts.CheckAssertions) {
+          Violation V;
+          V.K = Violation::Kind::AssertFail;
+          V.StateId = Id; // Chain states report their stored origin.
+          V.Thread = static_cast<ThreadId>(T);
+          V.Pc = S.Threads[T].Pc;
+          V.Detail = "assertion failed: " +
+                     toString(P, static_cast<ThreadId>(T),
+                              P.Threads[T].Insts[V.Pc]);
+          Res.Violations.push_back(std::move(V));
+          if (Opts.StopOnViolation)
+            return false;
+        }
+        break;
+      case ThreadStep::Kind::Access: {
+        const MemAccess &A = Step.A;
+        uint32_t Pc = S.Threads[T].Pc;
+        if (Opts.CheckRaces && A.IsNA)
+          NaAccesses.push_back(NaAccess{static_cast<ThreadId>(T), A.Loc,
+                                        A.isWriteOnly(), Pc});
+        if (std::optional<Violation> V =
+                Hook(S.M, static_cast<ThreadId>(T), Pc, A)) {
+          V->StateId = Id;
+          V->Thread = static_cast<ThreadId>(T);
+          V->Pc = Pc;
+          Res.Violations.push_back(std::move(*V));
+          if (Opts.StopOnViolation)
+            return false;
+        }
+        if (static_cast<int>(T) != Ample)
+          ++PorSavedSteps; // Checked above; successors not generated.
+        break;
+      }
+      }
+    }
+    if (Opts.CheckRaces) {
+      for (unsigned I = 0; I != NaAccesses.size(); ++I) {
+        for (unsigned J = I + 1; J != NaAccesses.size(); ++J) {
+          if (NaAccesses[I].Loc != NaAccesses[J].Loc)
+            continue;
+          if (!NaAccesses[I].IsWrite && !NaAccesses[J].IsWrite)
+            continue;
+          Violation V;
+          V.K = Violation::Kind::Race;
+          V.StateId = Id;
+          V.Thread = NaAccesses[I].T;
+          V.Pc = NaAccesses[I].Pc;
+          V.Loc = NaAccesses[I].Loc;
+          V.Detail = "data race on non-atomic '" +
+                     P.locName(NaAccesses[I].Loc) + "' between t" +
+                     std::to_string(NaAccesses[I].T) + " and t" +
+                     std::to_string(NaAccesses[J].T);
+          Res.Violations.push_back(std::move(V));
+          if (Opts.StopOnViolation)
+            return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Ample-chain fast-forwarding: at an ample state the reduced graph is
+  /// locally a chain — porEligible guarantees the ample step has exactly
+  /// one successor — so in non-trace runs every state is walked to its
+  /// chain's endpoint (the first state with no ample thread) *before*
+  /// being interned, and ample states never enter the visited set at
+  /// all. The per-state checks run at every skipped state and every hop
+  /// counts as a transition, so verdicts, violation sets, and deadlock
+  /// counts are those of the uncompressed reduced graph. The walk
+  /// terminates because ample steps strictly increase the stepped
+  /// thread's pc, and the stored set — the initial chain endpoint plus
+  /// endpoints reached from fully-expanded states — is a pure function
+  /// of the program, so BFS, DFS, and the parallel engine agree on
+  /// state counts.
+  template <typename AccessHook>
+  ProductState fastForward(ProductState &&S, uint64_t Id,
+                           ExploreResult &Res, AccessHook &Hook) {
+    if (Opts.RecordParents) // Trace mode stores every reduced state so
+      return std::move(S);  // counterexample replay stays step-exact.
+    for (;;) {
+      if (!Opts.UsePor || Opts.CollectProgramStates || !Por.usable() ||
+          !memPorEligible(Mem, S.M))
+        return std::move(S);
+      // Own scratch: expand() is mid-iteration over StepsBuf when it
+      // calls fastForward, so the chain walk must not clobber it.
+      ChainSteps.clear();
+      for (unsigned T = 0; T != P.numThreads(); ++T)
+        ChainSteps.push_back(
+            inspectThread(P, static_cast<ThreadId>(T), S.Threads[T]));
+      int Ample = Por.selectAmple(ChainSteps, S.Threads,
+                                  Opts.CollapseLocalSteps);
+      if (Ample < 0)
+        return std::move(S);
+      if (!chainChecks(S, ChainSteps, Ample, Id, Res, Hook))
+        return std::move(S); // StopOnViolation: the run is over anyway.
+      ++AmpleStates;
+      ++PorChainedStates;
+      const ThreadStep &Step = ChainSteps[Ample];
+      if (Step.K == ThreadStep::Kind::Local) {
+        S.Threads[Ample] = Step.Next;
+        if (Opts.CollapseLocalSteps) {
+          // The same bounded ε-chain walk as expand().
+          unsigned Collapsed = 1;
+          while (Collapsed < 4096) {
+            ThreadStep More = inspectThread(
+                P, static_cast<ThreadId>(Ample), S.Threads[Ample]);
+            if (More.K != ThreadStep::Kind::Local)
+              break;
+            S.Threads[Ample] = More.Next;
+            ++Collapsed;
+          }
+        }
+        ++Res.Stats.NumTransitions;
+        continue;
+      }
+      // Never-blocking ample access: porEligible guarantees exactly one
+      // successor; store S as-is (its expansion handles the ample set)
+      // should a subsystem ever break that contract.
+      std::optional<ProductState> Next;
+      unsigned Count = 0;
+      Mem.enumerate(S.M, static_cast<ThreadId>(Ample), Step.A,
+                    [&](const Label &L, MemState &&M2) {
+                      if (++Count != 1)
+                        return;
+                      ProductState N;
+                      N.Threads = S.Threads;
+                      N.Threads[Ample] =
+                          applyAccess(P, static_cast<ThreadId>(Ample),
+                                      S.Threads[Ample], Step.A, L);
+                      N.M = std::move(M2);
+                      Next = std::move(N);
+                    });
+      if (Count != 1)
+        return std::move(S);
+      ++Res.Stats.NumTransitions;
+      S = std::move(*Next);
+    }
+  }
+
   template <typename AccessHook>
   void expand(uint64_t Id, ExploreResult &Res, AccessHook &Hook) {
     // Pending NA accesses for the Definition 6.1 race check.
@@ -479,16 +658,47 @@ private:
     bool AnyStep = false;
     bool AllHalted = true;
 
+    // Ample-set POR (explore/Por.h): when active and some thread's
+    // pending step is provably independent of everything the other
+    // threads can still do, only that thread's successors are generated
+    // below — the per-state checks (assertions, the access hook, the
+    // race check) still run for every thread. Selection is a pure
+    // function of the state, so every search order and engine reduces to
+    // the same state graph. In non-trace runs fastForward keeps ample
+    // states out of the visited set entirely, so this block fires only
+    // in trace mode (and on the contract-breach fallback).
+    int Ample = -1;
+    bool PorActive = Opts.UsePor && !Opts.CollectProgramStates &&
+                     Por.usable() && memPorEligible(Mem, States[Id].M);
+    if (PorActive) {
+      StepsBuf.clear();
+      for (unsigned T = 0; T != P.numThreads(); ++T)
+        StepsBuf.push_back(inspectThread(P, static_cast<ThreadId>(T),
+                                         States[Id].Threads[T]));
+      Ample = Por.selectAmple(StepsBuf, States[Id].Threads,
+                              Opts.CollapseLocalSteps);
+      if (Ample >= 0)
+        ++AmpleStates;
+      else
+        ++PorFullStates;
+    }
+
     for (unsigned T = 0; T != P.numThreads(); ++T) {
       // The state vector may reallocate during expansion; re-index.
-      ThreadStep Step = inspectThread(P, static_cast<ThreadId>(T),
-                                      States[Id].Threads[T]);
+      ThreadStep Step = PorActive
+                            ? StepsBuf[T]
+                            : inspectThread(P, static_cast<ThreadId>(T),
+                                            States[Id].Threads[T]);
       if (Step.K != ThreadStep::Kind::Halted)
         AllHalted = false;
       switch (Step.K) {
       case ThreadStep::Kind::Halted:
         break;
       case ThreadStep::Kind::Local: {
+        if (Ample >= 0 && static_cast<int>(T) != Ample) {
+          ++PorSavedSteps; // The ample thread's step covers this state.
+          break;
+        }
         ProductState Next;
         Next.Threads = States[Id].Threads;
         Next.M = States[Id].M;
@@ -508,7 +718,8 @@ private:
           }
         }
         ++Res.Stats.NumTransitions;
-        uint64_t C = intern(std::move(Next), Res);
+        uint64_t C =
+            intern(fastForward(std::move(Next), Id, Res, Hook), Res);
         link(C, Id, static_cast<ThreadId>(T), false,
              (Collapsed > 1 ? "local x" + std::to_string(Collapsed) + ": "
                             : "local: ") +
@@ -547,6 +758,10 @@ private:
           if (Opts.StopOnViolation)
             return;
         }
+        if (Ample >= 0 && static_cast<int>(T) != Ample) {
+          ++PorSavedSteps; // Checked above; successors not generated.
+          break;
+        }
         Mem.enumerate(
             States[Id].M, static_cast<ThreadId>(T), A,
             [&](const Label &L, MemState &&M2) {
@@ -557,13 +772,18 @@ private:
                                             States[Id].Threads[T], A, L);
               Next.M = std::move(M2);
               ++Res.Stats.NumTransitions;
-              uint64_t C = intern(std::move(Next), Res);
+              uint64_t C =
+                  intern(fastForward(std::move(Next), Id, Res, Hook), Res);
               link(C, Id, static_cast<ThreadId>(T), false, toString(P, L),
                    &L);
             });
         break;
       }
       }
+      // Chain walks can record violations mid-enumeration; stop
+      // generating siblings once the run is over.
+      if (Opts.StopOnViolation && !Res.Violations.empty())
+        return;
     }
 
     // Definition 6.1: racy iff two threads concurrently enable accesses to
@@ -592,16 +812,20 @@ private:
       }
     }
 
-    // Memory-internal steps (e.g. TSO store-buffer flushes).
-    Mem.enumerateInternal(States[Id].M, [&](ThreadId T, MemState &&M2) {
-      AnyStep = true;
-      ProductState Next;
-      Next.Threads = States[Id].Threads;
-      Next.M = std::move(M2);
-      ++Res.Stats.NumTransitions;
-      uint64_t C = intern(std::move(Next), Res);
-      link(C, Id, T, true, "flush");
-    });
+    // Memory-internal steps (e.g. TSO store-buffer flushes). porEligible
+    // asserts none are enabled at ample states, so the scan is skipped
+    // there (and the ample step's existence keeps AnyStep truthful).
+    if (Ample < 0)
+      Mem.enumerateInternal(States[Id].M, [&](ThreadId T, MemState &&M2) {
+        AnyStep = true;
+        ProductState Next;
+        Next.Threads = States[Id].Threads;
+        Next.M = std::move(M2);
+        ++Res.Stats.NumTransitions;
+        uint64_t C =
+            intern(fastForward(std::move(Next), Id, Res, Hook), Res);
+        link(C, Id, T, true, "flush");
+      });
 
     if (!AnyStep && !AllHalted)
       ++Res.Stats.NumDeadlockStates;
@@ -610,6 +834,13 @@ private:
   const Program &P;
   const MemSys &Mem;
   ExploreOptions Opts;
+  PorAnalysis Por;                 ///< Ample-set analysis (explore/Por.h).
+  std::vector<ThreadStep> StepsBuf; ///< Scratch: per-thread steps.
+  std::vector<ThreadStep> ChainSteps; ///< Scratch: fastForward's walk.
+  uint64_t AmpleStates = 0;   ///< States expanded via an ample set.
+  uint64_t PorFullStates = 0; ///< POR-active states with no ample set.
+  uint64_t PorSavedSteps = 0; ///< Pending steps skipped at ample states.
+  uint64_t PorChainedStates = 0; ///< Chain intermediates never stored.
   std::deque<ProductState> States;
   std::vector<ParentEdge> Parents;
   /// Raw visited map (CompressVisited off and no bitstate hashing).

@@ -62,6 +62,11 @@ public:
   template <typename Fn>
   void enumerateInternal(const State &S, Fn F) const {}
 
+  /// Partial-order reduction opt-in (explore/Por.h): SC stepping is
+  /// deterministic, has no internal steps, and steps on distinct
+  /// locations trivially commute, so every state is eligible.
+  bool porEligible(const State &) const { return true; }
+
   // No serializeComponents hook: the state is a single flat value vector,
   // so the compressed visited set's one-chunk default (see
   // support/StateInterner.h) is already the right granularity.

@@ -113,6 +113,23 @@ public:
     }
   }
 
+  /// Partial-order reduction opt-in (explore/Por.h): only states where
+  /// every store buffer is empty are eligible — there stepping is
+  /// deterministic for the never-blocking access kinds (a write cannot be
+  /// refused by the bound when BufferBound >= 1, reads hit main memory,
+  /// RMWs see their empty-buffer precondition satisfied), no flush is
+  /// enabled, and steps on distinct locations commute. With non-empty
+  /// buffers pending flushes are competing internal steps, so the engine
+  /// falls back to full expansion.
+  bool porEligible(const State &S) const {
+    if (BufferBound < 1)
+      return false;
+    for (const std::vector<BufferedWrite> &B : S.Buf)
+      if (!B.empty())
+        return false;
+    return true;
+  }
+
   void serialize(const State &S, std::string &Out) const {
     serializeComponents(S, Out, [] {});
   }

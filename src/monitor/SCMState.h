@@ -122,6 +122,21 @@ public:
   template <typename Fn>
   void enumerateInternal(const State &, Fn) const {}
 
+  /// Partial-order reduction opt-in (explore/Por.h): stepping is
+  /// SC-deterministic with no internal steps, and the monitor updates of
+  /// steps on distinct locations commute — every transition for a step on
+  /// x by τ writes only τ-indexed rows, x-indexed columns, or x-indexed
+  /// entries of the bitset tables above, and the one shared-column
+  /// interleaving (a write |=-ing the same value set into V[·][x] and
+  /// W[·][x] that a later read &=-s together) commutes because
+  /// (a|v)&(b|v) = (a&b)|v. The checkAccess inputs for a pending access
+  /// to y (VSC[τ]∋y, V[τ][y], CV[τ]∋y, M[y], Crit[y]) are likewise
+  /// untouched by other threads' steps on x ≠ y, so deferring those
+  /// steps cannot hide or invent a Theorem 5.3 violation. Hence every
+  /// state is eligible; the explorer's location-disjointness test is the
+  /// commutativity condition.
+  bool porEligible(const State &) const { return true; }
+
   void serialize(const State &S, std::string &Out) const;
 
   /// Component split for the compressed visited set

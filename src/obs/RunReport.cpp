@@ -63,6 +63,7 @@ json::Value configJson(const RockerOptions &C) {
   J.set("check_assertions", C.CheckAssertions);
   J.set("check_races", C.CheckRaces);
   J.set("collapse_local_steps", C.CollapseLocalSteps);
+  J.set("use_por", C.UsePor);
   return J;
 }
 

@@ -56,6 +56,14 @@ const char *obs::counterName(Ctr C) {
     return "progress.ticks";
   case Ctr::ReportWrites:
     return "report.writes";
+  case Ctr::AmpleHits:
+    return "por.ample_states";
+  case Ctr::PorFallbacks:
+    return "por.full_expansions";
+  case Ctr::PorSavedSteps:
+    return "por.saved_steps";
+  case Ctr::PorChainedStates:
+    return "por.chained_states";
   }
   return "unknown";
 }

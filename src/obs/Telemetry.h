@@ -78,9 +78,16 @@ enum class Ctr : uint8_t {
   ReplayRuns,     ///< replay.runs
   Steals,         ///< explore.steals — successful work-deque steals.
   ProgressTicks,  ///< progress.ticks — reporter lines emitted.
-  ReportWrites    ///< report.writes
+  ReportWrites,   ///< report.writes
+  AmpleHits,      ///< por.ample_states — states expanded via an ample set.
+  PorFallbacks,   ///< por.full_expansions — POR-active states with no
+                  ///< valid ample set (fell back to full expansion).
+  PorSavedSteps,  ///< por.saved_steps — pending thread steps skipped at
+                  ///< ample states (a lower bound on the work saved).
+  PorChainedStates ///< por.chained_states — ample-chain intermediates
+                   ///< traversed transiently and never stored.
 };
-inline constexpr unsigned NumCounters = 12;
+inline constexpr unsigned NumCounters = 16;
 
 /// Report key for a counter ("visited.probes", ...).
 const char *counterName(Ctr C);

@@ -93,6 +93,11 @@ struct ParExploreOptions {
   /// Use the sharded collapse-compressed visited set (exact; see
   /// ExploreOptions::CompressVisited).
   bool CompressVisited = defaultCompressVisited();
+  /// Ample-set partial-order reduction (see ExploreOptions::UsePor).
+  /// Selection is a pure function of the state, so the reduced graph —
+  /// and hence verdicts, violation sets, and deadlock counts — is
+  /// identical to the sequential engine's.
+  bool UsePor = defaultUsePor();
 };
 
 /// Result of a parallel exploration.
@@ -149,7 +154,7 @@ public:
 
   ParallelExplorer(const Program &P, const MemSys &Mem,
                    ParExploreOptions Opts)
-      : P(P), Mem(Mem), Opts(Opts) {}
+      : P(P), Mem(Mem), Opts(Opts), Por(P) {}
 
   /// Runs the exploration with an access hook and a state hook. The state
   /// hook sees every newly interned state exactly once (including the
@@ -185,6 +190,8 @@ public:
     for (const SequentialProgram &S : P.Threads)
       Init.Threads.push_back(ThreadState::initial(S));
     Init.M = Mem.initial();
+    // The initial state fast-forwards too: state 0 is its chain endpoint.
+    Init = fastForward(std::move(Init), Sh, *Sh.Workers[0], AHook);
     markVisited(Sh, Init, *Sh.Workers[0]); // Workers not yet running.
     Sh.StateCount.store(1, std::memory_order_relaxed);
     if (Opts.CollectProgramStates)
@@ -282,12 +289,18 @@ private:
     uint64_t Deadlocks = 0;
     uint64_t DedupHits = 0;
     uint64_t Steals = 0; ///< Successful steals from other deques.
+    uint64_t AmpleStates = 0;   ///< States expanded via an ample set.
+    uint64_t PorFullStates = 0; ///< POR-active states with no ample set.
+    uint64_t PorSavedSteps = 0; ///< Pending steps skipped at ample states.
+    uint64_t ChainedStates = 0; ///< Chain intermediates never stored.
     double Seconds = 0;
     uint64_t PubTransitions = 0; ///< Progress: last published transitions.
     uint64_t PubDedupHits = 0;   ///< Progress: last published dedup hits.
     // Reused scratch for the compressed visited set (markVisited).
     std::string CompBuf;
     std::vector<uint32_t> TupleBuf;
+    std::vector<ThreadStep> StepsBuf; ///< Scratch: per-thread steps (POR).
+    std::vector<ThreadStep> ChainStepsBuf; ///< Scratch: fastForward walk.
   };
 
   /// State shared by all workers of one run.
@@ -426,6 +439,10 @@ private:
     obs::add(obs::Ctr::DedupHits, W.DedupHits);
     obs::add(obs::Ctr::VisitedProbes, W.Transitions);
     obs::add(obs::Ctr::Steals, W.Steals);
+    obs::add(obs::Ctr::AmpleHits, W.AmpleStates);
+    obs::add(obs::Ctr::PorFallbacks, W.PorFullStates);
+    obs::add(obs::Ctr::PorSavedSteps, W.PorSavedSteps);
+    obs::add(obs::Ctr::PorChainedStates, W.ChainedStates);
   }
 
   /// Publishes live counts for the progress reporter (every 256
@@ -445,6 +462,160 @@ private:
                                             : Sh.Visited.bytesUsed());
   }
 
+  /// The per-state checks for a chain-skipped state — the parallel twin
+  /// of ProductExplorer::chainChecks. Returns false when a violation was
+  /// recorded and the run stops on violations.
+  template <typename AccessHook>
+  bool chainChecks(Shared &Sh, WorkerSlot &W, const ProductState &S,
+                   const std::vector<ThreadStep> &Steps, int Ample,
+                   AccessHook &AHook) {
+    struct NaAccess {
+      ThreadId T;
+      LocId Loc;
+      bool IsWrite;
+      uint32_t Pc;
+    };
+    std::vector<NaAccess> NaAccesses;
+    for (unsigned T = 0; T != Steps.size(); ++T) {
+      const ThreadStep &Step = Steps[T];
+      switch (Step.K) {
+      case ThreadStep::Kind::Halted:
+        break;
+      case ThreadStep::Kind::Local:
+        if (static_cast<int>(T) != Ample)
+          ++W.PorSavedSteps; // The ample thread's step covers this state.
+        break;
+      case ThreadStep::Kind::AssertFail:
+        if (Opts.CheckAssertions) {
+          Violation V;
+          V.K = Violation::Kind::AssertFail;
+          V.StateId = 0;
+          V.Thread = static_cast<ThreadId>(T);
+          V.Pc = S.Threads[T].Pc;
+          V.Detail = "assertion failed: " +
+                     toString(P, static_cast<ThreadId>(T),
+                              P.Threads[T].Insts[V.Pc]);
+          recordViolation(Sh, std::move(V));
+          if (Opts.StopOnViolation)
+            return false;
+        }
+        break;
+      case ThreadStep::Kind::Access: {
+        const MemAccess &A = Step.A;
+        uint32_t Pc = S.Threads[T].Pc;
+        if (Opts.CheckRaces && A.IsNA)
+          NaAccesses.push_back(NaAccess{static_cast<ThreadId>(T), A.Loc,
+                                        A.isWriteOnly(), Pc});
+        if (std::optional<Violation> V =
+                AHook(S.M, static_cast<ThreadId>(T), Pc, A)) {
+          V->StateId = 0;
+          V->Thread = static_cast<ThreadId>(T);
+          V->Pc = Pc;
+          recordViolation(Sh, std::move(*V));
+          if (Opts.StopOnViolation)
+            return false;
+        }
+        if (static_cast<int>(T) != Ample)
+          ++W.PorSavedSteps; // Checked above; successors not generated.
+        break;
+      }
+      }
+    }
+    if (Opts.CheckRaces) {
+      for (unsigned I = 0; I != NaAccesses.size(); ++I) {
+        for (unsigned J = I + 1; J != NaAccesses.size(); ++J) {
+          if (NaAccesses[I].Loc != NaAccesses[J].Loc)
+            continue;
+          if (!NaAccesses[I].IsWrite && !NaAccesses[J].IsWrite)
+            continue;
+          Violation V;
+          V.K = Violation::Kind::Race;
+          V.StateId = 0;
+          V.Thread = NaAccesses[I].T;
+          V.Pc = NaAccesses[I].Pc;
+          V.Loc = NaAccesses[I].Loc;
+          V.Detail = "data race on non-atomic '" +
+                     P.locName(NaAccesses[I].Loc) + "' between t" +
+                     std::to_string(NaAccesses[I].T) + " and t" +
+                     std::to_string(NaAccesses[J].T);
+          recordViolation(Sh, std::move(V));
+          if (Opts.StopOnViolation)
+            return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Ample-chain fast-forwarding before interning — identical walk to
+  /// ProductExplorer::fastForward, so all workers and the sequential
+  /// engine store the same endpoint set. Trace-recording runs store
+  /// every reduced state (the sequential replay mirrors that via
+  /// RecordParents), keeping state counts equal under identical options.
+  template <typename AccessHook>
+  ProductState fastForward(ProductState &&S, Shared &Sh, WorkerSlot &W,
+                           AccessHook &AHook) {
+    if (Opts.RecordTrace)
+      return std::move(S);
+    for (;;) {
+      if (!Opts.UsePor || Opts.CollectProgramStates || !Por.usable() ||
+          !memPorEligible(Mem, S.M))
+        return std::move(S);
+      // Own scratch: expandState is mid-iteration over W.StepsBuf when
+      // it calls fastForward, so the chain walk must not clobber it.
+      W.ChainStepsBuf.clear();
+      for (unsigned T = 0; T != P.numThreads(); ++T)
+        W.ChainStepsBuf.push_back(
+            inspectThread(P, static_cast<ThreadId>(T), S.Threads[T]));
+      int Ample = Por.selectAmple(W.ChainStepsBuf, S.Threads,
+                                  Opts.CollapseLocalSteps);
+      if (Ample < 0)
+        return std::move(S);
+      if (!chainChecks(Sh, W, S, W.ChainStepsBuf, Ample, AHook))
+        return std::move(S); // StopOnViolation: the run is over anyway.
+      ++W.AmpleStates;
+      ++W.ChainedStates;
+      const ThreadStep &Step = W.ChainStepsBuf[Ample];
+      if (Step.K == ThreadStep::Kind::Local) {
+        S.Threads[Ample] = Step.Next;
+        if (Opts.CollapseLocalSteps) {
+          // The same bounded ε-chain walk as expandState().
+          unsigned Collapsed = 1;
+          while (Collapsed < 4096) {
+            ThreadStep More = inspectThread(
+                P, static_cast<ThreadId>(Ample), S.Threads[Ample]);
+            if (More.K != ThreadStep::Kind::Local)
+              break;
+            S.Threads[Ample] = More.Next;
+            ++Collapsed;
+          }
+        }
+        ++W.Transitions;
+        continue;
+      }
+      // Never-blocking ample access: porEligible guarantees exactly one
+      // successor; store S as-is should a subsystem break that contract.
+      std::optional<ProductState> Next;
+      unsigned Count = 0;
+      Mem.enumerate(S.M, static_cast<ThreadId>(Ample), Step.A,
+                    [&](const Label &L, MemState &&M2) {
+                      if (++Count != 1)
+                        return;
+                      ProductState N;
+                      N.Threads = S.Threads;
+                      N.Threads[Ample] =
+                          applyAccess(P, static_cast<ThreadId>(Ample),
+                                      S.Threads[Ample], Step.A, L);
+                      N.M = std::move(M2);
+                      Next = std::move(N);
+                    });
+      if (Count != 1)
+        return std::move(S);
+      ++W.Transitions;
+      S = std::move(*Next);
+    }
+  }
+
   /// Expansion of one product state — the same successor generation and
   /// per-state checks as ProductExplorer::expand, minus parent tracking.
   template <typename AccessHook, typename StateHook>
@@ -460,15 +631,43 @@ private:
     bool AnyStep = false;
     bool AllHalted = true;
 
+    // Ample-set POR, exactly as in ProductExplorer::expand: selection is
+    // a pure function of the state (no visited-set or order dependence),
+    // so all workers — and the sequential replay — reduce to the same
+    // state graph. In non-trace runs fastForward keeps ample states out
+    // of the visited set entirely, so this block fires only in trace
+    // mode (and on the contract-breach fallback).
+    int Ample = -1;
+    bool PorActive = Opts.UsePor && !Opts.CollectProgramStates &&
+                     Por.usable() && memPorEligible(Mem, S.M);
+    if (PorActive) {
+      W.StepsBuf.clear();
+      for (unsigned T = 0; T != P.numThreads(); ++T)
+        W.StepsBuf.push_back(
+            inspectThread(P, static_cast<ThreadId>(T), S.Threads[T]));
+      Ample = Por.selectAmple(W.StepsBuf, S.Threads,
+                              Opts.CollapseLocalSteps);
+      if (Ample >= 0)
+        ++W.AmpleStates;
+      else
+        ++W.PorFullStates;
+    }
+
     for (unsigned T = 0; T != P.numThreads(); ++T) {
       ThreadStep Step =
-          inspectThread(P, static_cast<ThreadId>(T), S.Threads[T]);
+          PorActive ? W.StepsBuf[T]
+                    : inspectThread(P, static_cast<ThreadId>(T),
+                                    S.Threads[T]);
       if (Step.K != ThreadStep::Kind::Halted)
         AllHalted = false;
       switch (Step.K) {
       case ThreadStep::Kind::Halted:
         break;
       case ThreadStep::Kind::Local: {
+        if (Ample >= 0 && static_cast<int>(T) != Ample) {
+          ++W.PorSavedSteps; // The ample thread's step covers this state.
+          break;
+        }
         ProductState Next;
         Next.Threads = S.Threads;
         Next.M = S.M;
@@ -487,7 +686,8 @@ private:
           }
         }
         ++W.Transitions;
-        internChild(Sh, W, std::move(Next), SHook);
+        internChild(Sh, W, fastForward(std::move(Next), Sh, W, AHook),
+                    SHook);
         AnyStep = true;
         break;
       }
@@ -521,6 +721,10 @@ private:
           if (Opts.StopOnViolation)
             return;
         }
+        if (Ample >= 0 && static_cast<int>(T) != Ample) {
+          ++W.PorSavedSteps; // Checked above; successors not generated.
+          break;
+        }
         Mem.enumerate(S.M, static_cast<ThreadId>(T), A,
                       [&](const Label &L, MemState &&M2) {
                         AnyStep = true;
@@ -531,11 +735,18 @@ private:
                                         S.Threads[T], A, L);
                         Next.M = std::move(M2);
                         ++W.Transitions;
-                        internChild(Sh, W, std::move(Next), SHook);
+                        internChild(Sh, W,
+                                    fastForward(std::move(Next), Sh, W,
+                                                AHook),
+                                    SHook);
                       });
         break;
       }
       }
+      // Chain walks can record violations mid-enumeration; stop
+      // generating siblings once the run is over.
+      if (Sh.TB.stopped())
+        return;
     }
 
     // Definition 6.1 race check, as in the sequential engine.
@@ -563,16 +774,19 @@ private:
       }
     }
 
-    // Memory-internal steps (e.g. TSO store-buffer flushes).
-    Mem.enumerateInternal(S.M, [&](ThreadId T, MemState &&M2) {
-      AnyStep = true;
-      ProductState Next;
-      Next.Threads = S.Threads;
-      Next.M = std::move(M2);
-      ++W.Transitions;
-      internChild(Sh, W, std::move(Next), SHook);
-      (void)T;
-    });
+    // Memory-internal steps (e.g. TSO store-buffer flushes). porEligible
+    // asserts none are enabled at ample states (see explore/Por.h).
+    if (Ample < 0)
+      Mem.enumerateInternal(S.M, [&](ThreadId T, MemState &&M2) {
+        AnyStep = true;
+        ProductState Next;
+        Next.Threads = S.Threads;
+        Next.M = std::move(M2);
+        ++W.Transitions;
+        internChild(Sh, W, fastForward(std::move(Next), Sh, W, AHook),
+                    SHook);
+        (void)T;
+      });
 
     if (!AnyStep && !AllHalted)
       ++W.Deadlocks;
@@ -592,6 +806,9 @@ private:
     EO.CheckRaces = Opts.CheckRaces;
     EO.CollapseLocalSteps = Opts.CollapseLocalSteps;
     EO.CompressVisited = Opts.CompressVisited;
+    // Same reduction in the replay, so it traverses the identical
+    // reduced graph and its violations/traces match what was found.
+    EO.UsePor = Opts.UsePor;
     EO.TelemetryPhase = obs::Phase::Replay;
     obs::add(obs::Ctr::ReplayRuns);
     ProductExplorer<MemSys> Seq(P, Mem, EO);
@@ -608,6 +825,7 @@ private:
   const Program &P;
   const MemSys &Mem;
   ParExploreOptions Opts;
+  PorAnalysis Por; ///< Ample-set analysis (explore/Por.h), shared const.
   std::vector<uint32_t> SlotOrder; ///< Emission index → tuple slot.
 };
 

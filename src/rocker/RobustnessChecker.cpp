@@ -23,6 +23,7 @@ ParExploreOptions parOptions(const RockerOptions &Opts) {
   PE.CollapseLocalSteps = Opts.CollapseLocalSteps;
   PE.RecordTrace = Opts.RecordTrace;
   PE.CompressVisited = Opts.CompressVisited;
+  PE.UsePor = Opts.UsePor;
   return PE;
 }
 
@@ -79,6 +80,7 @@ RockerReport rocker::checkRobustness(const Program &P,
   EO.Order = Opts.Order;
   EO.BitstateLog2 = Opts.BitstateLog2;
   EO.CompressVisited = Opts.CompressVisited;
+  EO.UsePor = Opts.UsePor;
 
   ProductExplorer<SCMonitor> Ex(P, Mem, EO);
   ExploreResult R = Ex.runWithHook(Hook);
@@ -114,6 +116,7 @@ RockerReport rocker::exploreSC(const Program &P, const RockerOptions &Opts) {
   EO.Order = Opts.Order;
   EO.BitstateLog2 = Opts.BitstateLog2;
   EO.CompressVisited = Opts.CompressVisited;
+  EO.UsePor = Opts.UsePor;
 
   ProductExplorer<SCMemory> Ex(P, Mem, EO);
   ExploreResult R = Ex.run();

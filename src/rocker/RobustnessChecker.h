@@ -59,6 +59,11 @@ struct RockerOptions {
   /// and reports — see ExploreOptions::CompressVisited). `rocker_cli
   /// --no-compress` turns it off.
   bool CompressVisited = defaultCompressVisited();
+  /// Monitor-aware ample-set partial-order reduction (explore/Por.h):
+  /// identical verdicts and violation sets with typically far fewer
+  /// expanded states. `rocker_cli --no-por` / ROCKER_NO_POR=1 turns it
+  /// off (state counts then change, verdicts do not).
+  bool UsePor = defaultUsePor();
 };
 
 /// The verification verdict.

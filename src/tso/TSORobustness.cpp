@@ -83,6 +83,7 @@ ExploreResult collectStates(const Program &P, const MemSys &Mem,
     PE.CollectProgramStates = true;
     PE.RecordTrace = false;
     PE.CompressVisited = Opts.CompressVisited;
+    PE.UsePor = Opts.UsePor; // Inert: CollectProgramStates forces full.
     ParallelExplorer<MemSys> Ex(P, Mem, PE);
     ParExploreResult R = Ex.run();
     ExploreResult Out;
@@ -97,6 +98,7 @@ ExploreResult collectStates(const Program &P, const MemSys &Mem,
   EO.CheckAssertions = false;
   EO.CollectProgramStates = true;
   EO.CompressVisited = Opts.CompressVisited;
+  EO.UsePor = Opts.UsePor; // Inert: CollectProgramStates forces full.
   ProductExplorer<MemSys> Ex(P, Mem, EO);
   return Ex.run();
 }

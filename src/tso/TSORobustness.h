@@ -44,6 +44,13 @@ struct TSOOptions {
   /// Collapse-compressed visited sets for both explorations (exact; see
   /// ExploreOptions::CompressVisited).
   bool CompressVisited = defaultCompressVisited();
+  /// Ample-set partial-order reduction (explore/Por.h). Plumbed through
+  /// to both explorations for uniformity, but state robustness compares
+  /// the *full* reachable program-state projections, so the engines'
+  /// CollectProgramStates gate keeps the reduction off here regardless —
+  /// the TSO machine's POR support is exercised by assert-checking TSO
+  /// explorations instead (see tests/PorTest.cpp).
+  bool UsePor = defaultUsePor();
 };
 
 /// Rewrites every wait(x == e) into `L: r := x; if r != e goto L` and

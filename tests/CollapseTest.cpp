@@ -22,6 +22,7 @@ TEST(Collapse, PreservesLitmusVerdicts) {
     Program P = E.parse();
     RockerOptions A;
     A.RecordTrace = false;
+    A.UsePor = false; // Measure collapsing in isolation.
     RockerOptions B = A;
     B.CollapseLocalSteps = true;
     RockerReport RA_ = checkRobustness(P, A);
@@ -99,6 +100,7 @@ thread t1
 )");
   RockerOptions A;
   A.RecordTrace = false;
+  A.UsePor = false; // Measure collapsing in isolation.
   RockerOptions B = A;
   B.CollapseLocalSteps = true;
   RockerReport RA_ = checkRobustness(P, A);

@@ -13,6 +13,9 @@ namespace {
 ExploreOptions quiet() {
   ExploreOptions O;
   O.RecordParents = false;
+  // These tests assert exact full-graph counts; POR would shrink them
+  // (its verdict/count preservation is covered by tests/PorTest.cpp).
+  O.UsePor = false;
   return O;
 }
 

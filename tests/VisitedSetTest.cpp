@@ -120,6 +120,7 @@ TEST(PcWidth, StatesAboveBit16DoNotAliasSequential) {
     ExploreOptions EO;
     EO.RecordParents = false;
     EO.CompressVisited = Compress;
+    EO.UsePor = false; // POR would chain-compress the straight line away.
     ProductExplorer<SCMemory> Ex(P, Mem, EO);
     ExploreResult R = Ex.run();
     EXPECT_EQ(R.Stats.NumStates, N + 1)
@@ -136,6 +137,7 @@ TEST(PcWidth, StatesAboveBit16DoNotAliasParallel) {
     PO.Threads = 2;
     PO.RecordTrace = false;
     PO.CompressVisited = Compress;
+    PO.UsePor = false; // POR would chain-compress the straight line away.
     ParallelExplorer<SCMemory> Ex(P, Mem, PO);
     ParExploreResult R = Ex.run();
     EXPECT_EQ(R.Stats.NumStates, N + 1)
@@ -153,6 +155,7 @@ TEST(Bitstate, ReleasesExpandedStatePayloads) {
   ExploreOptions EO;
   EO.BitstateLog2 = 20;
   EO.RecordParents = false;
+  EO.UsePor = false; // Keep the full state count the release sweep expects.
   ProductExplorer<SCMemory> Ex(P, Mem, EO);
   ExploreResult R = Ex.run();
   ASSERT_GT(R.Stats.NumStates, 100u);
