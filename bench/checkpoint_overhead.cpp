@@ -1,0 +1,208 @@
+//===- bench/checkpoint_overhead.cpp - Cost of periodic checkpoints ---------===//
+//
+// Measures what --checkpoint costs on programs large enough for the
+// number to mean something (default: >= 1e5 states). Each qualifying
+// program runs four times:
+//
+//   off      checkpoints disabled (baseline states/sec)
+//   30s      --checkpoint with the default 30-second interval
+//   5s       --checkpoint with a 5-second interval
+//   forced   a checkpoint every 50k expansions, so the per-write cost is
+//            measured even when the run finishes before a wall-clock
+//            interval elapses (runs shorter than the interval write no
+//            periodic checkpoints at all — the 30s/5s rows then show the
+//            pure governor-tick overhead)
+//
+// The acceptance bar is the 30s row: overhead below 5% of baseline
+// states/sec. Verdicts and state counts must be identical across all
+// four configurations — checkpointing must never perturb the search.
+//
+// Usage: checkpoint_overhead [--min-states N] [--json FILE]
+//                            [program-name ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace rocker;
+
+namespace {
+
+struct ConfigResult {
+  double Seconds = 0;
+  double StatesPerSec = 0;
+  double OverheadPct = 0;
+  uint64_t Checkpoints = 0;
+  uint64_t CheckpointBytes = 0;
+  double CheckpointSeconds = 0;
+};
+
+struct Row {
+  std::string Name;
+  uint64_t States = 0;
+  bool Robust = false;
+  bool CountsMatch = true;
+  ConfigResult Off, Every30, Every5, Forced;
+};
+
+std::string tmpCkptPath() {
+  return (std::filesystem::temp_directory_path() /
+          ("ckpt-overhead." + std::to_string(::getpid()) + ".rkcp"))
+      .string();
+}
+
+ConfigResult runOnce(const Program &P, double IntervalSeconds,
+                     uint64_t EveryExpansions, const std::string &CkptPath,
+                     RockerReport &Out) {
+  RockerOptions O;
+  O.RecordTrace = false;
+  O.StopOnViolation = false; // Full exploration: comparable counts.
+  O.MaxStates = 4'000'000;
+  if (IntervalSeconds > 0 || EveryExpansions) {
+    O.Resilience.CheckpointPath = CkptPath;
+    O.Resilience.CheckpointIntervalSeconds = IntervalSeconds;
+    O.Resilience.CheckpointEveryExpansions = EveryExpansions;
+  }
+  Out = checkRobustness(P, O);
+  ConfigResult R;
+  R.Seconds = Out.Stats.Seconds;
+  R.StatesPerSec =
+      Out.Stats.Seconds > 0 ? Out.Stats.NumStates / Out.Stats.Seconds : 0;
+  R.Checkpoints = Out.Stats.Resilience.CheckpointsWritten;
+  R.CheckpointBytes = Out.Stats.Resilience.CheckpointBytes;
+  R.CheckpointSeconds = Out.Stats.Resilience.CheckpointSeconds;
+  std::error_code Ec;
+  std::filesystem::remove(CkptPath, Ec);
+  return R;
+}
+
+double overhead(const ConfigResult &Base, const ConfigResult &C) {
+  return Base.StatesPerSec > 0
+             ? 100.0 * (Base.StatesPerSec - C.StatesPerSec) /
+                   Base.StatesPerSec
+             : 0.0;
+}
+
+void printJsonConfig(std::FILE *F, const char *Key, const ConfigResult &C,
+                     bool Last) {
+  std::fprintf(F,
+               "      \"%s\": {\"seconds\": %.6f, \"states_per_sec\": %.1f, "
+               "\"overhead_pct\": %.2f, \"checkpoints\": %llu, "
+               "\"checkpoint_bytes\": %llu, \"checkpoint_seconds\": %.6f}%s\n",
+               Key, C.Seconds, C.StatesPerSec, C.OverheadPct,
+               static_cast<unsigned long long>(C.Checkpoints),
+               static_cast<unsigned long long>(C.CheckpointBytes),
+               C.CheckpointSeconds, Last ? "" : ",");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t MinStates = 100'000;
+  const char *JsonPath = nullptr;
+  std::vector<std::string> Only;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--min-states") && I + 1 != argc)
+      MinStates = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--json") && I + 1 != argc)
+      JsonPath = argv[++I];
+    else
+      Only.push_back(argv[I]);
+  }
+
+  std::string CkptPath = tmpCkptPath();
+  std::printf("%-16s | %9s | %9s | %7s %7s %7s | %6s %9s\n", "Program",
+              "States", "Base[/s]", "ovh30%", "ovh5%", "ovhFc%", "#ckpt",
+              "ckpt[B]");
+  std::printf("%s\n", std::string(88, '-').c_str());
+
+  std::vector<Row> Rows;
+  bool AllMatch = true;
+  for (const CorpusEntry &E : figure7Programs()) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      continue;
+    Program P = E.parse();
+
+    RockerReport Base, R30, R5, RF;
+    Row R;
+    R.Name = E.Name;
+    // Warmup: the very first exploration pays allocator and page-cache
+    // cold costs that would otherwise be charged to the baseline and
+    // make the checkpoint rows look spuriously cheap (or free).
+    runOnce(P, 0, 0, CkptPath, Base);
+    if (Only.empty() && Base.Stats.NumStates < MinStates)
+      continue; // Too small for the overhead to rise above noise.
+    R.Off = runOnce(P, 0, 0, CkptPath, Base);
+    R.States = Base.Stats.NumStates;
+    R.Robust = Base.Robust;
+    R.Every30 = runOnce(P, 30, 0, CkptPath, R30);
+    R.Every5 = runOnce(P, 5, 0, CkptPath, R5);
+    R.Forced = runOnce(P, 0, 50'000, CkptPath, RF);
+    R.Every30.OverheadPct = overhead(R.Off, R.Every30);
+    R.Every5.OverheadPct = overhead(R.Off, R.Every5);
+    R.Forced.OverheadPct = overhead(R.Off, R.Forced);
+    R.CountsMatch = Base.Robust == R30.Robust && Base.Robust == R5.Robust &&
+                    Base.Robust == RF.Robust &&
+                    Base.Stats.NumStates == R30.Stats.NumStates &&
+                    Base.Stats.NumStates == R5.Stats.NumStates &&
+                    Base.Stats.NumStates == RF.Stats.NumStates;
+    AllMatch &= R.CountsMatch;
+    Rows.push_back(R);
+
+    std::printf("%-16s | %9llu | %9.0f | %6.2f%% %6.2f%% %6.2f%% | %6llu "
+                "%9llu%s\n",
+                R.Name.c_str(), static_cast<unsigned long long>(R.States),
+                R.Off.StatesPerSec, R.Every30.OverheadPct,
+                R.Every5.OverheadPct, R.Forced.OverheadPct,
+                static_cast<unsigned long long>(R.Forced.Checkpoints),
+                static_cast<unsigned long long>(R.Forced.CheckpointBytes),
+                R.CountsMatch ? "" : " !COUNTS");
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", std::string(88, '-').c_str());
+  if (!AllMatch)
+    std::printf("!COUNTS = checkpointing changed the verdict or state "
+                "count (must never happen)\n");
+
+  if (JsonPath) {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 2;
+    }
+    std::fprintf(F,
+                 "{\n  \"schema\": \"rocker-bench-resilience/1\",\n"
+                 "  \"min_states\": %llu,\n  \"counts_match\": %s,\n"
+                 "  \"programs\": [\n",
+                 static_cast<unsigned long long>(MinStates),
+                 AllMatch ? "true" : "false");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"states\": %llu, \"robust\": "
+                   "%s, \"counts_match\": %s,\n",
+                   R.Name.c_str(),
+                   static_cast<unsigned long long>(R.States),
+                   R.Robust ? "true" : "false",
+                   R.CountsMatch ? "true" : "false");
+      printJsonConfig(F, "off", R.Off, false);
+      printJsonConfig(F, "interval30s", R.Every30, false);
+      printJsonConfig(F, "interval5s", R.Every5, false);
+      printJsonConfig(F, "forced50k", R.Forced, true);
+      std::fprintf(F, "    }%s\n", I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
+  return AllMatch ? 0 : 1;
+}

@@ -19,6 +19,14 @@ pair the tool flags:
     state counts by design, so a POR-config difference downgrades the
     state-count finding to a warning (verdict changes stay errors).
 
+Also accepts a pair of checkpoint-overhead bench files (schema
+"rocker-bench-resilience/1", written by `checkpoint_overhead --json`).
+For those the tool flags state-count changes and checkpoint-perturbed
+counts as errors, checkpoint overhead at the default 30s interval above
+5% of baseline throughput as an error (the resilience acceptance bar),
+and overhead growth beyond the threshold in percentage points as a
+warning. The two files must share a schema.
+
 Exit status: 0 when clean, 1 when something was flagged. With
 --warn-only everything is printed but the exit status stays 0 — CI uses
 this to surface noise-prone timing regressions without blocking merges.
@@ -34,23 +42,28 @@ import json
 import sys
 
 SCHEMA = "rocker-run-report/1"
+RESILIENCE_SCHEMA = "rocker-bench-resilience/1"
+CKPT_OVERHEAD_BAR_PCT = 5.0  # 30s-interval overhead acceptance bar.
 
 
 def load_reports(path):
-    """Returns {program-name: report} from a file holding one report or
-    an array of reports."""
+    """Returns ("run", {program-name: report}) for run-report files or
+    ("resilience", {program-name: row}) for checkpoint-overhead bench
+    files."""
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
+    if isinstance(data, dict) and data.get("schema") == RESILIENCE_SCHEMA:
+        return "resilience", {p["name"]: p for p in data["programs"]}
     reports = data if isinstance(data, list) else [data]
     out = {}
     for r in reports:
         if r.get("schema") != SCHEMA:
             raise ValueError(
                 f"{path}: unexpected schema {r.get('schema')!r} "
-                f"(want {SCHEMA!r})"
+                f"(want {SCHEMA!r} or {RESILIENCE_SCHEMA!r})"
             )
         out[r["program"]] = r
-    return out
+    return "run", out
 
 
 def pct(new, old):
@@ -114,6 +127,45 @@ def compare(base, cur, threshold):
             )
 
 
+def compare_resilience(base, cur, threshold):
+    """Comparison for checkpoint-overhead bench files: determinism is an
+    error, the 5% 30s-interval bar is an error, overhead growth beyond
+    the threshold (in percentage points) is a warning."""
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            yield "error", f"{name}: present in baseline, missing now"
+            continue
+        if name not in base:
+            yield "warn", f"{name}: new program (no baseline)"
+            continue
+        b, c = base[name], cur[name]
+        if b.get("states") != c.get("states"):
+            yield "error", (
+                f"{name}: state count changed "
+                f"{b.get('states')} -> {c.get('states')} "
+                "(exploration should be deterministic)"
+            )
+        if not c.get("counts_match", True):
+            yield "error", (
+                f"{name}: checkpointing perturbed the verdict or state "
+                "count"
+            )
+        ovh30 = c.get("interval30s", {}).get("overhead_pct", 0.0)
+        if ovh30 > CKPT_OVERHEAD_BAR_PCT:
+            yield "error", (
+                f"{name}: 30s-interval checkpoint overhead {ovh30:.2f}% "
+                f"exceeds the {CKPT_OVERHEAD_BAR_PCT:.0f}% bar"
+            )
+        for key in ("interval30s", "interval5s", "forced50k"):
+            bo = b.get(key, {}).get("overhead_pct", 0.0)
+            co = c.get(key, {}).get("overhead_pct", 0.0)
+            if co - bo > threshold:
+                yield "warn", (
+                    f"{name}: {key} overhead grew "
+                    f"{bo:.2f}% -> {co:.2f}%"
+                )
+
+
 def main(argv):
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -142,13 +194,19 @@ def main(argv):
     args = ap.parse_args(argv)
 
     try:
-        base = load_reports(args.baseline)
-        cur = load_reports(args.current)
+        base_kind, base = load_reports(args.baseline)
+        cur_kind, cur = load_reports(args.current)
+        if base_kind != cur_kind:
+            raise ValueError(
+                f"schema mismatch: {args.baseline} is a {base_kind} "
+                f"file, {args.current} is a {cur_kind} file"
+            )
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
         print(f"report_diff: {e}", file=sys.stderr)
         return 0 if args.warn_only else 2
 
-    findings = list(compare(base, cur, args.threshold))
+    compare_fn = compare_resilience if base_kind == "resilience" else compare
+    findings = list(compare_fn(base, cur, args.threshold))
     for severity, msg in findings:
         print(f"{severity}: {msg}")
     if not findings:

@@ -18,6 +18,7 @@
 #include "obs/Telemetry.h"
 #include "parexplore/ParallelExplorer.h"
 #include "promela/PromelaExport.h"
+#include "resilience/Resilience.h"
 #include "rocker/RobustnessChecker.h"
 #include "rocker/WitnessGraph.h"
 #include "tso/TSORobustness.h"
@@ -62,6 +63,32 @@ double progressInterval(const char *V) {
   double S = V ? std::strtod(V, nullptr) : 0;
   return S > 0 ? S : 2.0;
 }
+
+/// Byte count with an optional K/M/G suffix ("512M", "2G", "1048576").
+uint64_t parseBytes(const char *V) {
+  char *End = nullptr;
+  double N = std::strtod(V, &End);
+  uint64_t Mult = 1;
+  if (End)
+    switch (*End) {
+    case 'k': case 'K': Mult = 1ull << 10; break;
+    case 'm': case 'M': Mult = 1ull << 20; break;
+    case 'g': case 'G': Mult = 1ull << 30; break;
+    default: break;
+    }
+  return N > 0 ? static_cast<uint64_t>(N * Mult) : 0;
+}
+
+/// Exit codes (stable contract, consumed by bench/fig7_table and CI):
+/// 0 robust, 1 not robust, 2 bounded/degraded, 3 usage error,
+/// 4 internal error (I/O failure, failed resume).
+enum ExitCode : int {
+  ExitRobust = 0,
+  ExitNotRobust = 1,
+  ExitBounded = 2,
+  ExitUsage = 3,
+  ExitInternal = 4,
+};
 
 const CliOption Options[] = {
     {"--full", nullptr,
@@ -137,6 +164,45 @@ const CliOption Options[] = {
        C.ProgressInterval = progressInterval(V);
      },
      /*OptionalArg=*/true},
+    {"--mem-budget", "BYTES",
+     "soft memory budget for visited set + frontier (K/M/G suffixes); on "
+     "pressure the governor degrades storage (exact -> no-payload -> "
+     "bitstate) instead of OOMing; a degraded clean sweep exits "
+     "BOUNDED-ROBUST (2)",
+     [](CliState &C, const char *V) {
+       C.Opts.Resilience.MemBudgetBytes = parseBytes(V);
+     }},
+    {"--deadline", "S",
+     "wall-clock deadline: the run drains at a safe point, writes a "
+     "final checkpoint (with --checkpoint), and exits BOUNDED-ROBUST",
+     [](CliState &C, const char *V) {
+       C.Opts.Resilience.DeadlineSeconds = std::strtod(V, nullptr);
+     }},
+    {"--checkpoint", "FILE",
+     "write crash-safe checkpoints to FILE periodically and on "
+     "SIGINT/SIGTERM, deadline, or budget truncation; resume with "
+     "--resume",
+     [](CliState &C, const char *V) {
+       C.Opts.Resilience.CheckpointPath = V;
+     }},
+    {"--checkpoint-interval", "S",
+     "seconds between periodic checkpoints (default 30)",
+     [](CliState &C, const char *V) {
+       C.Opts.Resilience.CheckpointIntervalSeconds =
+           std::strtod(V, nullptr);
+     }},
+    {"--resume", "FILE",
+     "resume from a checkpoint written by --checkpoint; the program and "
+     "semantic options must match or the resume is rejected (exit 4)",
+     [](CliState &C, const char *V) {
+       C.Opts.Resilience.ResumePath = V;
+     }},
+    {"--watchdog", "S",
+     "parallel engine: if no worker makes progress for S seconds, stop "
+     "the run as BOUNDED-ROBUST instead of hanging",
+     [](CliState &C, const char *V) {
+       C.Opts.Resilience.WatchdogSeconds = std::strtod(V, nullptr);
+     }},
 };
 
 int usage() {
@@ -150,7 +216,11 @@ int usage() {
                             : std::string(" ") + O.Arg;
     std::fprintf(stderr, "  %-18s %s\n", Flag.c_str(), O.Help);
   }
-  return 2;
+  std::fprintf(stderr,
+               "\nexit codes: 0 robust, 1 not robust, 2 bounded/degraded "
+               "(budget, deadline, interrupt, or bitstate), 3 usage, "
+               "4 internal error\n");
+  return ExitUsage;
 }
 
 std::optional<Program> loadInput(const std::string &Arg) {
@@ -225,6 +295,46 @@ bool emitReport(const CliState &C, const std::string &Name,
   return false;
 }
 
+/// Prints the resilience provenance: every downgrade, checkpoint
+/// activity, and why a clean sweep may only be bounded.
+void printResilience(const resilience::ResilienceReport &RR) {
+  for (const resilience::DowngradeEvent &D : RR.Downgrades)
+    std::printf("note: memory governor degraded storage %s -> %s at "
+                "%llu states (%.1f MiB in use, %.1fs)\n",
+                resilience::rungName(D.From), resilience::rungName(D.To),
+                static_cast<unsigned long long>(D.AtStates),
+                D.UsedBytes / (1024.0 * 1024.0), D.AtSeconds);
+  if (RR.DeadlineHit)
+    std::printf("note: deadline hit — drained at a safe point\n");
+  if (RR.Interrupted)
+    std::printf("note: interrupted (SIGINT/SIGTERM) — drained at a safe "
+                "point\n");
+  if (RR.WatchdogFired)
+    std::printf("note: stuck-worker watchdog fired — run stopped\n");
+  if (RR.Resumed)
+    std::printf("note: resumed from checkpoint (%llu states restored)\n",
+                static_cast<unsigned long long>(RR.RestoredStates));
+  if (RR.CheckpointsWritten)
+    std::printf("note: %llu checkpoint%s written (%.2f MiB total, "
+                "%.2fs)\n",
+                static_cast<unsigned long long>(RR.CheckpointsWritten),
+                RR.CheckpointsWritten == 1 ? "" : "s",
+                RR.CheckpointBytes / (1024.0 * 1024.0),
+                RR.CheckpointSeconds);
+}
+
+int exitCodeFor(VerdictClass VC) {
+  switch (VC) {
+  case VerdictClass::Robust:
+    return ExitRobust;
+  case VerdictClass::NotRobust:
+    return ExitNotRobust;
+  case VerdictClass::BoundedRobust:
+    return ExitBounded;
+  }
+  return ExitInternal;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -270,6 +380,13 @@ int main(int argc, char **argv) {
   if (Input.empty())
     return usage();
 
+  // With budgets or checkpoints in play, ^C should drain at a safe point
+  // (final checkpoint, partial report) instead of killing mid-write.
+  const resilience::ResilienceOptions &RO = C.Opts.Resilience;
+  if (RO.anyBudget() || RO.wantsCheckpoints() || RO.wantsResume() ||
+      RO.WatchdogSeconds > 0)
+    resilience::installStopHandlers();
+
   // Bracket everything from parse onward, so run reports attribute the
   // whole invocation (the Parse phase included, not just exploration).
   obs::Snapshot Before = obs::snapshot();
@@ -277,7 +394,7 @@ int main(int argc, char **argv) {
 
   std::optional<Program> P = loadInput(Input);
   if (!P)
-    return 2;
+    return ExitUsage;
   if (C.Print)
     std::printf("%s\n", toString(*P).c_str());
   if (C.Promela) {
@@ -290,31 +407,50 @@ int main(int argc, char **argv) {
   if (C.ScOnly) {
     RockerReport R = exploreSC(*P, C.Opts);
     Reporter.stop();
+    if (!R.Stats.Resilience.ResumeError.empty()) {
+      std::fprintf(stderr, "error: resume failed: %s\n",
+                   R.Stats.Resilience.ResumeError.c_str());
+      return ExitInternal;
+    }
     std::printf("SC exploration: %llu states in %.3fs — %s\n",
                 static_cast<unsigned long long>(R.Stats.NumStates),
                 R.Stats.Seconds,
                 R.Robust ? "no violations" : "VIOLATIONS FOUND");
+    printResilience(R.Stats.Resilience);
     if (!R.Robust)
       std::printf("%s\n", R.FirstViolationText.c_str());
     if (C.Stats)
       printStats(R.Stats);
     if (!emitReport(C, Name, "sc", R, Before))
-      return 2;
-    return R.Robust ? 0 : 1;
+      return ExitInternal;
+    return exitCodeFor(R.verdictClass());
   }
 
   RockerReport R = checkRobustness(*P, C.Opts);
   bool ReportOk = emitReport(C, Name, "robustness", R, Before);
 
+  if (!R.Stats.Resilience.ResumeError.empty()) {
+    std::fprintf(stderr, "error: resume failed: %s\n",
+                 R.Stats.Resilience.ResumeError.c_str());
+    return ExitInternal;
+  }
+
+  VerdictClass VC = R.verdictClass();
+  const char *VName = VC == VerdictClass::Robust ? "ROBUST"
+                      : VC == VerdictClass::NotRobust
+                          ? "NOT ROBUST"
+                          : "BOUNDED-ROBUST";
   std::printf("%s: %s against release/acquire (%llu states, %.3fs, "
               "%u thread%s%s%s)\n",
-              Name.c_str(),
-              R.Robust ? "ROBUST" : "NOT ROBUST",
+              Name.c_str(), VName,
               static_cast<unsigned long long>(R.Stats.NumStates),
               R.Stats.Seconds, C.Opts.Threads,
               C.Opts.Threads == 1 ? "" : "s",
-              R.Approximate ? ", bitstate — ROBUST is approximate" : "",
+              R.Approximate
+                  ? ", bitstate — absence of violations is approximate"
+                  : "",
               R.Complete ? "" : ", budget hit — result incomplete");
+  printResilience(R.Stats.Resilience);
   for (const Violation &V : R.Violations)
     if (V.K != Violation::Kind::Robustness)
       std::printf("also: %s\n", violationKindName(V.K));
@@ -338,6 +474,7 @@ int main(int argc, char **argv) {
     TO.TrencherMode = true;
     TO.Threads = C.Opts.Threads;
     TO.CompressVisited = C.Opts.CompressVisited;
+    TO.DeadlineSeconds = C.Opts.Resilience.DeadlineSeconds;
     TSORobustnessResult T = checkTSORobustness(*P, TO);
     std::printf("TSO baseline (trencher mode): %s (%llu states)%s\n",
                 T.Robust ? "robust" : "not robust",
@@ -347,6 +484,6 @@ int main(int argc, char **argv) {
       printStats(T.Stats);
   }
   if (!ReportOk)
-    return 2;
-  return R.Robust ? 0 : 1;
+    return ExitInternal;
+  return exitCodeFor(VC);
 }

@@ -19,6 +19,7 @@
 
 #include "lang/Program.h"
 #include "lang/Step.h"
+#include "support/BinCodec.h"
 
 #include <string>
 #include <vector>
@@ -72,6 +73,18 @@ public:
   // support/StateInterner.h) is already the right granularity.
   void serialize(const State &S, std::string &Out) const {
     Out.append(reinterpret_cast<const char *>(S.data()), S.size());
+  }
+
+  /// Checkpoint codec (resilience layer): the state is exactly its value
+  /// vector, whose length is fixed by the program.
+  void encodeState(const State &S, std::string &Out) const {
+    Out.append(reinterpret_cast<const char *>(S.data()), S.size());
+  }
+
+  bool decodeState(BinReader &R, State &S) const {
+    S.assign(NumLocs, 0);
+    R.bytes(S.data(), NumLocs);
+    return !R.fail();
   }
 
 private:

@@ -364,3 +364,57 @@ void SCMonitor::serializeThread(const State &S, unsigned T,
 void SCMonitor::serialize(const State &S, std::string &Out) const {
   serializeComponents(S, Out, [] {});
 }
+
+//===----------------------------------------------------------------------===//
+// Checkpoint codec
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void encodeMasks(std::string &Out, const std::vector<BitSet64> &V) {
+  for (const BitSet64 &B : V) {
+    uint64_t M = B.mask();
+    Out.append(reinterpret_cast<const char *>(&M), sizeof(M));
+  }
+}
+
+bool decodeMasks(BinReader &R, std::vector<BitSet64> &V, size_t N) {
+  V.assign(N, BitSet64());
+  for (size_t I = 0; I != N; ++I)
+    V[I] = BitSet64::fromMask(R.u64());
+  return !R.fail();
+}
+
+} // namespace
+
+void SCMonitor::encodeState(const State &S, std::string &Out) const {
+  Out.append(reinterpret_cast<const char *>(S.M.data()), S.M.size());
+  encodeMasks(Out, S.VSC);
+  encodeMasks(Out, S.MSC);
+  encodeMasks(Out, S.WSC);
+  encodeMasks(Out, S.V);
+  encodeMasks(Out, S.VRmw);
+  encodeMasks(Out, S.W);
+  encodeMasks(Out, S.WRmw);
+  encodeMasks(Out, S.CV);
+  encodeMasks(Out, S.CVRmw);
+  encodeMasks(Out, S.CW);
+  encodeMasks(Out, S.CWRmw);
+}
+
+bool SCMonitor::decodeState(BinReader &R, State &S) const {
+  // All lengths are fixed by the program dimensions + the abstraction
+  // flag, so nothing is length-prefixed.
+  S.M.assign(NumLocs, 0);
+  R.bytes(S.M.data(), NumLocs);
+  size_t AbsT = Abstract ? NumThreads : 0;
+  size_t AbsL = Abstract ? NumLocs : 0;
+  return decodeMasks(R, S.VSC, NumThreads) &&
+         decodeMasks(R, S.MSC, NumLocs) && decodeMasks(R, S.WSC, NumLocs) &&
+         decodeMasks(R, S.V, size_t(NumThreads) * NumLocs) &&
+         decodeMasks(R, S.VRmw, size_t(NumThreads) * NumLocs) &&
+         decodeMasks(R, S.W, size_t(NumLocs) * NumLocs) &&
+         decodeMasks(R, S.WRmw, size_t(NumLocs) * NumLocs) &&
+         decodeMasks(R, S.CV, AbsT) && decodeMasks(R, S.CVRmw, AbsT) &&
+         decodeMasks(R, S.CW, AbsL) && decodeMasks(R, S.CWRmw, AbsL);
+}

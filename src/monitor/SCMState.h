@@ -40,6 +40,7 @@
 #include "lang/CriticalValues.h"
 #include "lang/Program.h"
 #include "lang/Step.h"
+#include "support/BinCodec.h"
 #include "support/BitSet64.h"
 
 #include <optional>
@@ -160,6 +161,12 @@ public:
       Cut();
     }
   }
+
+  /// Checkpoint codec (resilience layer): all field lengths are fixed by
+  /// the program dimensions + the abstraction flag, so the encoding is
+  /// the value bytes plus each bit set's raw 64-bit mask.
+  void encodeState(const State &S, std::string &Out) const;
+  bool decodeState(BinReader &R, State &S) const;
 
   /// Theorem 5.3 (+ Section 5.1 additions): does thread \p T's pending
   /// access witness non-robustness in state \p S?

@@ -19,6 +19,7 @@ RunReport obs::buildRunReport(std::string ProgramName, std::string Mode,
   R.Robust = Result.Robust;
   R.Complete = Result.Complete;
   R.Approximate = Result.Approximate;
+  R.VerdictCls = Result.verdictClass();
   R.NumViolations = Result.Violations.size();
   R.Stats = Result.Stats;
   R.Telemetry = diff(After, Before);
@@ -64,6 +65,48 @@ json::Value configJson(const RockerOptions &C) {
   J.set("check_races", C.CheckRaces);
   J.set("collapse_local_steps", C.CollapseLocalSteps);
   J.set("use_por", C.UsePor);
+  if (C.Resilience.MemBudgetBytes)
+    J.set("mem_budget_bytes", C.Resilience.MemBudgetBytes);
+  if (C.Resilience.DeadlineSeconds > 0)
+    J.set("deadline_seconds", C.Resilience.DeadlineSeconds);
+  if (C.Resilience.wantsCheckpoints()) {
+    J.set("checkpoint", C.Resilience.CheckpointPath);
+    J.set("checkpoint_interval_seconds",
+          C.Resilience.CheckpointIntervalSeconds);
+  }
+  if (C.Resilience.wantsResume())
+    J.set("resume", C.Resilience.ResumePath);
+  return J;
+}
+
+/// The "resilience" section: degradation-ladder provenance, checkpoint
+/// activity, and interruption flags. Additive to rocker-run-report/1 —
+/// consumers that don't know it see the same report as before.
+json::Value resilienceJson(const resilience::ResilienceReport &R) {
+  json::Value J = json::Value::object();
+  J.set("final_rung", resilience::rungName(R.FinalRung));
+  json::Value D = json::Value::array();
+  for (const resilience::DowngradeEvent &E : R.Downgrades) {
+    json::Value Ev = json::Value::object();
+    Ev.set("from", resilience::rungName(E.From));
+    Ev.set("to", resilience::rungName(E.To));
+    Ev.set("at_states", E.AtStates);
+    Ev.set("at_seconds", E.AtSeconds);
+    Ev.set("used_bytes", E.UsedBytes);
+    D.push(std::move(Ev));
+  }
+  J.set("downgrades", std::move(D));
+  J.set("deadline_hit", R.DeadlineHit);
+  J.set("interrupted", R.Interrupted);
+  J.set("watchdog_fired", R.WatchdogFired);
+  J.set("resumed", R.Resumed);
+  if (R.Resumed)
+    J.set("restored_states", R.RestoredStates);
+  J.set("checkpoints_written", R.CheckpointsWritten);
+  J.set("checkpoint_bytes", R.CheckpointBytes);
+  J.set("checkpoint_seconds", R.CheckpointSeconds);
+  if (!R.ResumeError.empty())
+    J.set("resume_error", R.ResumeError);
   return J;
 }
 
@@ -129,9 +172,11 @@ json::Value obs::toJson(const RunReport &R) {
   V.set("complete", R.Complete);
   V.set("approximate", R.Approximate);
   V.set("violations", R.NumViolations);
+  V.set("class", verdictClassName(R.VerdictCls));
   J.set("verdict", std::move(V));
 
   J.set("stats", statsJson(R.Stats));
+  J.set("resilience", resilienceJson(R.Stats.Resilience));
   J.set("workers", workersJson(R.Stats));
   J.set("telemetry", telemetryJson(R.Telemetry));
   return J;

@@ -29,6 +29,8 @@ struct RunReport {
   bool Robust = false;
   bool Complete = true;
   bool Approximate = false;
+  /// Three-way exit-code class (see rocker::VerdictClass).
+  VerdictClass VerdictCls = VerdictClass::Robust;
   uint64_t NumViolations = 0;
   ExploreStats Stats;
   /// Telemetry delta bracketing the run (zeros when compiled out).

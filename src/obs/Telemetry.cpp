@@ -5,6 +5,10 @@
 #include <cstdio>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 using namespace rocker;
 using namespace rocker::obs;
 
@@ -64,6 +68,12 @@ const char *obs::counterName(Ctr C) {
     return "por.saved_steps";
   case Ctr::PorChainedStates:
     return "por.chained_states";
+  case Ctr::CheckpointWrites:
+    return "resilience.checkpoint_writes";
+  case Ctr::CheckpointBytes:
+    return "resilience.checkpoint_bytes";
+  case Ctr::GovernorDowngrades:
+    return "resilience.downgrades";
   }
   return "unknown";
 }
@@ -222,6 +232,12 @@ void ProgressReporter::loop(double IntervalSeconds) {
   auto Interval = std::chrono::duration<double>(IntervalSeconds);
   uint64_t LastStates = 0;
   auto LastTime = std::chrono::steady_clock::now();
+  // On a TTY, update one status line in place (\r + clear-to-EOL). When
+  // stderr is redirected to a file or pipe, emit plain newline-separated
+  // lines and flush each one, so `tail -f` and CI logs see progress live
+  // instead of a buffered blob of carriage returns.
+  bool IsTty = isatty(fileno(stderr)) != 0;
+  bool WroteTtyLine = false;
   std::unique_lock<std::mutex> L(M);
   while (!CV.wait_for(L, Interval, [this] { return StopFlag; })) {
     ProgressData &D = progressData();
@@ -263,8 +279,18 @@ void ProgressReporter::loop(double IntervalSeconds) {
         Line += Buf;
       }
     }
-    std::fprintf(stderr, "%s\n", Line.c_str());
+    if (IsTty) {
+      std::fprintf(stderr, "\r%s\x1b[K", Line.c_str());
+      WroteTtyLine = true;
+    } else {
+      std::fprintf(stderr, "%s\n", Line.c_str());
+    }
+    std::fflush(stderr);
     add(Ctr::ProgressTicks);
+  }
+  if (WroteTtyLine) { // Leave the final in-place line intact.
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
   }
 }
 

@@ -84,10 +84,15 @@ enum class Ctr : uint8_t {
                   ///< valid ample set (fell back to full expansion).
   PorSavedSteps,  ///< por.saved_steps — pending thread steps skipped at
                   ///< ample states (a lower bound on the work saved).
-  PorChainedStates ///< por.chained_states — ample-chain intermediates
-                   ///< traversed transiently and never stored.
+  PorChainedStates, ///< por.chained_states — ample-chain intermediates
+                    ///< traversed transiently and never stored.
+  CheckpointWrites, ///< resilience.checkpoint_writes
+  CheckpointBytes,  ///< resilience.checkpoint_bytes — payload bytes
+                    ///< written (pre-header, post-serialization).
+  GovernorDowngrades ///< resilience.downgrades — degradation-ladder
+                     ///< rungs taken under memory pressure.
 };
-inline constexpr unsigned NumCounters = 16;
+inline constexpr unsigned NumCounters = 19;
 
 /// Report key for a counter ("visited.probes", ...).
 const char *counterName(Ctr C);

@@ -49,6 +49,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -98,6 +99,13 @@ struct ParExploreOptions {
   /// and hence verdicts, violation sets, and deadlock counts — is
   /// identical to the sequential engine's.
   bool UsePor = defaultUsePor();
+  /// Resource budgets, watchdog, and checkpoint/resume configuration
+  /// (resilience/Resilience.h). A management thread enforces these while
+  /// the workers run; checkpoints pause the world at a consistent cut
+  /// (all unexpanded states parked in the deques). The parallel ladder
+  /// has no NoPayload rung — expanded states are never stored — so the
+  /// first memory downgrade goes straight to bitstate hashing.
+  resilience::ResilienceOptions Resilience;
 };
 
 /// Result of a parallel exploration.
@@ -113,6 +121,10 @@ struct ParExploreResult {
   bool Replayed = false;
   /// True when the run stopped on the wall-clock budget.
   bool TimedOut = false;
+  /// True when the governor downgraded the visited set to bitstate
+  /// hashing: the absence of violations is then approximate, so a
+  /// violation-free run reports ParVerdict::Bounded.
+  bool Approximate = false;
   /// Program-state projections (when requested).
   std::unordered_set<std::string, StateKeyHash> ProgramStates;
 
@@ -177,42 +189,101 @@ public:
       SlotOrder = buildSlotOrder(P.numThreads(), memComponentCount(Mem),
                                  memPerThreadTailComponents(Mem));
     }
-    Sh.HasDeadline = Opts.MaxSeconds > 0;
-    if (Sh.HasDeadline)
-      Sh.Deadline = Start + std::chrono::duration_cast<
-                                std::chrono::steady_clock::duration>(
-                                std::chrono::duration<double>(
-                                    Opts.MaxSeconds));
+    RunStart = Start;
+    auto &RR = Res.Stats.Resilience;
+    const resilience::ResilienceOptions &RO = Opts.Resilience;
+    if constexpr (HasCodec) {
+      if (RO.wantsResume() || ckptActive())
+        CfgHash = configHash();
+    }
 
-    // Intern the initial state.
+    // Build the initial state (also sizes the payload-unit estimate the
+    // governor charges per frontier state).
     ProductState Init;
     Init.Threads.reserve(P.numThreads());
     for (const SequentialProgram &S : P.Threads)
       Init.Threads.push_back(ThreadState::initial(S));
     Init.M = Mem.initial();
-    // The initial state fast-forwards too: state 0 is its chain endpoint.
-    Init = fastForward(std::move(Init), Sh, *Sh.Workers[0], AHook);
-    markVisited(Sh, Init, *Sh.Workers[0]); // Workers not yet running.
-    Sh.StateCount.store(1, std::memory_order_relaxed);
-    if (Opts.CollectProgramStates)
-      Sh.ProgStates.insert(programStateKey(Init.Threads));
-    if (std::optional<Violation> V = SHook(Init))
-      recordViolation(Sh, std::move(*V));
-    Sh.TB.enqueued();
-    Sh.Workers[0]->Deque.push(std::move(Init));
+    PayloadUnit = estimatePayloadUnit(Init);
+
+    bool Ready = true;
+    if (RO.wantsResume()) {
+      if constexpr (HasCodec) {
+        if (Opts.CollectProgramStates) {
+          RR.ResumeError = "checkpoint/resume is unsupported with "
+                           "program-state collection";
+          Ready = false;
+        } else if (!restoreCheckpoint(Sh, Res, NumWorkers)) {
+          Ready = false;
+        }
+      } else {
+        RR.ResumeError =
+            "checkpoint/resume is unsupported for this memory subsystem";
+        Ready = false;
+      }
+      if (!Ready) {
+        Res.Stats.Truncated = true;
+        Sh.Bounded.store(true, std::memory_order_relaxed);
+      }
+    }
+
+    if (Ready && !RR.Resumed) {
+      // The initial state fast-forwards too: state 0 is its chain
+      // endpoint.
+      Init = fastForward(std::move(Init), Sh, *Sh.Workers[0], AHook);
+      markVisited(Sh, Init, *Sh.Workers[0]); // Workers not yet running.
+      Sh.StateCount.store(1, std::memory_order_relaxed);
+      if (Opts.CollectProgramStates)
+        Sh.ProgStates.insert(programStateKey(Init.Threads));
+      if (std::optional<Violation> V = SHook(Init))
+        recordViolation(Sh, std::move(*V));
+      Sh.TB.enqueued();
+      Sh.Workers[0]->Deque.push(std::move(Init));
+    }
+
+    // Effective wall-clock limit: the tighter of MaxSeconds and the
+    // resilience deadline. The latter counts wall time already spent
+    // before a resume (SecondsBase), so a resumed run inherits the
+    // remaining budget, not a fresh one.
+    double Limit = Opts.MaxSeconds > 0 ? Opts.MaxSeconds : 0;
+    if (RO.DeadlineSeconds > 0) {
+      double Left = RO.DeadlineSeconds - SecondsBase;
+      if (Left < 0)
+        Left = 0;
+      if (Limit <= 0 || Left < Limit) {
+        Limit = Left;
+        Sh.DeadlineFromResilience = true;
+      }
+    }
+    Sh.HasDeadline = Opts.MaxSeconds > 0 || RO.DeadlineSeconds > 0;
+    if (Sh.HasDeadline)
+      Sh.Deadline = Start + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(Limit));
 
     std::vector<std::thread> Threads;
-    Threads.reserve(NumWorkers);
-    for (unsigned I = 0; I != NumWorkers; ++I)
-      Threads.emplace_back([this, &Sh, I, &AHook, &SHook] {
-        workerMain(Sh, I, AHook, SHook);
-      });
-    for (std::thread &T : Threads)
-      T.join();
+    if (Ready) {
+      Sh.ActiveWorkers.store(NumWorkers, std::memory_order_relaxed);
+      Threads.reserve(NumWorkers);
+      for (unsigned I = 0; I != NumWorkers; ++I)
+        Threads.emplace_back([this, &Sh, I, &AHook, &SHook] {
+          workerMain(Sh, I, AHook, SHook);
+        });
+      // The main thread becomes the management loop: signals, watchdog,
+      // memory governor, periodic checkpoints.
+      manage(Sh, Res);
+      for (std::thread &T : Threads)
+        T.join();
+    }
 
     // Gather statistics (workers have quiesced; plain reads are safe).
     Res.Stats.NumStates = Sh.StateCount.load(std::memory_order_relaxed);
-    if (Sh.Interner) {
+    if (Sh.BitstateLog2.load(std::memory_order_relaxed)) {
+      Res.Stats.VisitedBytes = Sh.BitstateWords * sizeof(uint64_t);
+      Res.Stats.VisitedRawBytes =
+          Sh.RawBytesAtDowngrade.load(std::memory_order_relaxed);
+      Res.Approximate = true;
+    } else if (Sh.Interner) {
       Res.Stats.VisitedBytes = Sh.Interner->bytesUsed();
       Res.Stats.VisitedRawBytes = Sh.Interner->rawBytes();
     } else {
@@ -220,15 +291,21 @@ public:
       Res.Stats.VisitedRawBytes = Res.Stats.VisitedBytes;
     }
     Res.Stats.PeakFrontier =
-        Sh.PeakFrontier.load(std::memory_order_relaxed);
+        std::max(Sh.PeakFrontier.load(std::memory_order_relaxed),
+                 Base.PeakFrontier);
     Res.Stats.Truncated = Sh.Bounded.load(std::memory_order_relaxed);
     Res.TimedOut = Sh.TimedOut.load(std::memory_order_relaxed);
+    if (Res.TimedOut && Sh.DeadlineFromResilience)
+      RR.DeadlineHit = true;
+    Res.Stats.NumTransitions = Base.Transitions;
+    Res.Stats.NumDeadlockStates = Base.Deadlocks;
+    Res.Stats.DedupHits = Base.DedupHits;
     for (const std::unique_ptr<WorkerSlot> &W : Sh.Workers) {
       Res.Stats.NumTransitions += W->Transitions;
       Res.Stats.NumDeadlockStates += W->Deadlocks;
       Res.Stats.DedupHits += W->DedupHits;
       ExploreStats::WorkerCounters C;
-      C.Expanded = W->Expanded;
+      C.Expanded = W->Expanded.load(std::memory_order_relaxed);
       C.Transitions = W->Transitions;
       C.DedupHits = W->DedupHits;
       C.Deadlocks = W->Deadlocks;
@@ -237,6 +314,13 @@ public:
       Res.Stats.Workers.push_back(C);
       Res.Stats.PerThreadStatesPerSec.push_back(C.statesPerSec());
     }
+    RR.FinalRung = Res.Approximate ? resilience::StorageRung::Bitstate
+                                   : resilience::StorageRung::Exact;
+
+    // A truncated run leaves a final checkpoint so --resume can pick up
+    // exactly here (workers have joined: direct access is safe).
+    if (Res.Stats.Truncated && ckptActive() && RR.ResumeError.empty())
+      writeCheckpoint(Sh, Res, /*PauseWorkers=*/false);
     // The initial state is interned on this thread before workers start;
     // everything else was flushed per worker in workerMain.
     obs::add(obs::Ctr::VisitedProbes, 1);
@@ -253,11 +337,15 @@ public:
         Res.FirstViolationText =
             formatViolation(P, Res.Violations.front(), {});
     } else {
-      Res.Verdict = Res.Stats.Truncated ? ParVerdict::Bounded
-                                        : ParVerdict::NoViolation;
+      // A bitstate-degraded run can miss states (hash saturation), so a
+      // clean sweep only proves bounded robustness.
+      Res.Verdict = (Res.Stats.Truncated || Res.Approximate)
+                        ? ParVerdict::Bounded
+                        : ParVerdict::NoViolation;
     }
 
     Res.Stats.Seconds =
+        SecondsBase +
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
@@ -284,7 +372,10 @@ private:
   /// the owning worker and read after the join.
   struct alignas(64) WorkerSlot {
     WorkDeque<ProductState> Deque;
-    uint64_t Expanded = 0;
+    /// Atomic: the resilience watchdog samples every worker's expansion
+    /// count from the management thread while the worker runs. The owner
+    /// is the only writer (relaxed load+store increments, no RMW cost).
+    std::atomic<uint64_t> Expanded{0};
     uint64_t Transitions = 0;
     uint64_t Deadlocks = 0;
     uint64_t DedupHits = 0;
@@ -325,6 +416,31 @@ private:
     std::vector<Violation> RawViolations;
     std::chrono::steady_clock::time_point Deadline;
     bool HasDeadline = false;
+    /// True when the resilience deadline (not MaxSeconds) is the binding
+    /// wall-clock limit, for DeadlineHit attribution.
+    bool DeadlineFromResilience = false;
+
+    // Pause-the-world barrier (checkpoints, storage downgrades). The
+    // management thread sets PauseRequested and waits on ParkedCv until
+    // every still-active worker is parked in parkAtBarrier; parked
+    // workers hold no popped state, so the deques then contain exactly
+    // the unexpanded frontier — a consistent cut.
+    std::atomic<bool> PauseRequested{false};
+    std::mutex PauseM;
+    std::condition_variable PauseCv;  ///< Workers wait here for resume.
+    std::condition_variable ParkedCv; ///< Management waits for parks/exits.
+    unsigned ParkedCount = 0;         ///< Guarded by PauseM.
+    std::atomic<unsigned> ActiveWorkers{0};
+
+    // Degraded visited storage (governor downgrade): nonzero BitstateLog2
+    // routes markVisited to the shared atomic bit array (fetch_or double
+    // bits — same scheme as the sequential engine).
+    std::atomic<unsigned> BitstateLog2{0};
+    std::unique_ptr<std::atomic<uint64_t>[]> Bitstate;
+    uint64_t BitstateWords = 0;
+    /// Raw-key byte estimate carried over from the exact set at downgrade
+    /// time (per-insert accounting stops there).
+    std::atomic<uint64_t> RawBytesAtDowngrade{0};
   };
 
   static void atomicMax(std::atomic<uint64_t> &A, uint64_t V) {
@@ -334,11 +450,516 @@ private:
     }
   }
 
+  static constexpr bool HasCodec = HasStateCodec<MemSys>;
+
+  /// Checkpointing needs the product-state codec and is incompatible with
+  /// program-state collection (the collected set is not serialized).
+  bool ckptActive() const {
+    return HasCodec && !Opts.CollectProgramStates &&
+           Opts.Resilience.wantsCheckpoints();
+  }
+
+  /// Rough live bytes per frontier state, used by the governor to charge
+  /// the deques against the memory budget.
+  uint64_t estimatePayloadUnit(const ProductState &Init) const {
+    uint64_t B = sizeof(ProductState);
+    for (const ThreadState &TS : Init.Threads) {
+      B += sizeof(ThreadState);
+      B += TS.Regs.capacity() * sizeof(TS.Regs[0]);
+    }
+    std::string MemBytes;
+    Mem.serialize(Init.M, MemBytes);
+    B += 2 * MemBytes.size() + 32;
+    return B;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pause-the-world barrier. The management thread requests a pause;
+  // workers park at the top of their loop. At full pause every deque
+  // holds exactly the unexpanded frontier (a consistent cut) and worker
+  // counter fields are quiescent, so checkpoints and storage downgrades
+  // can read them without races.
+  //===------------------------------------------------------------------===//
+
+  static void parkAtBarrier(Shared &Sh) {
+    std::unique_lock<std::mutex> L(Sh.PauseM);
+    ++Sh.ParkedCount;
+    Sh.ParkedCv.notify_all();
+    Sh.PauseCv.wait(L, [&Sh] {
+      return !Sh.PauseRequested.load(std::memory_order_acquire);
+    });
+    --Sh.ParkedCount;
+  }
+
+  static void pauseWorld(Shared &Sh) {
+    Sh.PauseRequested.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> L(Sh.PauseM);
+    // Workers that exit decrement ActiveWorkers under PauseM and notify,
+    // so this predicate cannot hang on a worker that is gone.
+    Sh.ParkedCv.wait(L, [&Sh] {
+      return Sh.ParkedCount ==
+             Sh.ActiveWorkers.load(std::memory_order_acquire);
+    });
+  }
+
+  static void resumeWorld(Shared &Sh) {
+    {
+      std::lock_guard<std::mutex> L(Sh.PauseM);
+      Sh.PauseRequested.store(false, std::memory_order_release);
+    }
+    Sh.PauseCv.notify_all();
+  }
+
+  /// Double-bit bitstate insert (same scheme as the sequential engine so
+  /// checkpoints interoperate). Returns true iff at least one bit was
+  /// previously clear, i.e. the state is (probably) new.
+  static bool bitstateInsert(Shared &Sh, unsigned K,
+                             const std::string &Key) {
+    uint64_t H = hashBytes(
+        reinterpret_cast<const uint8_t *>(Key.data()), Key.size());
+    uint64_t Mask = (1ull << K) - 1;
+    uint64_t B1 = H & Mask;
+    uint64_t B2 = (H >> 32 ^ H * 0x9e3779b97f4a7c15ull) & Mask;
+    uint64_t Old1 = Sh.Bitstate[B1 >> 6].fetch_or(
+        1ull << (B1 & 63), std::memory_order_relaxed);
+    uint64_t Old2 = Sh.Bitstate[B2 >> 6].fetch_or(
+        1ull << (B2 & 63), std::memory_order_relaxed);
+    return !(Old1 & (1ull << (B1 & 63))) ||
+           !(Old2 & (1ull << (B2 & 63)));
+  }
+
+  static uint64_t totalExpanded(const Shared &Sh) {
+    uint64_t T = 0;
+    for (const std::unique_ptr<WorkerSlot> &W : Sh.Workers)
+      T += W->Expanded.load(std::memory_order_relaxed);
+    return T;
+  }
+
+  /// Bytes the governor charges against the memory budget: the visited
+  /// representation plus a per-state estimate for the live frontier.
+  uint64_t governedBytes(const Shared &Sh) const {
+    uint64_t V = Sh.BitstateLog2.load(std::memory_order_relaxed)
+                     ? Sh.BitstateWords * sizeof(uint64_t)
+                 : Sh.Interner ? Sh.Interner->bytesUsed()
+                               : Sh.Visited.bytesUsed();
+    return V + Sh.TB.inFlight() * PayloadUnit;
+  }
+
+  double elapsedSeconds() const {
+    return SecondsBase +
+           std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - RunStart)
+               .count();
+  }
+
+  /// Governor downgrade, parallel flavor. The parallel engine stores no
+  /// expanded payloads (states move out of the deques on expansion), so
+  /// the NoPayload rung is vacuous here: pressure goes straight from
+  /// Exact to Bitstate. Runs under a world pause; seeds the bit array
+  /// from the exact set, then frees it.
+  void downgradeToBitstate(Shared &Sh, ParExploreResult &Res,
+                           uint64_t UsedBytes) {
+    auto &RR = Res.Stats.Resilience;
+    pauseWorld(Sh);
+    unsigned K =
+        resilience::bitstateLog2ForBudget(Opts.Resilience.MemBudgetBytes);
+    Sh.BitstateWords = (1ull << K) / 64;
+    Sh.Bitstate = std::make_unique<std::atomic<uint64_t>[]>(
+        Sh.BitstateWords);
+    for (uint64_t I = 0; I != Sh.BitstateWords; ++I)
+      Sh.Bitstate[I].store(0, std::memory_order_relaxed);
+    auto Seed = [&](const std::string &Key) {
+      bitstateInsert(Sh, K, Key);
+    };
+    if (Sh.Interner) {
+      Sh.RawBytesAtDowngrade.store(Sh.Interner->rawBytes(),
+                                   std::memory_order_relaxed);
+      Sh.Interner->forEachRawKey(SlotOrder, Seed);
+      Sh.Interner.reset();
+    } else {
+      Sh.RawBytesAtDowngrade.store(Sh.Visited.bytesUsed(),
+                                   std::memory_order_relaxed);
+      Sh.Visited.forEach(Seed);
+      Sh.Visited.clear();
+    }
+    // Publish last: workers route markVisited by this flag.
+    Sh.BitstateLog2.store(K, std::memory_order_release);
+    resilience::DowngradeEvent E;
+    E.From = resilience::StorageRung::Exact;
+    E.To = resilience::StorageRung::Bitstate;
+    E.AtStates = Sh.StateCount.load(std::memory_order_relaxed);
+    E.AtSeconds = elapsedSeconds();
+    E.UsedBytes = UsedBytes;
+    RR.Downgrades.push_back(E);
+    RR.FinalRung = resilience::StorageRung::Bitstate;
+    Res.Approximate = true;
+    obs::add(obs::Ctr::GovernorDowngrades);
+    resumeWorld(Sh);
+  }
+
+  /// Management loop run by the main thread while workers explore:
+  /// cooperative stop (SIGINT/SIGTERM), stuck-worker watchdog, memory
+  /// governor, and periodic checkpoints. Returns when all workers exit.
+  void manage(Shared &Sh, ParExploreResult &Res) {
+    auto &RR = Res.Stats.Resilience;
+    const resilience::ResilienceOptions &RO = Opts.Resilience;
+    const bool CkptOn = ckptActive();
+    const bool AnyDuty =
+        CkptOn || RO.MemBudgetBytes != 0 || RO.WatchdogSeconds > 0;
+    auto LastCkptT = std::chrono::steady_clock::now();
+    uint64_t NextCkptExp = Base.Expanded + RO.CheckpointEveryExpansions;
+    uint64_t WatchExpanded = ~0ull;
+    auto WatchT = LastCkptT;
+    while (Sh.ActiveWorkers.load(std::memory_order_acquire) != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(AnyDuty ? 10 : 50));
+      if (resilience::stopRequested() && !RR.Interrupted) {
+        RR.Interrupted = true;
+        Sh.Bounded.store(true, std::memory_order_relaxed);
+        Sh.TB.requestStop();
+      }
+      uint64_t Total = totalExpanded(Sh);
+      auto Now = std::chrono::steady_clock::now();
+      // Injected clock skew (testing): an apparent forward jump past the
+      // deadline stops the run the same way real time passing would.
+      if (double Skew = fi::clockSkewSeconds();
+          Skew > 0 && Sh.HasDeadline && !Sh.TB.stopped() &&
+          Now + std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(Skew)) >=
+              Sh.Deadline) {
+        Sh.TimedOut.store(true, std::memory_order_relaxed);
+        Sh.Bounded.store(true, std::memory_order_relaxed);
+        Sh.TB.requestStop();
+      }
+      if (RO.WatchdogSeconds > 0 && !Sh.TB.stopped()) {
+        if (Total != WatchExpanded) {
+          WatchExpanded = Total;
+          WatchT = Now;
+        } else if (Sh.TB.inFlight() != 0 &&
+                   std::chrono::duration<double>(Now - WatchT).count() >=
+                       RO.WatchdogSeconds) {
+          // Work is pending but no worker has expanded anything for the
+          // whole watchdog window: declare the run stuck and drain.
+          RR.WatchdogFired = true;
+          Sh.Bounded.store(true, std::memory_order_relaxed);
+          Sh.TB.requestStop();
+        }
+      }
+      if (RO.MemBudgetBytes != 0 && !Sh.TB.stopped()) {
+        uint64_t Used = governedBytes(Sh);
+        if (Used > RO.MemBudgetBytes || fi::shouldFail("govern.alloc")) {
+          if (Sh.BitstateLog2.load(std::memory_order_relaxed) == 0) {
+            downgradeToBitstate(Sh, Res, Used);
+            // The pause stalls expansion; don't let it trip the watchdog.
+            WatchT = std::chrono::steady_clock::now();
+            WatchExpanded = totalExpanded(Sh);
+          } else {
+            // Already on the last rung: truncate instead of OOMing.
+            Sh.Bounded.store(true, std::memory_order_relaxed);
+            Sh.TB.requestStop();
+          }
+        }
+      }
+      if (CkptOn && !Sh.TB.stopped()) {
+        bool Due =
+            RO.CheckpointEveryExpansions
+                ? Total >= NextCkptExp
+                : std::chrono::duration<double>(Now - LastCkptT).count() >=
+                      RO.CheckpointIntervalSeconds;
+        if (Due) {
+          writeCheckpoint(Sh, Res, /*PauseWorkers=*/true);
+          LastCkptT = std::chrono::steady_clock::now();
+          NextCkptExp = totalExpanded(Sh) + RO.CheckpointEveryExpansions;
+          WatchT = LastCkptT;
+          WatchExpanded = totalExpanded(Sh);
+        }
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Checkpoint/resume. Payload layout mirrors the sequential engine where
+  // the fields coincide, but the engine byte (1) keeps the two formats
+  // from being cross-loaded: the frontier here is a bag of deque
+  // contents, not a slice of a state array.
+  //===------------------------------------------------------------------===//
+
+  /// Hash of everything that must match for a checkpoint to be resumable.
+  /// Thread/shard counts are deliberately excluded: a checkpoint taken at
+  /// -j4 resumes fine at -j1 (the frontier is redistributed round-robin).
+  uint64_t configHash() const {
+    std::string S = toString(P);
+    S += "|engine=par";
+    S += "|compress=" + std::to_string(Opts.CompressVisited);
+    S += "|stoponviol=" + std::to_string(Opts.StopOnViolation);
+    S += "|asserts=" + std::to_string(Opts.CheckAssertions);
+    S += "|races=" + std::to_string(Opts.CheckRaces);
+    S += "|collapse=" + std::to_string(Opts.CollapseLocalSteps);
+    S += "|por=" + std::to_string(Opts.UsePor);
+    S += "|trace=" + std::to_string(Opts.RecordTrace);
+    std::string MemBytes;
+    Mem.serialize(Mem.initial(), MemBytes);
+    S += "|mem=";
+    S += MemBytes;
+    return hashBytes(reinterpret_cast<const uint8_t *>(S.data()),
+                     S.size());
+  }
+
+  void encodeProductState(BinWriter &W, const ProductState &S) const {
+    if constexpr (HasCodec) {
+      for (const ThreadState &TS : S.Threads) {
+        W.varu64(TS.Pc);
+        W.bytes(TS.Regs.data(), TS.Regs.size() * sizeof(TS.Regs[0]));
+      }
+      Mem.encodeState(S.M, W.Buf);
+    }
+  }
+
+  bool decodeProductState(BinReader &R, ProductState &S) const {
+    if constexpr (HasCodec) {
+      S.Threads.clear();
+      S.Threads.reserve(P.numThreads());
+      for (const SequentialProgram &SP : P.Threads) {
+        ThreadState TS = ThreadState::initial(SP);
+        TS.Pc = R.varu64();
+        R.bytes(TS.Regs.data(), TS.Regs.size() * sizeof(TS.Regs[0]));
+        S.Threads.push_back(std::move(TS));
+      }
+      S.M = Mem.initial();
+      Mem.decodeState(R, S.M);
+      return !R.fail();
+    }
+    return false;
+  }
+
+  /// Serializes a consistent cut and writes it crash-safely. When
+  /// \p PauseWorkers is set the world is paused around serialization and
+  /// the (slow) file write happens after resuming; with workers already
+  /// joined the caller passes false.
+  void writeCheckpoint(Shared &Sh, ParExploreResult &Res,
+                       bool PauseWorkers) {
+    if constexpr (HasCodec) {
+      auto T0 = std::chrono::steady_clock::now();
+      auto &RR = Res.Stats.Resilience;
+      if (PauseWorkers)
+        pauseWorld(Sh);
+      BinWriter W;
+      W.u8(1); // Engine: parallel.
+      unsigned K = Sh.BitstateLog2.load(std::memory_order_relaxed);
+      W.u8(K ? static_cast<uint8_t>(resilience::StorageRung::Bitstate)
+             : static_cast<uint8_t>(resilience::StorageRung::Exact));
+      W.u8(static_cast<uint8_t>(K));
+      W.u64(Sh.StateCount.load(std::memory_order_relaxed));
+      W.u64(Base.Expanded + totalExpanded(Sh));
+      W.f64(SecondsBase +
+            std::chrono::duration<double>(T0 - RunStart).count());
+      uint64_t Transitions = Base.Transitions, Dedup = Base.DedupHits,
+               Deadlocks = Base.Deadlocks, Steals = Base.Steals,
+               Ample = Base.Ample, PorFull = Base.PorFull,
+               PorSaved = Base.PorSaved, Chained = Base.Chained;
+      for (const std::unique_ptr<WorkerSlot> &WS : Sh.Workers) {
+        Transitions += WS->Transitions;
+        Dedup += WS->DedupHits;
+        Deadlocks += WS->Deadlocks;
+        Steals += WS->Steals;
+        Ample += WS->AmpleStates;
+        PorFull += WS->PorFullStates;
+        PorSaved += WS->PorSavedSteps;
+        Chained += WS->ChainedStates;
+      }
+      W.u64(Transitions);
+      W.u64(Dedup);
+      W.u64(Deadlocks);
+      W.u64(Steals);
+      W.u64(Ample);
+      W.u64(PorFull);
+      W.u64(PorSaved);
+      W.u64(Chained);
+      W.u64(std::max(Base.PeakFrontier,
+                     Sh.PeakFrontier.load(std::memory_order_relaxed)));
+      W.varu64(RR.Downgrades.size());
+      for (const resilience::DowngradeEvent &E : RR.Downgrades) {
+        W.u8(static_cast<uint8_t>(E.From));
+        W.u8(static_cast<uint8_t>(E.To));
+        W.u64(E.AtStates);
+        W.f64(E.AtSeconds);
+        W.u64(E.UsedBytes);
+      }
+      W.u64(RR.CheckpointsWritten);
+      W.u64(RR.CheckpointBytes);
+      W.f64(RR.CheckpointSeconds);
+      {
+        std::lock_guard<std::mutex> L(Sh.ViolM);
+        W.varu64(Sh.RawViolations.size());
+        for (const Violation &V : Sh.RawViolations)
+          encodeViolation(W, V);
+      }
+      if (K) {
+        W.u8(2);
+        W.u64(Sh.RawBytesAtDowngrade.load(std::memory_order_relaxed));
+        W.u64(Sh.BitstateWords);
+        for (uint64_t I = 0; I != Sh.BitstateWords; ++I)
+          W.u64(Sh.Bitstate[I].load(std::memory_order_relaxed));
+      } else if (Sh.Interner) {
+        W.u8(0);
+        Sh.Interner->save(W);
+      } else {
+        W.u8(1);
+        Sh.Visited.save(W);
+      }
+      uint64_t NumFrontier = 0;
+      for (const std::unique_ptr<WorkerSlot> &WS : Sh.Workers)
+        NumFrontier += WS->Deque.size();
+      W.u64(NumFrontier);
+      for (const std::unique_ptr<WorkerSlot> &WS : Sh.Workers)
+        WS->Deque.forEach(
+            [&](const ProductState &S) { encodeProductState(W, S); });
+      fi::maybeKill("ckpt.midwrite");
+      if (PauseWorkers)
+        resumeWorld(Sh);
+      // The (potentially slow) file write happens outside the pause.
+      std::string Err;
+      if (fi::shouldFail("ckpt.write")) {
+        // Injected write failure: skip the write; the previous
+        // checkpoint on disk stays valid.
+      } else if (ckpt::writeCheckpointFile(Opts.Resilience.CheckpointPath,
+                                           CfgHash, W.Buf, &Err)) {
+        ++RR.CheckpointsWritten;
+        RR.CheckpointBytes += W.Buf.size();
+        obs::add(obs::Ctr::CheckpointWrites);
+        obs::add(obs::Ctr::CheckpointBytes, W.Buf.size());
+      }
+      RR.CheckpointSeconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        T0)
+              .count();
+    }
+  }
+
+  /// Loads a parallel checkpoint before workers spawn: restores counter
+  /// bases, the visited representation, and redistributes the saved
+  /// frontier round-robin over the (possibly different number of)
+  /// worker deques. On failure sets ResumeError and returns false.
+  bool restoreCheckpoint(Shared &Sh, ParExploreResult &Res,
+                         unsigned NumWorkers) {
+    if constexpr (HasCodec) {
+      auto &RR = Res.Stats.Resilience;
+      std::string Err;
+      std::optional<std::string> Payload = ckpt::loadCheckpointFile(
+          Opts.Resilience.ResumePath, CfgHash, &Err);
+      if (!Payload) {
+        RR.ResumeError = Err;
+        return false;
+      }
+      BinReader R(*Payload);
+      uint8_t Engine = R.u8();
+      uint8_t RungByte = R.u8();
+      uint8_t K = R.u8();
+      if (R.fail() || Engine != 1) {
+        RR.ResumeError = "checkpoint was written by a different engine";
+        return false;
+      }
+      uint64_t NStates = R.u64();
+      Base.Expanded = R.u64();
+      SecondsBase = R.f64();
+      Base.Transitions = R.u64();
+      Base.DedupHits = R.u64();
+      Base.Deadlocks = R.u64();
+      Base.Steals = R.u64();
+      Base.Ample = R.u64();
+      Base.PorFull = R.u64();
+      Base.PorSaved = R.u64();
+      Base.Chained = R.u64();
+      Base.PeakFrontier = R.u64();
+      uint64_t NumDowngrades = R.varu64();
+      for (uint64_t I = 0; I != NumDowngrades && !R.fail(); ++I) {
+        resilience::DowngradeEvent E;
+        E.From = static_cast<resilience::StorageRung>(R.u8());
+        E.To = static_cast<resilience::StorageRung>(R.u8());
+        E.AtStates = R.u64();
+        E.AtSeconds = R.f64();
+        E.UsedBytes = R.u64();
+        RR.Downgrades.push_back(E);
+      }
+      RR.CheckpointsWritten = R.u64();
+      RR.CheckpointBytes = R.u64();
+      RR.CheckpointSeconds = R.f64();
+      uint64_t NumViolations = R.varu64();
+      for (uint64_t I = 0; I != NumViolations && !R.fail(); ++I)
+        Sh.RawViolations.push_back(decodeViolation(R));
+      uint8_t Tag = R.u8();
+      if (R.fail()) {
+        RR.ResumeError = "truncated checkpoint payload";
+        return false;
+      }
+      if (Tag == 2) {
+        if (RungByte !=
+                static_cast<uint8_t>(resilience::StorageRung::Bitstate) ||
+            K == 0) {
+          RR.ResumeError = "corrupt checkpoint: bitstate header";
+          return false;
+        }
+        Sh.Interner.reset();
+        Sh.RawBytesAtDowngrade.store(R.u64(), std::memory_order_relaxed);
+        uint64_t Words = R.u64();
+        if (R.fail() || Words != (1ull << K) / 64 ||
+            Words > Payload->size() / 8 + 1) {
+          RR.ResumeError = "corrupt checkpoint: bitstate size";
+          return false;
+        }
+        Sh.Bitstate = std::make_unique<std::atomic<uint64_t>[]>(Words);
+        for (uint64_t I = 0; I != Words; ++I)
+          Sh.Bitstate[I].store(R.u64(), std::memory_order_relaxed);
+        Sh.BitstateWords = Words;
+        Sh.BitstateLog2.store(K, std::memory_order_relaxed);
+      } else if (Tag == 0) {
+        if (!Sh.Interner || !Sh.Interner->restore(R)) {
+          RR.ResumeError =
+              "corrupt checkpoint: compressed visited set (or "
+              "--compress-visited mismatch)";
+          return false;
+        }
+      } else if (Tag == 1) {
+        if (Sh.Interner || !Sh.Visited.restore(R)) {
+          RR.ResumeError =
+              "corrupt checkpoint: visited set (or --compress-visited "
+              "mismatch)";
+          return false;
+        }
+      } else {
+        RR.ResumeError = "corrupt checkpoint: unknown visited-set tag";
+        return false;
+      }
+      uint64_t NumFrontier = R.u64();
+      for (uint64_t I = 0; I != NumFrontier && !R.fail(); ++I) {
+        ProductState S;
+        if (!decodeProductState(R, S)) {
+          RR.ResumeError = "corrupt checkpoint: frontier state";
+          return false;
+        }
+        Sh.TB.enqueued();
+        Sh.Workers[I % NumWorkers]->Deque.push(std::move(S));
+      }
+      if (R.fail()) {
+        RR.ResumeError = "truncated checkpoint payload";
+        return false;
+      }
+      Sh.StateCount.store(NStates, std::memory_order_relaxed);
+      RR.Resumed = true;
+      RR.RestoredStates = NStates;
+      return true;
+    }
+    return false;
+  }
+
   /// Dedups \p S against the active visited representation (compressed
   /// tuple set or raw key set); returns true iff the state is new. Uses
   /// \p W's scratch buffers so the hot path does not allocate.
   bool markVisited(Shared &Sh, const ProductState &S, WorkerSlot &W) const {
     obs::Span Sp(obs::Phase::VisitedProbe);
+    if (unsigned K = Sh.BitstateLog2.load(std::memory_order_acquire))
+      return bitstateInsert(Sh, K, productStateKey(Mem, S.Threads, S.M));
     if (Sh.Interner) {
       W.TupleBuf.resize(Sh.Interner->numSlots());
       W.CompBuf.clear();
@@ -403,6 +1024,10 @@ private:
     WorkerSlot &W = *Sh.Workers[Me];
     size_t NumWorkers = Sh.Workers.size();
     while (!Sh.TB.stopped()) {
+      // Park at the barrier (holding no popped state) when the
+      // management thread pauses the world for a checkpoint/downgrade.
+      if (Sh.PauseRequested.load(std::memory_order_acquire))
+        parkAtBarrier(Sh);
       std::optional<ProductState> S = W.Deque.pop();
       if (!S) {
         for (size_t I = 1; !S && I != NumWorkers; ++I)
@@ -416,25 +1041,36 @@ private:
         std::this_thread::yield();
         continue;
       }
+      fi::maybeStall("worker.stall");
       expandState(Sh, W, *S, AHook, SHook);
       Sh.TB.retired();
-      ++W.Expanded;
-      if ((W.Expanded & 255) == 0)
+      uint64_t E = W.Expanded.load(std::memory_order_relaxed) + 1;
+      W.Expanded.store(E, std::memory_order_relaxed);
+      fi::maybeKill("explore.expand");
+      if ((E & 255) == 0)
         publishProgress(Sh, W, Me);
-      if (Sh.HasDeadline && (W.Expanded & 63) == 0 &&
+      if (Sh.HasDeadline && (E & 63) == 0 &&
           std::chrono::steady_clock::now() > Sh.Deadline) {
         Sh.TimedOut.store(true, std::memory_order_relaxed);
         Sh.Bounded.store(true, std::memory_order_relaxed);
         Sh.TB.requestStop();
       }
     }
+    // Deregister from the pause barrier before exiting so pauseWorld
+    // never waits for a worker that is gone.
+    {
+      std::lock_guard<std::mutex> L(Sh.PauseM);
+      Sh.ActiveWorkers.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    Sh.ParkedCv.notify_all();
     W.Seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       T0)
             .count();
     // One bulk flush per worker; the expansion loop itself never touches
     // telemetry TLS for counters.
-    obs::add(obs::Ctr::Expansions, W.Expanded);
+    obs::add(obs::Ctr::Expansions,
+             W.Expanded.load(std::memory_order_relaxed));
     obs::add(obs::Ctr::Transitions, W.Transitions);
     obs::add(obs::Ctr::DedupHits, W.DedupHits);
     obs::add(obs::Ctr::VisitedProbes, W.Transitions);
@@ -457,9 +1093,13 @@ private:
                            W.DedupHits - W.PubDedupHits);
     W.PubTransitions = W.Transitions;
     W.PubDedupHits = W.DedupHits;
-    if (Me == 0 && (W.Expanded & 4095) == 0)
-      obs::progressVisitedBytes(Sh.Interner ? Sh.Interner->bytesUsed()
-                                            : Sh.Visited.bytesUsed());
+    if (Me == 0 &&
+        (W.Expanded.load(std::memory_order_relaxed) & 4095) == 0)
+      obs::progressVisitedBytes(
+          Sh.BitstateLog2.load(std::memory_order_relaxed)
+              ? Sh.BitstateWords * sizeof(uint64_t)
+          : Sh.Interner ? Sh.Interner->bytesUsed()
+                        : Sh.Visited.bytesUsed());
   }
 
   /// The per-state checks for a chain-skipped state — the parallel twin
@@ -827,6 +1467,18 @@ private:
   ParExploreOptions Opts;
   PorAnalysis Por; ///< Ample-set analysis (explore/Por.h), shared const.
   std::vector<uint32_t> SlotOrder; ///< Emission index → tuple slot.
+
+  /// Counter totals restored from a checkpoint; folded into gathered
+  /// stats and re-serialized (plus this run's deltas) on the next write.
+  struct BaseCounters {
+    uint64_t Expanded = 0, Transitions = 0, DedupHits = 0, Deadlocks = 0,
+             Steals = 0, Ample = 0, PorFull = 0, PorSaved = 0,
+             Chained = 0, PeakFrontier = 0;
+  } Base;
+  double SecondsBase = 0; ///< Wall seconds spent before a resume.
+  uint64_t CfgHash = 0;
+  uint64_t PayloadUnit = 0; ///< Governor estimate: bytes/frontier state.
+  std::chrono::steady_clock::time_point RunStart;
 };
 
 } // namespace rocker

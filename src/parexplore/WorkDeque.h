@@ -57,6 +57,14 @@ public:
     return Q.size();
   }
 
+  /// Calls \p F on every queued item, oldest first, under the lock. Used
+  /// by checkpointing while the owner is parked at the pause barrier.
+  template <typename Fn> void forEach(Fn F) const {
+    std::lock_guard<std::mutex> L(M);
+    for (const T &V : Q)
+      F(V);
+  }
+
 private:
   mutable std::mutex M;
   std::deque<T> Q;

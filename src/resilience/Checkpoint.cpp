@@ -1,0 +1,192 @@
+//===- resilience/Checkpoint.cpp - Crash-safe checkpoint files ------------===//
+
+#include "resilience/Checkpoint.h"
+
+#include "support/FaultInject.h"
+#include "support/Hashing.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rocker::ckpt {
+
+namespace {
+
+constexpr uint32_t Magic = 0x50434b52; // "RKCP" little-endian
+
+std::string sysError(const char *What) {
+  return std::string(What) + ": " + std::strerror(errno);
+}
+
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool writeCheckpointFile(const std::string &Path, uint64_t ConfigHash,
+                         const std::string &Payload, std::string *Err) {
+  if (fi::shouldFail("ckpt.write")) {
+    if (Err)
+      *Err = "injected checkpoint write failure";
+    return false;
+  }
+
+  BinWriter H;
+  H.u32(Magic);
+  H.u32(FormatVersion);
+  H.u64(ConfigHash);
+  H.u64(Payload.size());
+  H.u64(hashBytes(reinterpret_cast<const uint8_t *>(Payload.data()),
+                  Payload.size()));
+
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    if (Err)
+      *Err = sysError("open checkpoint temp file");
+    return false;
+  }
+
+  // Write the header and the first half of the payload, then give the
+  // fault injector its shot: a kill here leaves a torn tmp file that must
+  // never be mistaken for a checkpoint.
+  size_t Half = Payload.size() / 2;
+  bool Ok = writeAll(Fd, H.Buf.data(), H.Buf.size()) &&
+            writeAll(Fd, Payload.data(), Half);
+  if (Ok)
+    fi::maybeKill("ckpt.midwrite");
+  Ok = Ok && writeAll(Fd, Payload.data() + Half, Payload.size() - Half);
+  if (Ok && ::fsync(Fd) != 0)
+    Ok = false;
+  if (::close(Fd) != 0)
+    Ok = false;
+  if (!Ok) {
+    if (Err)
+      *Err = sysError("write checkpoint temp file");
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Err)
+      *Err = sysError("rename checkpoint into place");
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Reads the whole file into a string; empty optional on I/O failure.
+std::optional<std::string> slurp(const std::string &Path, std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = sysError("open checkpoint");
+    return std::nullopt;
+  }
+  std::string Data;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, N);
+  bool Bad = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Bad) {
+    if (Err)
+      *Err = sysError("read checkpoint");
+    return std::nullopt;
+  }
+  return Data;
+}
+
+struct Header {
+  uint64_t ConfigHash;
+  uint64_t PayloadLen;
+  uint64_t PayloadHash;
+};
+
+std::optional<Header> parseHeader(BinReader &R, std::string *Err) {
+  uint32_t M = R.u32();
+  uint32_t V = R.u32();
+  Header H;
+  H.ConfigHash = R.u64();
+  H.PayloadLen = R.u64();
+  H.PayloadHash = R.u64();
+  if (R.fail() || M != Magic) {
+    if (Err)
+      *Err = "not a rocker checkpoint (bad magic)";
+    return std::nullopt;
+  }
+  if (V != FormatVersion) {
+    if (Err)
+      *Err = "unsupported checkpoint format version " + std::to_string(V);
+    return std::nullopt;
+  }
+  return H;
+}
+
+} // namespace
+
+std::optional<std::string> loadCheckpointFile(const std::string &Path,
+                                              uint64_t ExpectConfigHash,
+                                              std::string *Err) {
+  auto Data = slurp(Path, Err);
+  if (!Data)
+    return std::nullopt;
+  BinReader R(*Data);
+  auto H = parseHeader(R, Err);
+  if (!H)
+    return std::nullopt;
+  if (H->ConfigHash != ExpectConfigHash) {
+    if (Err)
+      *Err = "stale checkpoint: program/options config hash mismatch";
+    return std::nullopt;
+  }
+  constexpr size_t HeaderSize = 4 + 4 + 8 + 8 + 8;
+  if (Data->size() < HeaderSize ||
+      Data->size() - HeaderSize != H->PayloadLen) {
+    if (Err)
+      *Err = "truncated checkpoint payload";
+    return std::nullopt;
+  }
+  std::string Payload = Data->substr(HeaderSize);
+  uint64_t Got = hashBytes(reinterpret_cast<const uint8_t *>(Payload.data()),
+                           Payload.size());
+  if (Got != H->PayloadHash) {
+    if (Err)
+      *Err = "corrupt checkpoint: payload checksum mismatch";
+    return std::nullopt;
+  }
+  return Payload;
+}
+
+std::optional<uint64_t> peekConfigHash(const std::string &Path,
+                                       std::string *Err) {
+  auto Data = slurp(Path, Err);
+  if (!Data)
+    return std::nullopt;
+  BinReader R(*Data);
+  auto H = parseHeader(R, Err);
+  if (!H)
+    return std::nullopt;
+  return H->ConfigHash;
+}
+
+} // namespace rocker::ckpt

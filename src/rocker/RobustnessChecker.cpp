@@ -24,6 +24,7 @@ ParExploreOptions parOptions(const RockerOptions &Opts) {
   PE.RecordTrace = Opts.RecordTrace;
   PE.CompressVisited = Opts.CompressVisited;
   PE.UsePor = Opts.UsePor;
+  PE.Resilience = Opts.Resilience;
   return PE;
 }
 
@@ -37,6 +38,7 @@ RockerReport reportFromParallel(ParExploreResult &&R) {
   RockerReport Rep;
   Rep.Complete = !R.Stats.Truncated;
   Rep.Robust = R.Violations.empty();
+  Rep.Approximate = R.Approximate;
   Rep.Stats = std::move(R.Stats);
   Rep.Violations = std::move(R.Violations);
   Rep.FirstViolationText = std::move(R.FirstViolationText);
@@ -81,6 +83,7 @@ RockerReport rocker::checkRobustness(const Program &P,
   EO.BitstateLog2 = Opts.BitstateLog2;
   EO.CompressVisited = Opts.CompressVisited;
   EO.UsePor = Opts.UsePor;
+  EO.Resilience = Opts.Resilience;
 
   ProductExplorer<SCMonitor> Ex(P, Mem, EO);
   ExploreResult R = Ex.runWithHook(Hook);
@@ -117,6 +120,7 @@ RockerReport rocker::exploreSC(const Program &P, const RockerOptions &Opts) {
   EO.BitstateLog2 = Opts.BitstateLog2;
   EO.CompressVisited = Opts.CompressVisited;
   EO.UsePor = Opts.UsePor;
+  EO.Resilience = Opts.Resilience;
 
   ProductExplorer<SCMemory> Ex(P, Mem, EO);
   ExploreResult R = Ex.run();
@@ -124,6 +128,7 @@ RockerReport rocker::exploreSC(const Program &P, const RockerOptions &Opts) {
   RockerReport Rep;
   Rep.Complete = !R.Stats.Truncated;
   Rep.Robust = R.Violations.empty();
+  Rep.Approximate = R.Approximate;
   Rep.Stats = R.Stats;
   Rep.Violations = R.Violations;
   if (!R.Violations.empty())

@@ -64,7 +64,39 @@ struct RockerOptions {
   /// expanded states. `rocker_cli --no-por` / ROCKER_NO_POR=1 turns it
   /// off (state counts then change, verdicts do not).
   bool UsePor = defaultUsePor();
+  /// Resource budgets, graceful degradation, and checkpoint/resume
+  /// (resilience/Resilience.h). Applied to the top-level product run
+  /// only; internal replays and oracles never checkpoint or degrade.
+  resilience::ResilienceOptions Resilience;
 };
+
+/// Outcome class with a stable process exit-code mapping (rocker_cli):
+/// 0 = Robust (exact coverage, run completed), 1 = NotRobust (violations
+/// are always real, even on degraded runs), 2 = BoundedRobust (no
+/// violation found but coverage was not exhaustive: state/time budget
+/// hit, interrupted, or the memory governor degraded the visited set to
+/// bitstate hashing). Exit codes 3 (usage error) and 4 (internal error)
+/// exist only at the CLI layer.
+enum class VerdictClass : uint8_t {
+  Robust = 0,
+  NotRobust = 1,
+  BoundedRobust = 2,
+};
+
+/// Renders a verdict class ("robust", "not-robust", "bounded-robust").
+/// Inline: also used by obs/RunReport.cpp, which cannot link against
+/// this library (it sits below it in the layering).
+inline const char *verdictClassName(VerdictClass V) {
+  switch (V) {
+  case VerdictClass::Robust:
+    return "robust";
+  case VerdictClass::NotRobust:
+    return "not-robust";
+  case VerdictClass::BoundedRobust:
+    return "bounded-robust";
+  }
+  return "unknown";
+}
 
 /// The verification verdict.
 struct RockerReport {
@@ -84,6 +116,18 @@ struct RockerReport {
   std::vector<TraceStep> FirstViolationTrace;
 
   bool ok() const { return Robust && Complete; }
+
+  /// Collapses the report into the three-way exit-code contract. Robust
+  /// is only claimable when the run completed with exact coverage; any
+  /// truncation, degradation, or resilience interruption demotes a clean
+  /// sweep to BoundedRobust.
+  VerdictClass verdictClass() const {
+    if (!Robust)
+      return VerdictClass::NotRobust;
+    if (!Complete || Approximate || Stats.Resilience.degraded())
+      return VerdictClass::BoundedRobust;
+    return VerdictClass::Robust;
+  }
 };
 
 /// Verifies execution-graph robustness of \p P against RA.

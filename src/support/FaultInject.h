@@ -1,0 +1,218 @@
+//===- support/FaultInject.h - Deterministic fault injection ----*- C++ -*-===//
+///
+/// \file
+/// Probe points for exercising the resilience layer's recovery paths under
+/// forced failure. The entire harness compiles out to no-ops unless the
+/// build defines ROCKER_FAULT_INJECT (CMake option of the same name), so
+/// release binaries carry zero overhead and zero attack surface.
+///
+/// A fault spec is a semicolon-separated list of rules:
+///
+///   kill:<probe>@N     SIGKILL the process at the Nth hit of <probe>
+///   fail:<probe>@N     shouldFail(<probe>) returns true at exactly the Nth hit
+///   skew:SECS          clockSkewSeconds() returns SECS (float, may be signed)
+///
+/// e.g. "kill:explore.expand@1234;fail:govern.alloc@1;skew:+300". Specs come
+/// from fi::configure() (tests) or the ROCKER_FI environment variable (CI
+/// kill/resume loops), whichever happens first; configure() replaces any
+/// env-derived rules. Probe names used in the tree:
+///
+///   explore.expand   once per expanded state, both engines
+///   govern.alloc     governor budget check (forces a ladder downgrade)
+///   ckpt.midwrite    between checkpoint payload write and atomic rename
+///   ckpt.write       checkpoint I/O failure (write returns error)
+///   worker.stall     parallel worker stalls ~2s at the Nth hit (finite, so
+///                    threads stay joinable after the watchdog fires)
+///
+/// Hit counters are global atomics shared across threads: "the Nth hit"
+/// means the Nth call process-wide, which is what the kill/resume tests
+/// need to land a SIGKILL at a reproducible-but-arbitrary point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SUPPORT_FAULTINJECT_H
+#define ROCKER_SUPPORT_FAULTINJECT_H
+
+#ifdef ROCKER_FAULT_INJECT
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+#endif
+
+namespace rocker::fi {
+
+/// True when the harness is compiled in (test/CI builds only).
+constexpr bool enabled() {
+#ifdef ROCKER_FAULT_INJECT
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef ROCKER_FAULT_INJECT
+
+enum class RuleKind { Kill, Fail, Stall };
+
+struct Rule {
+  RuleKind Kind;
+  std::string Probe;
+  uint64_t At = 1;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<bool> Fired{false};
+};
+
+struct Registry {
+  std::mutex M;
+  // Rules are append-only behind NumRules so probes can scan lock-free;
+  // reconfiguration retires the old list wholesale.
+  std::vector<Rule *> Rules;
+  std::atomic<size_t> NumRules{0};
+  std::atomic<double> Skew{0};
+  bool EnvLoaded = false;
+};
+
+inline Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+inline void parseSpecLocked(Registry &R, const char *Spec) {
+  for (Rule *Old : R.Rules)
+    delete Old;
+  R.Rules.clear();
+  R.NumRules.store(0, std::memory_order_release);
+  R.Skew.store(0, std::memory_order_relaxed);
+  if (!Spec)
+    return;
+  std::string S(Spec);
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t End = S.find(';', Pos);
+    if (End == std::string::npos)
+      End = S.size();
+    std::string Item = S.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Colon = Item.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    std::string Verb = Item.substr(0, Colon);
+    std::string Body = Item.substr(Colon + 1);
+    if (Verb == "skew") {
+      R.Skew.store(std::strtod(Body.c_str(), nullptr),
+                   std::memory_order_relaxed);
+      continue;
+    }
+    RuleKind K;
+    if (Verb == "kill")
+      K = RuleKind::Kill;
+    else if (Verb == "fail")
+      K = RuleKind::Fail;
+    else if (Verb == "stall")
+      K = RuleKind::Stall;
+    else
+      continue;
+    uint64_t At = 1;
+    size_t AtPos = Body.rfind('@');
+    std::string Probe = Body;
+    if (AtPos != std::string::npos) {
+      At = std::strtoull(Body.c_str() + AtPos + 1, nullptr, 10);
+      if (At == 0)
+        At = 1;
+      Probe = Body.substr(0, AtPos);
+    }
+    Rule *N = new Rule;
+    N->Kind = K;
+    N->Probe = Probe;
+    N->At = At;
+    R.Rules.push_back(N);
+  }
+  R.NumRules.store(R.Rules.size(), std::memory_order_release);
+}
+
+inline void loadEnvLocked(Registry &R) {
+  if (R.EnvLoaded)
+    return;
+  R.EnvLoaded = true;
+  if (const char *E = std::getenv("ROCKER_FI"))
+    parseSpecLocked(R, E);
+}
+
+/// Installs a fault spec, replacing any previous one (including rules picked
+/// up from ROCKER_FI). Passing nullptr or "" clears all rules.
+inline void configure(const char *Spec) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.M);
+  R.EnvLoaded = true; // explicit config wins over the environment
+  parseSpecLocked(R, Spec);
+}
+
+inline bool probe(const char *Name, RuleKind Want) {
+  Registry &R = registry();
+  if (!R.EnvLoaded) {
+    std::lock_guard<std::mutex> L(R.M);
+    loadEnvLocked(R);
+  }
+  size_t N = R.NumRules.load(std::memory_order_acquire);
+  for (size_t I = 0; I != N; ++I) {
+    Rule *Ru = R.Rules[I];
+    if (Ru->Kind != Want || Ru->Probe != Name)
+      continue;
+    uint64_t Hit = Ru->Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Hit == Ru->At) {
+      Ru->Fired.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// SIGKILLs the process at the rule's trigger point — the hardest possible
+/// crash, no destructors, no atexit, exactly what checkpoint crash-safety
+/// must survive.
+inline void maybeKill(const char *Probe) {
+  if (probe(Probe, RuleKind::Kill))
+    ::raise(SIGKILL);
+}
+
+/// True exactly at the configured hit of a "fail:" rule.
+inline bool shouldFail(const char *Probe) {
+  return probe(Probe, RuleKind::Fail);
+}
+
+/// Sleeps ~2s at the configured hit of a "stall:" rule. Finite on purpose:
+/// the watchdog test needs a stuck-looking worker that can still be joined.
+inline void maybeStall(const char *Probe) {
+  if (probe(Probe, RuleKind::Stall))
+    std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+}
+
+/// Artificial seconds added to the governor's wall-clock reading.
+inline double clockSkewSeconds() {
+  Registry &R = registry();
+  if (!R.EnvLoaded) {
+    std::lock_guard<std::mutex> L(R.M);
+    loadEnvLocked(R);
+  }
+  return R.Skew.load(std::memory_order_relaxed);
+}
+
+#else // !ROCKER_FAULT_INJECT
+
+inline void configure(const char *) {}
+inline void maybeKill(const char *) {}
+inline bool shouldFail(const char *) { return false; }
+inline void maybeStall(const char *) {}
+inline double clockSkewSeconds() { return 0.0; }
+
+#endif // ROCKER_FAULT_INJECT
+
+} // namespace rocker::fi
+
+#endif // ROCKER_SUPPORT_FAULTINJECT_H

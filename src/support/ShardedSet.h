@@ -22,6 +22,7 @@
 #ifndef ROCKER_SUPPORT_SHARDEDSET_H
 #define ROCKER_SUPPORT_SHARDEDSET_H
 
+#include "support/BinCodec.h"
 #include "support/Hashing.h"
 #include "support/StateInterner.h"
 
@@ -92,6 +93,47 @@ public:
   }
 
   unsigned numShards() const { return NumShards; }
+
+  /// Calls \p F(const std::string &Key) for every element, shard by shard
+  /// under each shard's lock. Callers must have quiesced inserters.
+  template <typename Fn> void forEach(Fn F) const {
+    for (unsigned I = 0; I != NumShards; ++I) {
+      std::lock_guard<std::mutex> L(Shards[I].M);
+      for (const std::string &K : Shards[I].Set)
+        F(K);
+    }
+  }
+
+  /// Checkpoint support: dumps all keys (shard placement is recomputed on
+  /// restore, so the shard count may even differ between save and load).
+  void save(BinWriter &W) const {
+    W.u64(size());
+    forEach([&](const std::string &K) { W.str(K); });
+  }
+
+  bool restore(BinReader &R) {
+    uint64_t N = R.u64();
+    if (R.fail())
+      return false;
+    for (uint64_t I = 0; I != N; ++I) {
+      std::string K = R.str();
+      if (R.fail())
+        return false;
+      insert(std::move(K));
+    }
+    return true;
+  }
+
+  /// Empties the set and resets the byte accounting (used when the
+  /// governor downgrades to bitstate storage and frees the exact set).
+  void clear() {
+    for (unsigned I = 0; I != NumShards; ++I) {
+      std::lock_guard<std::mutex> L(Shards[I].M);
+      Shards[I].Set.clear();
+    }
+    Count.store(0, std::memory_order_relaxed);
+    Bytes.store(0, std::memory_order_relaxed);
+  }
 
 private:
   /// Cache-line-sized shard so neighboring locks do not false-share.

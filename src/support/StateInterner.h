@@ -46,6 +46,7 @@
 #ifndef ROCKER_SUPPORT_STATEINTERNER_H
 #define ROCKER_SUPPORT_STATEINTERNER_H
 
+#include "support/BinCodec.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -56,6 +57,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -216,6 +218,45 @@ public:
            Index.size() * sizeof(uint32_t);
   }
 
+  /// Bytes of entry \p Id (view into the arena; valid until the next
+  /// insert).
+  std::string_view get(uint32_t Id) const {
+    return std::string_view(Data).substr(Starts[Id], length(Id));
+  }
+
+  /// Checkpoint support: only the payload and start offsets are written;
+  /// the open-addressing index is rebuilt on restore.
+  void save(BinWriter &W) const {
+    W.u32(Num);
+    W.str(Data);
+    W.bytes(Starts.data(), Starts.size() * sizeof(uint32_t));
+  }
+
+  bool restore(BinReader &R) {
+    Num = R.u32();
+    Data = R.str();
+    Starts.resize(Num);
+    R.bytes(Starts.data(), Starts.size() * sizeof(uint32_t));
+    if (R.fail())
+      return false;
+    size_t Cap = 64;
+    while ((static_cast<uint64_t>(Num) + 1) * 10 >= Cap * 7)
+      Cap *= 2;
+    Index.assign(Cap, 0);
+    uint64_t Mask = Cap - 1;
+    for (uint32_t Id = 0; Id != Num; ++Id) {
+      uint64_t Slot =
+          hashBytes(reinterpret_cast<const uint8_t *>(Data.data()) +
+                        Starts[Id],
+                    length(Id)) &
+          Mask;
+      while (Index[Slot])
+        Slot = (Slot + 1) & Mask;
+      Index[Slot] = Id + 1;
+    }
+    return true;
+  }
+
 private:
   size_t length(uint32_t Id) const {
     return (Id + 1 < Starts.size() ? Starts[Id + 1] : Data.size()) -
@@ -275,6 +316,34 @@ public:
            Index.size() * sizeof(uint32_t);
   }
 
+  /// Packed ⟨left, right⟩ of entry \p Id (left in the high 32 bits).
+  uint64_t pairAt(uint32_t Id) const { return Pairs[Id]; }
+
+  void save(BinWriter &W) const {
+    W.u32(Num);
+    W.bytes(Pairs.data(), Pairs.size() * sizeof(uint64_t));
+  }
+
+  bool restore(BinReader &R) {
+    Num = R.u32();
+    Pairs.resize(Num);
+    R.bytes(Pairs.data(), Pairs.size() * sizeof(uint64_t));
+    if (R.fail())
+      return false;
+    size_t Cap = 64;
+    while ((static_cast<uint64_t>(Num) + 1) * 10 >= Cap * 7)
+      Cap *= 2;
+    Index.assign(Cap, 0);
+    uint64_t Mask = Cap - 1;
+    for (uint32_t Id = 0; Id != Num; ++Id) {
+      uint64_t Slot = hashMix64(Pairs[Id]) & Mask;
+      while (Index[Slot])
+        Slot = (Slot + 1) & Mask;
+      Index[Slot] = Id + 1;
+    }
+    return true;
+  }
+
 private:
   void grow() {
     std::vector<uint32_t> Next(Index.size() * 2, 0);
@@ -326,6 +395,37 @@ public:
   uint64_t bytes() const {
     return Triples.size() * sizeof(uint32_t) +
            Index.size() * sizeof(uint32_t);
+  }
+
+  /// The three ids of entry \p Id.
+  const uint32_t *tripleAt(uint32_t Id) const {
+    return Triples.data() + Id * 3u;
+  }
+
+  void save(BinWriter &W) const {
+    W.u32(Num);
+    W.bytes(Triples.data(), Triples.size() * sizeof(uint32_t));
+  }
+
+  bool restore(BinReader &R) {
+    Num = R.u32();
+    Triples.resize(static_cast<size_t>(Num) * 3);
+    R.bytes(Triples.data(), Triples.size() * sizeof(uint32_t));
+    if (R.fail())
+      return false;
+    size_t Cap = 64;
+    while ((static_cast<uint64_t>(Num) + 1) * 10 >= Cap * 7)
+      Cap *= 2;
+    Index.assign(Cap, 0);
+    uint64_t Mask = Cap - 1;
+    for (uint32_t Id = 0; Id != Num; ++Id) {
+      const uint32_t *T = Triples.data() + Id * 3u;
+      uint64_t Slot = hash(T[0], T[1], T[2]) & Mask;
+      while (Index[Slot])
+        Slot = (Slot + 1) & Mask;
+      Index[Slot] = Id + 1;
+    }
+    return true;
   }
 
 private:
@@ -414,6 +514,64 @@ public:
     return B;
   }
 
+  void save(BinWriter &W) const {
+    for (const PairTable &T : Tables)
+      T.save(W);
+    if (Root3)
+      Root3->save(W);
+  }
+
+  /// Restores into a TreeArena constructed with the same NumLeaves (the
+  /// table layout is a pure function of it).
+  bool restore(BinReader &R) {
+    for (PairTable &T : Tables)
+      if (!T.restore(R))
+        return false;
+    return !Root3 || Root3->restore(R);
+  }
+
+  /// Unwinds every stored root entry back into its NumLeaves-sized tuple
+  /// of component ids, in dense state-id order, and calls \p F on each
+  /// (F(const uint32_t *Tuple)). The reverse of insert(): walk the level
+  /// structure top-down, expanding each pair id through the table that
+  /// produced it and passing odd leftovers through.
+  template <typename Fn> void forEachTuple(Fn F) const {
+    std::vector<unsigned> Sizes; // Reducing-level sizes, leaves first.
+    std::vector<unsigned> Bases; // First table index of each level.
+    unsigned N = NumLeaves, Base = 0;
+    while (N > 3) {
+      Sizes.push_back(N);
+      Bases.push_back(Base);
+      Base += N / 2;
+      N = N / 2 + (N & 1);
+    }
+    std::vector<uint32_t> Cur, Prev;
+    uint64_t Count = size();
+    for (uint64_t Root = 0; Root != Count; ++Root) {
+      if (Root3) {
+        const uint32_t *T = Root3->tripleAt(static_cast<uint32_t>(Root));
+        Cur.assign(T, T + 3);
+      } else {
+        uint64_t P = Tables[Base].pairAt(static_cast<uint32_t>(Root));
+        Cur.assign({static_cast<uint32_t>(P >> 32),
+                    static_cast<uint32_t>(P)});
+      }
+      for (size_t L = Sizes.size(); L-- > 0;) {
+        unsigned Ln = Sizes[L], TB = Bases[L], Pairs = Ln / 2;
+        Prev.resize(Ln);
+        for (unsigned J = 0; J != Pairs; ++J) {
+          uint64_t P = Tables[TB + J].pairAt(Cur[J]);
+          Prev[2 * J] = static_cast<uint32_t>(P >> 32);
+          Prev[2 * J + 1] = static_cast<uint32_t>(P);
+        }
+        if (Ln & 1)
+          Prev[Ln - 1] = Cur[Pairs];
+        Cur.swap(Prev);
+      }
+      F(Cur.data());
+    }
+  }
+
 private:
   unsigned NumLeaves;
   std::vector<PairTable> Tables;
@@ -458,6 +616,13 @@ public:
   /// Actual bytes held: arena payload plus index slots.
   uint64_t bytes() const {
     return Arena.size() * sizeof(uint32_t) + Index.size() * sizeof(uint64_t);
+  }
+
+  /// Calls \p F(const uint32_t *Tuple) for each stored tuple in dense id
+  /// order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (uint64_t T = 0; T != Num; ++T)
+      F(Arena.data() + T * Width);
   }
 
 private:
@@ -527,6 +692,46 @@ public:
 
   /// Estimated bytes a raw (full-key) visited set would hold.
   uint64_t rawBytes() const { return RawBytes; }
+
+  /// Checkpoint support: dumps arenas + tree tables natively (no
+  /// re-serialization of states — the NoPayload rung has already dropped
+  /// the payloads this would need, and a native dump is far smaller).
+  void save(BinWriter &W) const {
+    W.u64(RawBytes);
+    for (const detail::ByteArena &S : Slots)
+      S.save(W);
+    Tuples.save(W);
+  }
+
+  /// Restores into an interner constructed with the same slot count.
+  /// Dense state ids are preserved exactly (the sequential engine's state
+  /// store indexes by them).
+  bool restore(BinReader &R) {
+    RawBytes = R.u64();
+    for (detail::ByteArena &S : Slots)
+      if (!S.restore(R))
+        return false;
+    return Tuples.restore(R);
+  }
+
+  /// Reassembles every stored state's raw serialized key — components
+  /// concatenated in emission order, with \p EmissionToSlot the
+  /// buildSlotOrder() mapping from emission index to tuple slot — and
+  /// calls \p F(const std::string &Key) in dense state-id order. Used to
+  /// seed the bitstate array when the governor downgrades storage.
+  template <typename Fn>
+  void forEachRawKey(const std::vector<uint32_t> &EmissionToSlot,
+                     Fn F) const {
+    std::string Key;
+    Tuples.forEachTuple([&](const uint32_t *Ids) {
+      Key.clear();
+      for (uint32_t Slot : EmissionToSlot) {
+        std::string_view B = Slots[Slot].get(Ids[Slot]);
+        Key.append(B.data(), B.size());
+      }
+      F(Key);
+    });
+  }
 
 private:
   std::vector<detail::ByteArena> Slots;
@@ -608,12 +813,118 @@ public:
     return RawBytes.load(std::memory_order_relaxed);
   }
 
+  /// Checkpoint support. Callers must have quiesced all inserters (workers
+  /// parked or joined); the stripe/shard locks are still taken so the dump
+  /// is race-free under TSan regardless.
+  void save(BinWriter &W) const {
+    W.u64(Count.load(std::memory_order_relaxed));
+    W.u64(CompBytes.load(std::memory_order_relaxed));
+    W.u64(RawBytes.load(std::memory_order_relaxed));
+    for (const SlotTable &T : Slots) {
+      W.u32(T.NextId.load(std::memory_order_relaxed));
+      uint64_t N = 0;
+      for (const SlotTable::Stripe &S : T.Stripes) {
+        std::lock_guard<std::mutex> L(S.M);
+        N += S.Map.size();
+      }
+      W.u64(N);
+      for (const SlotTable::Stripe &S : T.Stripes) {
+        std::lock_guard<std::mutex> L(S.M);
+        for (const auto &[Bytes, Id] : S.Map) {
+          W.str(Bytes);
+          W.u32(Id);
+        }
+      }
+    }
+    uint64_t TupN = 0;
+    for (unsigned I = 0; I != NumTupleShards; ++I) {
+      std::lock_guard<std::mutex> L(TupleShards[I].M);
+      TupN += TupleShards[I].Tuples->size();
+    }
+    W.u64(TupN);
+    for (unsigned I = 0; I != NumTupleShards; ++I) {
+      std::lock_guard<std::mutex> L(TupleShards[I].M);
+      TupleShards[I].Tuples->forEach([&](const uint32_t *Ids) {
+        W.bytes(Ids, numSlots() * sizeof(uint32_t));
+      });
+    }
+  }
+
+  /// Restores a save() dump. Component ids are preserved exactly (the
+  /// stored tuples reference them); stripe and shard placement is a pure
+  /// function of the bytes, so lookups after restore behave identically.
+  bool restore(BinReader &R) {
+    Count.store(R.u64(), std::memory_order_relaxed);
+    CompBytes.store(R.u64(), std::memory_order_relaxed);
+    RawBytes.store(R.u64(), std::memory_order_relaxed);
+    for (SlotTable &T : Slots) {
+      T.NextId.store(R.u32(), std::memory_order_relaxed);
+      uint64_t N = R.u64();
+      if (R.fail())
+        return false;
+      for (uint64_t I = 0; I != N; ++I) {
+        std::string Bytes = R.str();
+        uint32_t Id = R.u32();
+        if (R.fail())
+          return false;
+        uint64_t H = hashBytes(
+            reinterpret_cast<const uint8_t *>(Bytes.data()), Bytes.size());
+        SlotTable::Stripe &S = T.Stripes[(H >> 48) % SlotStripes];
+        std::lock_guard<std::mutex> L(S.M);
+        S.Map.emplace(std::move(Bytes), Id);
+      }
+    }
+    uint64_t TupN = R.u64();
+    if (R.fail())
+      return false;
+    std::vector<uint32_t> Ids(numSlots());
+    for (uint64_t I = 0; I != TupN; ++I) {
+      R.bytes(Ids.data(), Ids.size() * sizeof(uint32_t));
+      if (R.fail())
+        return false;
+      uint64_t H = hashTuple(Ids.data(), numSlots());
+      TupleShard &Sh = TupleShards[(H >> 48) & (NumTupleShards - 1)];
+      std::lock_guard<std::mutex> L(Sh.M);
+      Sh.Tuples->insertHashed(Ids.data(), H);
+    }
+    return !R.fail();
+  }
+
+  /// As StateInterner::forEachRawKey: reassembles each stored state's raw
+  /// key in emission order and calls \p F(const std::string &). Requires
+  /// quiesced inserters (locks are taken per stripe/shard, but the id →
+  /// bytes table is built once up front).
+  template <typename Fn>
+  void forEachRawKey(const std::vector<uint32_t> &EmissionToSlot,
+                     Fn F) const {
+    std::vector<std::vector<const std::string *>> ById(Slots.size());
+    for (unsigned Slot = 0; Slot != Slots.size(); ++Slot) {
+      const SlotTable &T = Slots[Slot];
+      ById[Slot].resize(T.NextId.load(std::memory_order_relaxed), nullptr);
+      for (const SlotTable::Stripe &S : T.Stripes) {
+        std::lock_guard<std::mutex> L(S.M);
+        for (const auto &[Bytes, Id] : S.Map)
+          ById[Slot][Id] = &Bytes;
+      }
+    }
+    std::string Key;
+    for (unsigned I = 0; I != NumTupleShards; ++I) {
+      std::lock_guard<std::mutex> L(TupleShards[I].M);
+      TupleShards[I].Tuples->forEach([&](const uint32_t *Ids) {
+        Key.clear();
+        for (uint32_t Slot : EmissionToSlot)
+          Key += *ById[Slot][Ids[Slot]];
+        F(Key);
+      });
+    }
+  }
+
 private:
   static constexpr unsigned SlotStripes = 16;
 
   struct SlotTable {
     struct alignas(64) Stripe {
-      std::mutex M;
+      mutable std::mutex M;
       std::unordered_map<std::string, uint32_t, StateKeyHash> Map;
     };
     Stripe Stripes[SlotStripes];

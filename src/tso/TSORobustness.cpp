@@ -84,6 +84,7 @@ ExploreResult collectStates(const Program &P, const MemSys &Mem,
     PE.RecordTrace = false;
     PE.CompressVisited = Opts.CompressVisited;
     PE.UsePor = Opts.UsePor; // Inert: CollectProgramStates forces full.
+    PE.Resilience.DeadlineSeconds = Opts.DeadlineSeconds;
     ParallelExplorer<MemSys> Ex(P, Mem, PE);
     ParExploreResult R = Ex.run();
     ExploreResult Out;
@@ -99,6 +100,7 @@ ExploreResult collectStates(const Program &P, const MemSys &Mem,
   EO.CollectProgramStates = true;
   EO.CompressVisited = Opts.CompressVisited;
   EO.UsePor = Opts.UsePor; // Inert: CollectProgramStates forces full.
+  EO.Resilience.DeadlineSeconds = Opts.DeadlineSeconds;
   ProductExplorer<MemSys> Ex(P, Mem, EO);
   return Ex.run();
 }

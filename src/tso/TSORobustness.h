@@ -51,6 +51,11 @@ struct TSOOptions {
   /// the TSO machine's POR support is exercised by assert-checking TSO
   /// explorations instead (see tests/PorTest.cpp).
   bool UsePor = defaultUsePor();
+  /// Wall-clock deadline shared by the two explorations (0 = none). The
+  /// TSO machine has no state codec, so checkpoints never apply here;
+  /// the deadline and SIGINT/SIGTERM draining still do — a TSO baseline
+  /// cannot wedge a budgeted robustness run past its deadline.
+  double DeadlineSeconds = 0;
 };
 
 /// Rewrites every wait(x == e) into `L: r := x; if r != e goto L` and

@@ -1,0 +1,620 @@
+//===- tests/ResilienceTest.cpp - Budgets, checkpoints, fault recovery ------===//
+//
+// End-to-end contract of the resilience layer:
+//
+//  * Interrupting a run at an arbitrary point and resuming from its
+//    checkpoint reproduces the exact verdict, state count, violation set,
+//    and first-violation text of an uninterrupted run — sequential and
+//    4-thread, including a fork+SIGKILL loop that kills the process at
+//    escalating wall-clock points.
+//  * A memory budget one rung too small walks the degradation ladder
+//    (exact -> no-payload -> bitstate) with recorded provenance instead of
+//    aborting; a clean sweep demotes to BoundedRobust while NotRobust
+//    verdicts survive degradation.
+//  * Stale, corrupt, and cross-engine checkpoints are rejected with a
+//    ResumeError instead of silently mixing incompatible state.
+//  * A SIGINT-style stop request drains at a safe point and leaves a
+//    final checkpoint behind that a later run can resume from.
+//
+// Scenarios that need forced failures (deterministic kills, mid-write
+// crashes, governor faults, worker stalls, clock skew) only compile when
+// the build defines ROCKER_FAULT_INJECT; the CI resilience job builds
+// with the option ON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "memory/SCMemory.h"
+#include "parexplore/ParallelExplorer.h"
+#include "resilience/Checkpoint.h"
+#include "resilience/Resilience.h"
+#include "rocker/RobustnessChecker.h"
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace rocker;
+using resilience::StorageRung;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmpPath(const std::string &Stem) {
+  return (fs::temp_directory_path() /
+          (Stem + "." + std::to_string(::getpid()) + ".rkcp"))
+      .string();
+}
+
+/// Removes the file (and any checkpoint tmp sibling) on construction and
+/// destruction, so tests never see a previous run's leftovers.
+struct ScopedFile {
+  std::string Path;
+  explicit ScopedFile(std::string P) : Path(std::move(P)) { remove(); }
+  ~ScopedFile() { remove(); }
+  void remove() const {
+    std::error_code Ec;
+    fs::remove(Path, Ec);
+    fs::remove(Path + ".tmp", Ec);
+  }
+};
+
+RockerOptions baseOpts(unsigned Threads) {
+  RockerOptions O;
+  O.Threads = Threads;
+  return O;
+}
+
+/// The resumed run must be indistinguishable from the uninterrupted one:
+/// same verdict, same exact full-sweep counters, same violations.
+void expectSameOutcome(const RockerReport &Ref, const RockerReport &Got,
+                       const std::string &What) {
+  EXPECT_EQ(Ref.Robust, Got.Robust) << What;
+  EXPECT_EQ(Ref.Complete, Got.Complete) << What;
+  EXPECT_EQ(Ref.Stats.NumStates, Got.Stats.NumStates) << What;
+  EXPECT_EQ(Ref.Stats.NumTransitions, Got.Stats.NumTransitions) << What;
+  EXPECT_EQ(Ref.Stats.NumDeadlockStates, Got.Stats.NumDeadlockStates)
+      << What;
+  ASSERT_EQ(Ref.Violations.size(), Got.Violations.size()) << What;
+  EXPECT_EQ(Ref.FirstViolationText, Got.FirstViolationText) << What;
+  ASSERT_EQ(Ref.FirstViolationTrace.size(), Got.FirstViolationTrace.size())
+      << What;
+  for (size_t I = 0; I != Ref.FirstViolationTrace.size(); ++I) {
+    EXPECT_EQ(Ref.FirstViolationTrace[I].Thread,
+              Got.FirstViolationTrace[I].Thread)
+        << What;
+    EXPECT_EQ(Ref.FirstViolationTrace[I].Text,
+              Got.FirstViolationTrace[I].Text)
+        << What;
+  }
+}
+
+/// Truncates a run at \p Cut states with a checkpoint, then resumes to
+/// completion and compares against the uninterrupted \p Ref.
+void truncateThenResume(const Program &P, const RockerReport &Ref,
+                        unsigned Threads, uint64_t Cut,
+                        bool StopOnViolation) {
+  ScopedFile Ckpt(tmpPath("trunc-" + std::to_string(Threads) + "-" +
+                          std::to_string(Cut)));
+  std::string What = "threads=" + std::to_string(Threads) +
+                     " cut=" + std::to_string(Cut);
+
+  RockerOptions Mid = baseOpts(Threads);
+  Mid.StopOnViolation = StopOnViolation;
+  Mid.MaxStates = Cut;
+  Mid.Resilience.CheckpointPath = Ckpt.Path;
+  RockerReport M = checkRobustness(P, Mid);
+  if (M.Complete) // The cut exceeded the state space: nothing to resume.
+    return;
+  EXPECT_TRUE(M.Stats.Truncated) << What;
+  if (M.Robust) {
+    EXPECT_EQ(M.verdictClass(), VerdictClass::BoundedRobust) << What;
+  }
+  ASSERT_TRUE(fs::exists(Ckpt.Path))
+      << What << ": truncated run left no final checkpoint";
+
+  RockerOptions Fin = baseOpts(Threads);
+  Fin.StopOnViolation = StopOnViolation;
+  Fin.Resilience.ResumePath = Ckpt.Path;
+  RockerReport R = checkRobustness(P, Fin);
+  ASSERT_TRUE(R.Stats.Resilience.ResumeError.empty())
+      << What << ": " << R.Stats.Resilience.ResumeError;
+  EXPECT_TRUE(R.Stats.Resilience.Resumed) << What;
+  EXPECT_GT(R.Stats.Resilience.RestoredStates, 0u) << What;
+  expectSameOutcome(Ref, R, What);
+}
+
+/// Body of a forked child: run the checker (optionally resuming), write
+/// "robust numstates numviolations" to \p ResultPath, and _exit without
+/// ever returning through gtest. \p FiSpec configures fault injection for
+/// this process only (a no-op string in non-fi builds).
+[[noreturn]] void childCheckRun(const Program &P, const std::string &Ckpt,
+                                const std::string &ResultPath, bool Resume,
+                                unsigned Threads, const char *FiSpec) {
+  fi::configure(FiSpec);
+  resilience::clearStopRequest();
+  RockerOptions O = baseOpts(Threads);
+  O.Resilience.CheckpointPath = Ckpt;
+  O.Resilience.CheckpointEveryExpansions = 20;
+  if (Resume)
+    O.Resilience.ResumePath = Ckpt;
+  RockerReport R = checkRobustness(P, O);
+  if (!R.Stats.Resilience.ResumeError.empty())
+    ::_exit(90);
+  if (!R.Complete)
+    ::_exit(91);
+  std::ofstream Out(ResultPath);
+  Out << (R.Robust ? 1 : 0) << " " << R.Stats.NumStates << " "
+      << R.Violations.size() << "\n";
+  Out.close();
+  ::_exit(Out.good() ? 0 : 92);
+}
+
+void expectChildResultMatches(const std::string &ResultPath,
+                              const RockerReport &Ref) {
+  std::ifstream In(ResultPath);
+  int Robust = -1;
+  uint64_t NumStates = 0, NumViolations = 0;
+  In >> Robust >> NumStates >> NumViolations;
+  ASSERT_TRUE(In.good() || In.eof()) << "child result file unreadable";
+  EXPECT_EQ(Robust == 1, Ref.Robust);
+  EXPECT_EQ(NumStates, Ref.Stats.NumStates);
+  EXPECT_EQ(NumViolations, Ref.Violations.size());
+}
+
+/// Repeatedly forks a checkpointing child and SIGKILLs it after an
+/// escalating delay; whatever checkpoint the kill left behind seeds the
+/// next round. The loop ends at the first clean exit (eventually the
+/// delay outlives the run), and the final result must match \p Ref.
+void killResumeLoop(const Program &P, const RockerReport &Ref,
+                    unsigned Threads) {
+  ScopedFile Ckpt(tmpPath("kill-" + std::to_string(Threads)));
+  ScopedFile Result(tmpPath("kill-result-" + std::to_string(Threads)));
+  bool Clean = false;
+  for (int Round = 0; Round != 60 && !Clean; ++Round) {
+    pid_t Pid = ::fork();
+    ASSERT_NE(Pid, -1);
+    if (Pid == 0)
+      childCheckRun(P, Ckpt.Path, Result.Path, fs::exists(Ckpt.Path),
+                    Threads, "");
+    ::usleep(200u * (Round + 1) * (Round + 1));
+    ::kill(Pid, SIGKILL);
+    int St = 0;
+    ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+    if (WIFEXITED(St)) {
+      ASSERT_EQ(WEXITSTATUS(St), 0) << "child failed in round " << Round;
+      Clean = true;
+    }
+  }
+  if (!Clean) { // Deterministic finish: one last round, no kill.
+    pid_t Pid = ::fork();
+    ASSERT_NE(Pid, -1);
+    if (Pid == 0)
+      childCheckRun(P, Ckpt.Path, Result.Path, fs::exists(Ckpt.Path),
+                    Threads, "");
+    int St = 0;
+    ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+  }
+  expectChildResultMatches(Result.Path, Ref);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Checkpoint/resume equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, TruncateResumeMatchesUninterruptedSequential) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+  ASSERT_TRUE(Ref.Complete);
+  ASSERT_TRUE(Ref.Robust);
+  for (uint64_t Cut : {50u, 200u, 500u})
+    truncateThenResume(P, Ref, 1, Cut, /*StopOnViolation=*/true);
+}
+
+TEST(Resilience, TruncateResumeMatchesUninterruptedParallel4) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(4));
+  ASSERT_TRUE(Ref.Complete);
+  ASSERT_TRUE(Ref.Robust);
+  for (uint64_t Cut : {50u, 200u})
+    truncateThenResume(P, Ref, 4, Cut, /*StopOnViolation=*/true);
+}
+
+TEST(Resilience, ResumePreservesViolationsAcrossTheCut) {
+  // Full sweep of a non-robust program: violations recorded before the
+  // cut travel through the checkpoint, ones after the cut are found by
+  // the resumed run, and the merged set equals the uninterrupted one.
+  Program P = findCorpusEntry("dekker-sc").parse();
+  RockerOptions O = baseOpts(1);
+  O.StopOnViolation = false;
+  RockerReport Ref = checkRobustness(P, O);
+  ASSERT_TRUE(Ref.Complete);
+  ASSERT_FALSE(Ref.Robust);
+  ASSERT_FALSE(Ref.Violations.empty());
+  ASSERT_GT(Ref.Stats.NumStates, 40u);
+  for (uint64_t Cut :
+       {Ref.Stats.NumStates / 4, Ref.Stats.NumStates / 2})
+    truncateThenResume(P, Ref, 1, Cut, /*StopOnViolation=*/false);
+}
+
+TEST(Resilience, PeriodicCheckpointIsResumable) {
+  // A run that completes leaves its last periodic checkpoint behind;
+  // resuming from that mid-run snapshot reaches the same result.
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+  ASSERT_TRUE(Ref.Complete);
+
+  ScopedFile Ckpt(tmpPath("periodic"));
+  RockerOptions O = baseOpts(1);
+  O.Resilience.CheckpointPath = Ckpt.Path;
+  O.Resilience.CheckpointEveryExpansions = 100;
+  RockerReport R = checkRobustness(P, O);
+  EXPECT_TRUE(R.Complete);
+  EXPECT_GE(R.Stats.Resilience.CheckpointsWritten, 4u);
+  EXPECT_GT(R.Stats.Resilience.CheckpointBytes, 0u);
+  expectSameOutcome(Ref, R, "checkpointing run");
+  ASSERT_TRUE(fs::exists(Ckpt.Path));
+
+  RockerOptions Res = baseOpts(1);
+  Res.Resilience.ResumePath = Ckpt.Path;
+  RockerReport R2 = checkRobustness(P, Res);
+  ASSERT_TRUE(R2.Stats.Resilience.ResumeError.empty())
+      << R2.Stats.Resilience.ResumeError;
+  EXPECT_TRUE(R2.Stats.Resilience.Resumed);
+  expectSameOutcome(Ref, R2, "resume from periodic checkpoint");
+}
+
+TEST(Resilience, KillResumeLoopSequential) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+  ASSERT_TRUE(Ref.Complete);
+  killResumeLoop(P, Ref, 1);
+}
+
+TEST(Resilience, KillResumeLoopParallel4) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(4));
+  ASSERT_TRUE(Ref.Complete);
+  killResumeLoop(P, Ref, 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Degradation ladder
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, MemBudgetWalksLadderSequential) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerOptions O = baseOpts(1);
+  O.Resilience.MemBudgetBytes = 8 * 1024;
+  RockerReport R = checkRobustness(P, O);
+  const resilience::ResilienceReport &RR = R.Stats.Resilience;
+  ASSERT_GE(RR.Downgrades.size(), 1u);
+  for (const resilience::DowngradeEvent &E : RR.Downgrades) {
+    EXPECT_LT(static_cast<int>(E.From), static_cast<int>(E.To));
+    EXPECT_GT(E.UsedBytes, O.Resilience.MemBudgetBytes);
+  }
+  EXPECT_EQ(RR.FinalRung, StorageRung::Bitstate);
+  EXPECT_TRUE(R.Approximate);
+  // No violations were found, but bitstate coverage can never prove
+  // Robust: the clean sweep demotes to BoundedRobust.
+  EXPECT_TRUE(R.Violations.empty());
+  EXPECT_EQ(R.verdictClass(), VerdictClass::BoundedRobust);
+}
+
+TEST(Resilience, NotRobustSurvivesDegradation) {
+  Program P = findCorpusEntry("lamport2-sc").parse();
+  RockerOptions O = baseOpts(1);
+  O.StopOnViolation = false;
+  O.MaxStates = 20'000;
+  O.Resilience.MemBudgetBytes = 8 * 1024;
+  RockerReport R = checkRobustness(P, O);
+  // Violations are concrete counterexamples, so degraded storage cannot
+  // erase a NotRobust verdict.
+  EXPECT_FALSE(R.Robust);
+  EXPECT_EQ(R.verdictClass(), VerdictClass::NotRobust);
+  EXPECT_FALSE(R.Violations.empty());
+  EXPECT_FALSE(R.Stats.Resilience.Downgrades.empty());
+}
+
+TEST(Resilience, MemBudgetDowngradesParallel) {
+  // The parallel engine has no stored payloads to shed, so its ladder
+  // goes exact -> bitstate directly. lamport2-ra is big enough that the
+  // governor (a 10ms management tick) sees the pressure mid-run.
+  Program P = findCorpusEntry("lamport2-ra").parse();
+  RockerOptions O = baseOpts(4);
+  O.MaxStates = 30'000;
+  O.Resilience.MemBudgetBytes = 64 * 1024;
+  RockerReport R = checkRobustness(P, O);
+  const resilience::ResilienceReport &RR = R.Stats.Resilience;
+  ASSERT_GE(RR.Downgrades.size(), 1u);
+  EXPECT_EQ(RR.Downgrades[0].From, StorageRung::Exact);
+  EXPECT_EQ(RR.Downgrades[0].To, StorageRung::Bitstate);
+  EXPECT_EQ(RR.FinalRung, StorageRung::Bitstate);
+  EXPECT_TRUE(R.Approximate);
+  if (R.Robust) {
+    EXPECT_EQ(R.verdictClass(), VerdictClass::BoundedRobust);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Resume rejection: stale, corrupt, cross-engine
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, StaleAndCrossEngineResumesAreRejected) {
+  ScopedFile Ckpt(tmpPath("stale"));
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerOptions Mid = baseOpts(1);
+  Mid.MaxStates = 100;
+  Mid.Resilience.CheckpointPath = Ckpt.Path;
+  RockerReport M = checkRobustness(P, Mid);
+  ASSERT_FALSE(M.Complete);
+  ASSERT_TRUE(fs::exists(Ckpt.Path));
+
+  auto ExpectRejected = [&](const Program &RP, const RockerOptions &RO,
+                            const std::string &What) {
+    RockerReport R = checkRobustness(RP, RO);
+    EXPECT_FALSE(R.Stats.Resilience.ResumeError.empty()) << What;
+    EXPECT_FALSE(R.Complete) << What;
+    EXPECT_EQ(R.Stats.NumStates, 0u) << What;
+    EXPECT_TRUE(R.Stats.Resilience.degraded()) << What;
+  };
+
+  // A different program is the classic stale checkpoint.
+  Program Other = findCorpusEntry("SB").parse();
+  RockerOptions RO = baseOpts(1);
+  RO.Resilience.ResumePath = Ckpt.Path;
+  ExpectRejected(Other, RO, "different program");
+
+  // Same program, semantically different search options.
+  RockerOptions Flipped = baseOpts(1);
+  Flipped.UsePor = !Flipped.UsePor;
+  Flipped.Resilience.ResumePath = Ckpt.Path;
+  ExpectRejected(P, Flipped, "flipped POR");
+
+  // A sequential checkpoint cannot seed the parallel engine (and vice
+  // versa): the engines' config hashes are deliberately distinct.
+  RockerOptions Par = baseOpts(4);
+  Par.Resilience.ResumePath = Ckpt.Path;
+  ExpectRejected(P, Par, "cross-engine");
+}
+
+TEST(Resilience, CorruptCheckpointIsRejected) {
+  ScopedFile Ckpt(tmpPath("corrupt"));
+  {
+    std::ofstream Out(Ckpt.Path, std::ios::binary);
+    Out << "RKCPgarbage that is definitely not a valid container";
+  }
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerOptions RO = baseOpts(1);
+  RO.Resilience.ResumePath = Ckpt.Path;
+  RockerReport R = checkRobustness(P, RO);
+  EXPECT_FALSE(R.Stats.Resilience.ResumeError.empty());
+  EXPECT_FALSE(R.Complete);
+}
+
+TEST(Resilience, ContainerRoundTripAndValidation) {
+  ScopedFile F(tmpPath("container"));
+  std::string Payload = "the payload bytes \0 with a nul";
+  std::string Err;
+  ASSERT_TRUE(ckpt::writeCheckpointFile(F.Path, 0xABCD, Payload, &Err))
+      << Err;
+  EXPECT_FALSE(fs::exists(F.Path + ".tmp")); // Renamed, not left behind.
+
+  std::optional<uint64_t> Peeked = ckpt::peekConfigHash(F.Path, &Err);
+  ASSERT_TRUE(Peeked.has_value()) << Err;
+  EXPECT_EQ(*Peeked, 0xABCDu);
+
+  std::optional<std::string> Back =
+      ckpt::loadCheckpointFile(F.Path, 0xABCD, &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(*Back, Payload);
+
+  // Wrong expected hash: stale.
+  EXPECT_FALSE(ckpt::loadCheckpointFile(F.Path, 0x1234, &Err).has_value());
+  EXPECT_NE(Err.find("stale"), std::string::npos) << Err;
+
+  // Flip a payload byte: checksum failure.
+  {
+    std::fstream Fix(F.Path,
+                     std::ios::in | std::ios::out | std::ios::binary);
+    Fix.seekp(-1, std::ios::end);
+    Fix.put('!');
+  }
+  EXPECT_FALSE(ckpt::loadCheckpointFile(F.Path, 0xABCD, &Err).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Stop requests and verdict classes
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, StopRequestDrainsAndLeavesFinalCheckpoint) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+
+  ScopedFile Ckpt(tmpPath("stop"));
+  RockerOptions O = baseOpts(1);
+  O.Resilience.CheckpointPath = Ckpt.Path;
+  O.Resilience.CheckpointEveryExpansions = 50;
+  resilience::requestStop();
+  RockerReport R = checkRobustness(P, O);
+  resilience::clearStopRequest();
+  EXPECT_TRUE(R.Stats.Resilience.Interrupted);
+  EXPECT_FALSE(R.Complete);
+  if (R.Robust) {
+    EXPECT_EQ(R.verdictClass(), VerdictClass::BoundedRobust);
+  }
+  ASSERT_TRUE(fs::exists(Ckpt.Path));
+
+  RockerOptions Res = baseOpts(1);
+  Res.Resilience.ResumePath = Ckpt.Path;
+  RockerReport R2 = checkRobustness(P, Res);
+  ASSERT_TRUE(R2.Stats.Resilience.ResumeError.empty())
+      << R2.Stats.Resilience.ResumeError;
+  expectSameOutcome(Ref, R2, "resume after stop request");
+}
+
+TEST(Resilience, VerdictClassContract) {
+  Program Robust = findCorpusEntry("peterson-ra").parse();
+  EXPECT_EQ(checkRobustness(Robust, baseOpts(1)).verdictClass(),
+            VerdictClass::Robust);
+
+  Program NotRobust = findCorpusEntry("SB").parse();
+  EXPECT_EQ(checkRobustness(NotRobust, baseOpts(1)).verdictClass(),
+            VerdictClass::NotRobust);
+
+  RockerOptions Cut = baseOpts(1);
+  Cut.MaxStates = 50;
+  RockerReport Truncated = checkRobustness(Robust, Cut);
+  ASSERT_FALSE(Truncated.Complete);
+  EXPECT_EQ(Truncated.verdictClass(), VerdictClass::BoundedRobust);
+
+  EXPECT_STREQ(verdictClassName(VerdictClass::Robust), "robust");
+  EXPECT_STREQ(verdictClassName(VerdictClass::NotRobust), "not-robust");
+  EXPECT_STREQ(verdictClassName(VerdictClass::BoundedRobust),
+               "bounded-robust");
+}
+
+TEST(Resilience, BitstateLog2ForBudgetClampsAndScales) {
+  unsigned Tiny = resilience::bitstateLog2ForBudget(1);
+  unsigned Mid = resilience::bitstateLog2ForBudget(64ull << 20);
+  unsigned Huge = resilience::bitstateLog2ForBudget(1ull << 60);
+  EXPECT_GE(Tiny, 16u);
+  EXPECT_LE(Huge, 33u);
+  EXPECT_LE(Tiny, Mid);
+  EXPECT_LE(Mid, Huge);
+}
+
+//===----------------------------------------------------------------------===//
+// Fault-injected scenarios (ROCKER_FAULT_INJECT builds only)
+//===----------------------------------------------------------------------===//
+
+#ifdef ROCKER_FAULT_INJECT
+
+namespace {
+
+/// Forks a child with \p FiSpec; the configured kill must terminate it
+/// with SIGKILL, then a fault-free resume must match \p Ref.
+void fiKillThenResume(const Program &P, const RockerReport &Ref,
+                      const char *FiSpec, const std::string &Stem) {
+  ScopedFile Ckpt(tmpPath(Stem));
+  ScopedFile Result(tmpPath(Stem + "-result"));
+
+  pid_t Pid = ::fork();
+  ASSERT_NE(Pid, -1);
+  if (Pid == 0)
+    childCheckRun(P, Ckpt.Path, Result.Path, false, 1, FiSpec);
+  int St = 0;
+  ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+  ASSERT_TRUE(WIFSIGNALED(St)) << "child was not killed (" << FiSpec << ")";
+  ASSERT_EQ(WTERMSIG(St), SIGKILL);
+  ASSERT_TRUE(fs::exists(Ckpt.Path))
+      << "no checkpoint survived the kill (" << FiSpec << ")";
+
+  pid_t Pid2 = ::fork();
+  ASSERT_NE(Pid2, -1);
+  if (Pid2 == 0)
+    childCheckRun(P, Ckpt.Path, Result.Path, true, 1, "");
+  ASSERT_EQ(::waitpid(Pid2, &St, 0), Pid2);
+  ASSERT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0)
+      << "resume round failed (" << FiSpec << ")";
+  expectChildResultMatches(Result.Path, Ref);
+}
+
+} // namespace
+
+TEST(ResilienceFi, KillAtDeterministicExpansionThenResume) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+  ASSERT_TRUE(Ref.Complete);
+  fiKillThenResume(P, Ref, "kill:explore.expand@40", "fi-kill-40");
+  fiKillThenResume(P, Ref, "kill:explore.expand@333", "fi-kill-333");
+}
+
+TEST(ResilienceFi, MidWriteKillLeavesPreviousCheckpointIntact) {
+  // Dies between the second checkpoint's payload write and its atomic
+  // rename; the first checkpoint must still be complete and resumable.
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+  ASSERT_TRUE(Ref.Complete);
+  fiKillThenResume(P, Ref, "kill:ckpt.midwrite@2", "fi-midwrite");
+}
+
+TEST(ResilienceFi, ForcedGovernorFaultDropsExactlyOneRung) {
+  // A forced allocation-pressure event with an otherwise-unreachable
+  // budget: the ladder steps to no-payload and stays there. No-payload
+  // coverage is still exact, so a completed clean sweep remains Robust.
+  fi::configure("fail:govern.alloc@1");
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+  RockerOptions O = baseOpts(1);
+  O.Resilience.MemBudgetBytes = 1ull << 40;
+  RockerReport R = checkRobustness(P, O);
+  fi::configure("");
+  const resilience::ResilienceReport &RR = R.Stats.Resilience;
+  ASSERT_EQ(RR.Downgrades.size(), 1u);
+  EXPECT_EQ(RR.Downgrades[0].From, StorageRung::Exact);
+  EXPECT_EQ(RR.Downgrades[0].To, StorageRung::NoPayload);
+  EXPECT_EQ(RR.FinalRung, StorageRung::NoPayload);
+  EXPECT_TRUE(R.Complete);
+  EXPECT_EQ(R.Stats.NumStates, Ref.Stats.NumStates);
+  EXPECT_EQ(R.verdictClass(), VerdictClass::Robust);
+}
+
+TEST(ResilienceFi, ClockSkewTripsDeadline) {
+  fi::configure("skew:100000");
+  Program P = findCorpusEntry("lamport2-ra").parse();
+  RockerOptions O = baseOpts(1);
+  O.MaxStates = 50'000;
+  O.Resilience.DeadlineSeconds = 3000;
+  RockerReport R = checkRobustness(P, O);
+  fi::configure("");
+  EXPECT_TRUE(R.Stats.Resilience.DeadlineHit);
+  EXPECT_FALSE(R.Complete);
+  if (R.Robust) {
+    EXPECT_EQ(R.verdictClass(), VerdictClass::BoundedRobust);
+  }
+}
+
+TEST(ResilienceFi, WatchdogCatchesStuckWorker) {
+  fi::configure("stall:worker.stall@50");
+  Program P = findCorpusEntry("lamport2-ra").parse();
+  SCMemory Mem(P);
+  ParExploreOptions PO;
+  PO.Threads = 1;
+  PO.MaxStates = 200'000;
+  PO.Resilience.WatchdogSeconds = 0.25;
+  ParallelExplorer<SCMemory> Ex(P, Mem, PO);
+  ParExploreResult R = Ex.run();
+  fi::configure("");
+  EXPECT_TRUE(R.Stats.Resilience.WatchdogFired);
+  EXPECT_TRUE(R.Stats.Truncated);
+  EXPECT_EQ(R.Verdict, ParVerdict::Bounded);
+}
+
+TEST(ResilienceFi, CheckpointWriteFailureIsSkippedNotFatal) {
+  fi::configure("fail:ckpt.write@1");
+  ScopedFile Ckpt(tmpPath("fi-write-fail"));
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerOptions O = baseOpts(1);
+  O.Resilience.CheckpointPath = Ckpt.Path;
+  O.Resilience.CheckpointEveryExpansions = 100;
+  RockerReport R = checkRobustness(P, O);
+  fi::configure("");
+  // The first write fails, later ones succeed, and the run itself is
+  // untouched either way.
+  EXPECT_TRUE(R.Complete);
+  EXPECT_EQ(R.verdictClass(), VerdictClass::Robust);
+  EXPECT_GE(R.Stats.Resilience.CheckpointsWritten, 1u);
+  EXPECT_TRUE(fs::exists(Ckpt.Path));
+}
+
+#endif // ROCKER_FAULT_INJECT
