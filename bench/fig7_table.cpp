@@ -7,12 +7,21 @@
 // instrumented vs plain exploration (absolute times differ: we use our
 // own explicit-state checker instead of Spin, on different hardware).
 //
-// Usage: fig7_table [-v] [--no-por] [--reports FILE] [program-name ...]
+// Usage: fig7_table [-v] [--no-por] [--reports FILE]
+//                   [--engine=sample] [--samples N] [--sample-seed S]
+//                   [--sched NAME] [program-name ...]
 //        (default: the whole table; --no-por disables the ample-set
 //        partial-order reduction for all three checkers, like
 //        `rocker_cli --no-por` / ROCKER_NO_POR; --reports writes a JSON
 //        array of run reports, one per program — CI diffs it against the
 //        checked-in BENCH_fig7_reports.json baseline)
+//
+// With --engine=sample the robustness column runs the sampling engine
+// (same flags as rocker_cli: --samples/--sample-seed/--sched). Clean
+// rows are then BoundedRobust by construction and excluded from the
+// mismatch count like any bounded run; rows the paper marks not-robust
+// must still be found not-robust or they count as mismatches, which is
+// what the CI sampler-corpus job asserts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,22 +43,70 @@ int main(int argc, char **argv) {
   std::vector<std::string> Only(argv + 1, argv + argc);
   bool Verbose = false;
   bool UsePor = defaultUsePor();
+  bool UseSampling = false;
+  sample::SampleOptions Sampling;
   std::string ReportsPath;
+  // Consumes the "--flag VALUE" / "--flag=VALUE" spellings; returns
+  // false (after erasing nothing further) when the value is missing.
+  auto TakeValue = [&Only](std::vector<std::string>::iterator &It,
+                           const char *Flag, std::string &Out) {
+    size_t FlagLen = std::strlen(Flag);
+    if (It->size() > FlagLen && (*It)[FlagLen] == '=') {
+      Out = It->substr(FlagLen + 1);
+      It = Only.erase(It);
+      return true;
+    }
+    It = Only.erase(It);
+    if (It == Only.end()) {
+      std::fprintf(stderr, "error: %s needs a value\n", Flag);
+      return false;
+    }
+    Out = *It;
+    It = Only.erase(It);
+    return true;
+  };
+  auto Is = [](const std::string &A, const char *Flag) {
+    return A == Flag || A.rfind(std::string(Flag) + "=", 0) == 0;
+  };
   for (auto It = Only.begin(); It != Only.end();) {
+    std::string Val;
     if (*It == "-v") {
       Verbose = true;
       It = Only.erase(It);
     } else if (*It == "--no-por") {
       UsePor = false;
       It = Only.erase(It);
-    } else if (*It == "--reports") {
-      It = Only.erase(It);
-      if (It == Only.end()) {
-        std::fprintf(stderr, "error: --reports needs a file argument\n");
+    } else if (Is(*It, "--reports")) {
+      if (!TakeValue(It, "--reports", Val))
         return 3; // Usage, same contract as rocker_cli.
+      ReportsPath = Val;
+    } else if (Is(*It, "--engine")) {
+      if (!TakeValue(It, "--engine", Val))
+        return 3;
+      if (Val == "sample") {
+        UseSampling = true;
+      } else if (Val != "exact") {
+        std::fprintf(stderr, "error: unknown engine '%s'\n", Val.c_str());
+        return 3;
       }
-      ReportsPath = *It;
-      It = Only.erase(It);
+    } else if (Is(*It, "--samples")) {
+      if (!TakeValue(It, "--samples", Val))
+        return 3;
+      Sampling.Samples = std::strtoull(Val.c_str(), nullptr, 10);
+    } else if (Is(*It, "--sample-seed")) {
+      if (!TakeValue(It, "--sample-seed", Val))
+        return 3;
+      Sampling.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+    } else if (Is(*It, "--sched")) {
+      if (!TakeValue(It, "--sched", Val))
+        return 3;
+      if (auto S = sample::parseSampleScheduler(Val)) {
+        Sampling.Sched = *S;
+      } else {
+        std::fprintf(stderr, "error: unknown scheduler '%s'\n",
+                     Val.c_str());
+        return 3;
+      }
     } else {
       ++It;
     }
@@ -73,6 +130,8 @@ int main(int argc, char **argv) {
     RO.RecordTrace = Verbose;
     RO.MaxStates = 4'000'000;
     RO.UsePor = UsePor;
+    RO.UseSampling = UseSampling;
+    RO.Sampling = Sampling;
     obs::Snapshot Before = obs::snapshot();
     RockerReport R = checkRobustness(P, RO);
     if (!ReportsPath.empty())
@@ -122,8 +181,9 @@ int main(int argc, char **argv) {
       std::printf("\n%s\n", R.FirstViolationText.c_str());
     if (Inconclusive)
       std::printf("  (bounded: %s — verdict inconclusive, not compared)\n",
-                  !R.Complete ? "budget or deadline truncated the run"
-                              : "storage degraded to bitstate hashing");
+                  R.Sample.Enabled ? "sampling coverage is probabilistic"
+                  : !R.Complete    ? "budget or deadline truncated the run"
+                                   : "storage degraded to bitstate hashing");
     if (!SC.Robust)
       std::printf("  (SC baseline found violations: %s)\n",
                   SC.FirstViolationText.c_str());

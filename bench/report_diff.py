@@ -7,8 +7,10 @@ Usage:
 
 Each file is either a single run report or an array of them, as written
 by `rocker_cli --report` / `fig7_table --reports` (schema
-"rocker-run-report/1"). Reports are matched by program name; for each
-pair the tool flags:
+"rocker-run-report/1", or "rocker-run-report/2" when the report carries
+the sampling engine's "sample" stats block — reports without that block
+are still accepted, so older baselines never fail the diff). Reports
+are matched by program name; for each pair the tool flags:
 
   * verdict changes (robust/complete flipped) — always an error;
   * states/sec drops of more than the threshold (default 10%);
@@ -17,7 +19,19 @@ pair the tool flags:
     change means the engines diverged) — an error, unless the two
     reports disagree on config.use_por: the ample-set reduction changes
     state counts by design, so a POR-config difference downgrades the
-    state-count finding to a warning (verdict changes stay errors).
+    state-count finding to a warning (verdict changes stay errors). For
+    sampling runs (config.engine == "sample") the "state" count is the
+    step total, which shifts with worker scheduling, so it is a warning
+    there too; the sampling determinism check is violation_sample
+    instead — a fixed-seed single-worker run must find its violation at
+    the same sample index, so a change is an error;
+  * sampling schedules/sec drops beyond the threshold — a warning.
+
+Also accepts a pair of sampler-throughput bench files (schema
+"rocker-bench-sample/1", written by `sample_throughput --json`): per
+(program, scheduler) row, violation_sample changes are errors (the
+bench runs a fixed seed on one worker) and schedules/sec drops beyond
+the threshold are warnings.
 
 Also accepts a pair of checkpoint-overhead bench files (schema
 "rocker-bench-resilience/1", written by `checkpoint_overhead --json`).
@@ -41,26 +55,36 @@ import argparse
 import json
 import sys
 
-SCHEMA = "rocker-run-report/1"
+# /2 == /1 plus an optional stats.sample block for sampling runs; both
+# are accepted (and may be mixed within one file) so pre-sampling
+# baselines keep diffing cleanly against current output.
+SCHEMAS = ("rocker-run-report/1", "rocker-run-report/2")
 RESILIENCE_SCHEMA = "rocker-bench-resilience/1"
+SAMPLE_SCHEMA = "rocker-bench-sample/1"
 CKPT_OVERHEAD_BAR_PCT = 5.0  # 30s-interval overhead acceptance bar.
 
 
 def load_reports(path):
-    """Returns ("run", {program-name: report}) for run-report files or
+    """Returns ("run", {program-name: report}) for run-report files,
     ("resilience", {program-name: row}) for checkpoint-overhead bench
-    files."""
+    files, or ("sample", {(program, scheduler): row}) for
+    sampler-throughput bench files."""
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     if isinstance(data, dict) and data.get("schema") == RESILIENCE_SCHEMA:
         return "resilience", {p["name"]: p for p in data["programs"]}
+    if isinstance(data, dict) and data.get("schema") == SAMPLE_SCHEMA:
+        return "sample", {
+            (p["name"], p["scheduler"]): p for p in data["programs"]
+        }
     reports = data if isinstance(data, list) else [data]
     out = {}
     for r in reports:
-        if r.get("schema") != SCHEMA:
+        if r.get("schema") not in SCHEMAS:
             raise ValueError(
                 f"{path}: unexpected schema {r.get('schema')!r} "
-                f"(want {SCHEMA!r} or {RESILIENCE_SCHEMA!r})"
+                f"(want one of {SCHEMAS!r}, {RESILIENCE_SCHEMA!r}, or "
+                f"{SAMPLE_SCHEMA!r})"
             )
         out[r["program"]] = r
     return "run", out
@@ -91,10 +115,21 @@ def compare(base, cur, threshold):
                 )
 
         bs, cs = b["stats"], c["stats"]
+        sampling = "sample" in (b.get("config", {}).get("engine"),
+                                c.get("config", {}).get("engine"))
         if bs.get("states") != cs.get("states"):
             b_por = b.get("config", {}).get("use_por")
             c_por = c.get("config", {}).get("use_por")
-            if b_por != c_por:
+            if sampling:
+                # Sampling reports count executed steps, which shift with
+                # worker scheduling and stop-on-violation timing; the
+                # determinism check for these runs is violation_sample
+                # below, not the step total.
+                yield "warn", (
+                    f"{name}: sampled step count changed "
+                    f"{bs.get('states')} -> {cs.get('states')}"
+                )
+            elif b_por != c_por:
                 yield "warn", (
                     f"{name}: state count changed "
                     f"{bs.get('states')} -> {cs.get('states')} "
@@ -106,6 +141,27 @@ def compare(base, cur, threshold):
                     f"{name}: state count changed "
                     f"{bs.get('states')} -> {cs.get('states')} "
                     "(exploration should be deterministic)"
+                )
+
+        # Older baselines predate the sample block; only compare it when
+        # both sides carry one.
+        b_smp, c_smp = bs.get("sample", {}), cs.get("sample", {})
+        if b_smp and c_smp:
+            bvs = b_smp.get("violation_sample", -1)
+            cvs = c_smp.get("violation_sample", -1)
+            if bvs != cvs and b_smp.get("seed") == c_smp.get("seed"):
+                yield "error", (
+                    f"{name}: violation_sample changed {bvs} -> {cvs} "
+                    "under the same seed (sampling should be "
+                    "reproducible)"
+                )
+            sched_delta = pct(c_smp.get("schedules_per_sec", 0),
+                              b_smp.get("schedules_per_sec", 0))
+            if sched_delta < -threshold:
+                yield "warn", (
+                    f"{name}: schedules/sec dropped {-sched_delta:.1f}% "
+                    f"({b_smp.get('schedules_per_sec', 0):.0f} -> "
+                    f"{c_smp.get('schedules_per_sec', 0):.0f})"
                 )
 
         rate_delta = pct(cs.get("states_per_sec", 0),
@@ -166,6 +222,40 @@ def compare_resilience(base, cur, threshold):
                 )
 
 
+def compare_sample(base, cur, threshold):
+    """Comparison for sampler-throughput bench files: the bench runs a
+    fixed seed on a single worker, so violation-sample changes are
+    errors; schedules/sec drops beyond the threshold are warnings."""
+    def label(key):
+        return f"{key[0]} [{key[1]}]"
+
+    for key in sorted(set(base) | set(cur)):
+        if key not in cur:
+            yield "error", f"{label(key)}: present in baseline, missing now"
+            continue
+        if key not in base:
+            yield "warn", f"{label(key)}: new row (no baseline)"
+            continue
+        b, c = base[key], cur[key]
+        bvs = b.get("violation_sample", -1)
+        cvs = c.get("violation_sample", -1)
+        if bvs != cvs:
+            yield "error", (
+                f"{label(key)}: violation_sample changed {bvs} -> {cvs} "
+                "(fixed-seed single-worker sampling should be "
+                "reproducible)"
+            )
+        sched_delta = pct(c.get("schedules_per_sec", 0),
+                          b.get("schedules_per_sec", 0))
+        if sched_delta < -threshold:
+            yield "warn", (
+                f"{label(key)}: schedules/sec dropped "
+                f"{-sched_delta:.1f}% "
+                f"({b.get('schedules_per_sec', 0):.0f} -> "
+                f"{c.get('schedules_per_sec', 0):.0f})"
+            )
+
+
 def main(argv):
     ap = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -205,7 +295,10 @@ def main(argv):
         print(f"report_diff: {e}", file=sys.stderr)
         return 0 if args.warn_only else 2
 
-    compare_fn = compare_resilience if base_kind == "resilience" else compare
+    compare_fn = {
+        "resilience": compare_resilience,
+        "sample": compare_sample,
+    }.get(base_kind, compare)
     findings = list(compare_fn(base, cur, args.threshold))
     for severity, msg in findings:
         print(f"{severity}: {msg}")

@@ -1,0 +1,182 @@
+//===- bench/sample_throughput.cpp - Sampling-engine throughput -------------===//
+//
+// Measures the sampling engine along both axes that matter for the
+// degradation ladder's final rung:
+//
+//   * schedules/sec and monitored steps/sec on the corpus programs with
+//     the largest state spaces (lamport2-3-ra, seqlock, rcu-offline,
+//     nbw-w-lr-rl, rcu) — the programs where sampling is the only
+//     engine whose memory does not grow with the exploration;
+//   * the sample index at which each known-not-robust program's
+//     violation is found (fixed seed, one worker, so the index is fully
+//     deterministic and any change means the schedule generation
+//     changed).
+//
+// Every (program, scheduler) pair is one row; all three schedulers run
+// so the diversification policies are compared on equal budgets.
+//
+// Usage: sample_throughput [--samples N] [--seed S] [--json FILE]
+//                          [program-name ...]
+//
+// The JSON output (schema "rocker-bench-sample/1") is diffed by
+// bench/report_diff.py against the committed BENCH_sample.json:
+// violation-sample changes are errors, schedules/sec drops are
+// warnings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace rocker;
+
+namespace {
+
+/// Large-state-space corpus programs for the throughput axis; the
+/// detection axis pulls every not-robust Figure 7 program.
+const char *const LargePrograms[] = {"lamport2-3-ra", "seqlock",
+                                     "rcu-offline", "nbw-w-lr-rl", "rcu"};
+
+struct Row {
+  std::string Name;
+  std::string Scheduler;
+  bool Robust = false;
+  uint64_t SamplesRun = 0;
+  uint64_t Steps = 0;
+  int64_t ViolationSample = -1;
+  double DistinctEstimate = 0;
+  double Seconds = 0;
+  double SchedulesPerSec = 0;
+  double StepsPerSec = 0;
+};
+
+Row runOne(const CorpusEntry &E, sample::SampleScheduler Sched,
+           uint64_t Samples, uint64_t Seed) {
+  Program P = E.parse();
+  RockerOptions O;
+  O.UseSampling = true;
+  O.RecordTrace = false;
+  O.Sampling.Samples = Samples;
+  O.Sampling.Seed = Seed;
+  O.Sampling.Sched = Sched;
+  O.Sampling.Workers = 1; // Deterministic violation_sample for the diff.
+  RockerReport R = checkRobustness(P, O);
+
+  Row Out;
+  Out.Name = E.Name;
+  Out.Scheduler = sample::sampleSchedulerName(Sched);
+  Out.Robust = R.Robust;
+  Out.SamplesRun = R.Sample.SamplesRun;
+  Out.Steps = R.Sample.Steps;
+  Out.ViolationSample = R.Sample.ViolationSample;
+  Out.DistinctEstimate = R.Sample.DistinctFinalEstimate;
+  Out.Seconds = R.Sample.Seconds;
+  Out.SchedulesPerSec = R.Sample.schedulesPerSec();
+  Out.StepsPerSec =
+      R.Sample.Seconds > 0 ? R.Sample.Steps / R.Sample.Seconds : 0;
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Samples = 2048;
+  uint64_t Seed = 1;
+  const char *JsonPath = nullptr;
+  std::vector<std::string> Only;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--samples") && I + 1 != argc)
+      Samples = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--seed") && I + 1 != argc)
+      Seed = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--json") && I + 1 != argc)
+      JsonPath = argv[++I];
+    else
+      Only.push_back(argv[I]);
+  }
+
+  // Row set: the large programs (throughput), then every not-robust
+  // Figure 7 program (detection latency). Explicit program arguments
+  // override both lists.
+  std::vector<const CorpusEntry *> Entries;
+  auto Add = [&](const CorpusEntry &E) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      return;
+    if (std::find(Entries.begin(), Entries.end(), &E) == Entries.end())
+      Entries.push_back(&E);
+  };
+  for (const char *Name : LargePrograms)
+    Add(findCorpusEntry(Name));
+  for (const CorpusEntry &E : figure7Programs())
+    if (!E.ExpectRobust)
+      Add(E);
+
+  std::printf("%-22s %-11s | %7s %10s | %9s %10s | %8s\n", "Program",
+              "Scheduler", "Samples", "Steps", "Sched[/s]", "Steps[/s]",
+              "Viol@");
+  std::printf("%s\n", std::string(92, '-').c_str());
+
+  std::vector<Row> Rows;
+  for (const CorpusEntry *E : Entries) {
+    for (sample::SampleScheduler S : {sample::SampleScheduler::Random,
+                                      sample::SampleScheduler::Pct,
+                                      sample::SampleScheduler::PorDiverse}) {
+      Row R = runOne(*E, S, Samples, Seed);
+      Rows.push_back(R);
+      std::printf("%-22s %-11s | %7llu %10llu | %9.0f %10.0f | %8s\n",
+                  R.Name.c_str(), R.Scheduler.c_str(),
+                  static_cast<unsigned long long>(R.SamplesRun),
+                  static_cast<unsigned long long>(R.Steps),
+                  R.SchedulesPerSec, R.StepsPerSec,
+                  R.ViolationSample >= 0
+                      ? ("#" + std::to_string(R.ViolationSample)).c_str()
+                      : "--");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("%s\n", std::string(92, '-').c_str());
+  std::printf("(Viol@ = sample index of the first violation; -- = clean "
+              "budget of %llu samples, seed %llu)\n",
+              static_cast<unsigned long long>(Samples),
+              static_cast<unsigned long long>(Seed));
+
+  if (JsonPath) {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 2;
+    }
+    std::fprintf(F,
+                 "{\n  \"schema\": \"rocker-bench-sample/1\",\n"
+                 "  \"samples\": %llu,\n  \"seed\": %llu,\n"
+                 "  \"programs\": [\n",
+                 static_cast<unsigned long long>(Samples),
+                 static_cast<unsigned long long>(Seed));
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(
+          F,
+          "    {\"name\": \"%s\", \"scheduler\": \"%s\", \"robust\": %s,\n"
+          "     \"samples_run\": %llu, \"steps\": %llu, "
+          "\"violation_sample\": %lld,\n"
+          "     \"distinct_final_estimate\": %.1f, \"seconds\": %.6f, "
+          "\"schedules_per_sec\": %.1f, \"steps_per_sec\": %.1f}%s\n",
+          R.Name.c_str(), R.Scheduler.c_str(), R.Robust ? "true" : "false",
+          static_cast<unsigned long long>(R.SamplesRun),
+          static_cast<unsigned long long>(R.Steps),
+          static_cast<long long>(R.ViolationSample), R.DistinctEstimate,
+          R.Seconds, R.SchedulesPerSec, R.StepsPerSec,
+          I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
+  return 0;
+}

@@ -45,6 +45,7 @@ struct CliState {
   bool Stats = false;
   std::string ReportPath;       ///< --report / ROCKER_REPORT.
   double ProgressInterval = 0;  ///< --progress / ROCKER_PROGRESS; 0 = off.
+  bool OptError = false;        ///< An option value failed to parse.
 };
 
 /// One command-line option: flag name, argument placeholder (null for
@@ -203,6 +204,50 @@ const CliOption Options[] = {
      [](CliState &C, const char *V) {
        C.Opts.Resilience.WatchdogSeconds = std::strtod(V, nullptr);
      }},
+    {"--engine", "ENG",
+     "exact (default) or sample: monitored random-schedule sampling with "
+     "no visited set — NotRobust verdicts are real and replayable, clean "
+     "budgets exit BOUNDED-ROBUST (never 0)",
+     [](CliState &C, const char *V) {
+       if (std::strcmp(V, "sample") == 0)
+         C.Opts.UseSampling = true;
+       else if (std::strcmp(V, "exact") == 0)
+         C.Opts.UseSampling = false;
+       else
+         C.OptError = true;
+     }},
+    {"--samples", "N", "sampling engine: sample budget (default 4096)",
+     [](CliState &C, const char *V) {
+       C.Opts.Sampling.Samples = std::strtoull(V, nullptr, 10);
+     }},
+    {"--sample-seed", "S",
+     "sampling engine: master seed; sample i replays deterministically "
+     "from (seed, i) alone (default 1)",
+     [](CliState &C, const char *V) {
+       C.Opts.Sampling.Seed = std::strtoull(V, nullptr, 10);
+     }},
+    {"--sched", "NAME",
+     "sampling engine: schedule generator — random, pct (priority "
+     "change-point schedules), or por-diverse (randomness only at "
+     "non-commuting steps)",
+     [](CliState &C, const char *V) {
+       if (auto S = sample::parseSampleScheduler(V))
+         C.Opts.Sampling.Sched = *S;
+       else
+         C.OptError = true;
+     }},
+    {"--sample-depth", "N",
+     "sampling engine: per-sample step cap (default 4096)",
+     [](CliState &C, const char *V) {
+       C.Opts.Sampling.MaxDepth = std::strtoull(V, nullptr, 10);
+     }},
+    {"--sample-on-exhaustion", nullptr,
+     "fourth ladder rung: when exploration exhausts its budget with no "
+     "violation (even on bitstate), fall back to the sampling engine "
+     "instead of giving up",
+     [](CliState &C, const char *) {
+       C.Opts.Resilience.SampleOnExhaustion = true;
+     }},
 };
 
 int usage() {
@@ -219,7 +264,10 @@ int usage() {
   std::fprintf(stderr,
                "\nexit codes: 0 robust, 1 not robust, 2 bounded/degraded "
                "(budget, deadline, interrupt, or bitstate), 3 usage, "
-               "4 internal error\n");
+               "4 internal error\n"
+               "sampling runs (--engine=sample or a --sample-on-exhaustion "
+               "fallback) never exit 0: a clean sample budget proves only "
+               "\"no violation in N schedules\", so it exits 2\n");
   return ExitUsage;
 }
 
@@ -277,6 +325,28 @@ void printStats(const ExploreStats &S) {
                   static_cast<unsigned long long>(W.Steals));
     std::printf("\n");
   }
+}
+
+/// Sampling-run statistics: throughput and schedule-diversity signals
+/// instead of the stored-state metrics (there is no visited set).
+void printSampleStats(const sample::SampleStats &S) {
+  std::printf("stats: %llu/%llu samples, %llu steps, %.0f schedules/s "
+              "(%s scheduler, seed %llu, depth cap %llu)\n",
+              static_cast<unsigned long long>(S.SamplesRun),
+              static_cast<unsigned long long>(S.SamplesRequested),
+              static_cast<unsigned long long>(S.Steps),
+              S.schedulesPerSec(), S.Scheduler.c_str(),
+              static_cast<unsigned long long>(S.Seed),
+              static_cast<unsigned long long>(S.MaxDepth));
+  std::printf("stats: ~%.0f distinct final states (8 KiB sketch), "
+              "%llu deadlocked, %llu depth-capped, %llu randomized\n",
+              S.DistinctFinalEstimate,
+              static_cast<unsigned long long>(S.DeadlockSamples),
+              static_cast<unsigned long long>(S.DepthCapHits),
+              static_cast<unsigned long long>(S.RandomizedSamples));
+  if (S.ViolationSample >= 0)
+    std::printf("stats: violation found by sample #%lld\n",
+                static_cast<long long>(S.ViolationSample));
 }
 
 /// Writes the run report when --report / ROCKER_REPORT asked for one.
@@ -377,8 +447,13 @@ int main(int argc, char **argv) {
       return usage();
     }
   }
-  if (Input.empty())
+  if (Input.empty() || C.OptError)
     return usage();
+
+  // Sampling workers ride the same --threads knob as the parallel
+  // exploration engine; sample outcomes are worker-count independent.
+  if (C.Opts.UseSampling || C.Opts.Resilience.SampleOnExhaustion)
+    C.Opts.Sampling.Workers = C.Opts.Threads ? C.Opts.Threads : 1;
 
   // With budgets or checkpoints in play, ^C should drain at a safe point
   // (final checkpoint, partial report) instead of killing mid-write.
@@ -419,8 +494,12 @@ int main(int argc, char **argv) {
     printResilience(R.Stats.Resilience);
     if (!R.Robust)
       std::printf("%s\n", R.FirstViolationText.c_str());
-    if (C.Stats)
-      printStats(R.Stats);
+    if (C.Stats) {
+      if (R.Sample.Enabled)
+        printSampleStats(R.Sample);
+      else
+        printStats(R.Stats);
+    }
     if (!emitReport(C, Name, "sc", R, Before))
       return ExitInternal;
     return exitCodeFor(R.verdictClass());
@@ -440,16 +519,27 @@ int main(int argc, char **argv) {
                       : VC == VerdictClass::NotRobust
                           ? "NOT ROBUST"
                           : "BOUNDED-ROBUST";
-  std::printf("%s: %s against release/acquire (%llu states, %.3fs, "
-              "%u thread%s%s%s)\n",
-              Name.c_str(), VName,
-              static_cast<unsigned long long>(R.Stats.NumStates),
-              R.Stats.Seconds, C.Opts.Threads,
-              C.Opts.Threads == 1 ? "" : "s",
-              R.Approximate
-                  ? ", bitstate — absence of violations is approximate"
-                  : "",
-              R.Complete ? "" : ", budget hit — result incomplete");
+  if (R.Sample.Enabled)
+    std::printf("%s: %s against release/acquire (%llu samples, %llu "
+                "steps, %.3fs, %s scheduler, seed %llu — sampling: "
+                "absence of violations is probabilistic%s)\n",
+                Name.c_str(), VName,
+                static_cast<unsigned long long>(R.Sample.SamplesRun),
+                static_cast<unsigned long long>(R.Sample.Steps),
+                R.Sample.Seconds, R.Sample.Scheduler.c_str(),
+                static_cast<unsigned long long>(R.Sample.Seed),
+                R.Complete ? "" : ", stopped before the sample budget");
+  else
+    std::printf("%s: %s against release/acquire (%llu states, %.3fs, "
+                "%u thread%s%s%s)\n",
+                Name.c_str(), VName,
+                static_cast<unsigned long long>(R.Stats.NumStates),
+                R.Stats.Seconds, C.Opts.Threads,
+                C.Opts.Threads == 1 ? "" : "s",
+                R.Approximate
+                    ? ", bitstate — absence of violations is approximate"
+                    : "",
+                R.Complete ? "" : ", budget hit — result incomplete");
   printResilience(R.Stats.Resilience);
   for (const Violation &V : R.Violations)
     if (V.K != Violation::Kind::Robustness)
@@ -460,8 +550,12 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(R.Stats.NumDeadlockStates));
   if (!R.Robust)
     std::printf("\n%s\n", R.FirstViolationText.c_str());
-  if (C.Stats)
-    printStats(R.Stats);
+  if (C.Stats) {
+    if (R.Sample.Enabled)
+      printSampleStats(R.Sample);
+    else
+      printStats(R.Stats);
+  }
   if (C.DumpGraph && !R.FirstViolationTrace.empty()) {
     ExecutionGraph G = buildWitnessGraph(*P, R.FirstViolationTrace);
     std::printf("witness execution graph (Theorem 5.1's G):\n%s\n",

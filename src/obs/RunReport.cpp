@@ -22,6 +22,7 @@ RunReport obs::buildRunReport(std::string ProgramName, std::string Mode,
   R.VerdictCls = Result.verdictClass();
   R.NumViolations = Result.Violations.size();
   R.Stats = Result.Stats;
+  R.Sample = Result.Sample;
   R.Telemetry = diff(After, Before);
   return R;
 }
@@ -52,8 +53,9 @@ json::Value toolJson() {
 
 json::Value configJson(const RockerOptions &C) {
   json::Value J = json::Value::object();
-  J.set("engine", C.Threads > 1 && C.BitstateLog2 == 0 ? "parallel"
-                                                       : "sequential");
+  J.set("engine", C.UseSampling ? "sample"
+        : C.Threads > 1 && C.BitstateLog2 == 0 ? "parallel"
+                                               : "sequential");
   J.set("threads", C.Threads);
   J.set("max_states", C.MaxStates);
   J.set("max_seconds", C.MaxSeconds);
@@ -76,6 +78,40 @@ json::Value configJson(const RockerOptions &C) {
   }
   if (C.Resilience.wantsResume())
     J.set("resume", C.Resilience.ResumePath);
+  if (C.Resilience.SampleOnExhaustion)
+    J.set("sample_on_exhaustion", true);
+  if (C.UseSampling || C.Resilience.SampleOnExhaustion) {
+    J.set("samples", C.Sampling.Samples);
+    J.set("sample_seed", C.Sampling.Seed);
+    J.set("sample_depth", C.Sampling.MaxDepth);
+    J.set("sched", sample::sampleSchedulerName(C.Sampling.Sched));
+    J.set("sample_workers", C.Sampling.Workers);
+  }
+  return J;
+}
+
+/// The "sample" stats block (sampling runs only; its presence is what
+/// bumps the schema to rocker-run-report/2).
+json::Value sampleJson(const sample::SampleStats &S) {
+  json::Value J = json::Value::object();
+  J.set("samples_requested", S.SamplesRequested);
+  J.set("samples_run", S.SamplesRun);
+  J.set("steps", S.Steps);
+  J.set("deadlock_samples", S.DeadlockSamples);
+  J.set("depth_cap_hits", S.DepthCapHits);
+  J.set("randomized_samples", S.RandomizedSamples);
+  J.set("seed", S.Seed);
+  J.set("max_depth", S.MaxDepth);
+  J.set("workers", S.Workers);
+  J.set("scheduler", S.Scheduler);
+  // Present only when a violation was found (clean budgets omit it, so
+  // consumers use .get() with a -1 default).
+  if (S.ViolationSample >= 0)
+    J.set("violation_sample", static_cast<uint64_t>(S.ViolationSample));
+  J.set("distinct_final_estimate", S.DistinctFinalEstimate);
+  J.set("sketch_bytes", S.SketchBytes);
+  J.set("seconds", S.Seconds);
+  J.set("schedules_per_sec", S.schedulesPerSec());
   return J;
 }
 
@@ -161,7 +197,11 @@ json::Value telemetryJson(const Snapshot &S) {
 
 json::Value obs::toJson(const RunReport &R) {
   json::Value J = json::Value::object();
-  J.set("schema", "rocker-run-report/1");
+  // The schema bumps to /2 only when the sample block is present, so
+  // every pre-existing (non-sampling) report stays byte-identical and
+  // committed baselines are unaffected.
+  J.set("schema",
+        R.Sample.Enabled ? "rocker-run-report/2" : "rocker-run-report/1");
   J.set("tool", toolJson());
   J.set("program", R.Program);
   J.set("mode", R.Mode);
@@ -175,7 +215,10 @@ json::Value obs::toJson(const RunReport &R) {
   V.set("class", verdictClassName(R.VerdictCls));
   J.set("verdict", std::move(V));
 
-  J.set("stats", statsJson(R.Stats));
+  json::Value Stats = statsJson(R.Stats);
+  if (R.Sample.Enabled)
+    Stats.set("sample", sampleJson(R.Sample));
+  J.set("stats", std::move(Stats));
   J.set("resilience", resilienceJson(R.Stats.Resilience));
   J.set("workers", workersJson(R.Stats));
   J.set("telemetry", telemetryJson(R.Telemetry));

@@ -33,6 +33,10 @@ struct RunReport {
   VerdictClass VerdictCls = VerdictClass::Robust;
   uint64_t NumViolations = 0;
   ExploreStats Stats;
+  /// Sampling-engine outcome (Enabled == false for exhaustive runs;
+  /// serialized as the "sample" stats block, bumping the schema to
+  /// "rocker-run-report/2" only for sampling runs).
+  sample::SampleStats Sample;
   /// Telemetry delta bracketing the run (zeros when compiled out).
   Snapshot Telemetry;
 };

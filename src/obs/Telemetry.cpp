@@ -30,6 +30,8 @@ const char *obs::phaseName(Phase P) {
     return "replay";
   case Phase::Report:
     return "report";
+  case Phase::Sample:
+    return "sample";
   }
   return "unknown";
 }
@@ -74,6 +76,14 @@ const char *obs::counterName(Ctr C) {
     return "resilience.checkpoint_bytes";
   case Ctr::GovernorDowngrades:
     return "resilience.downgrades";
+  case Ctr::SamplesRun:
+    return "sample.samples";
+  case Ctr::SampleSteps:
+    return "sample.steps";
+  case Ctr::SampleDeadlocks:
+    return "sample.deadlocks";
+  case Ctr::SampleDepthHits:
+    return "sample.depth_hits";
   }
   return "unknown";
 }
@@ -191,9 +201,10 @@ ProgressData &obs::progressData() {
   return D;
 }
 
-ProgressScope::ProgressScope(uint64_t MaxStates) {
+ProgressScope::ProgressScope(uint64_t MaxStates, bool SampleMode) {
   ProgressData &D = progressData();
   PrevActive = D.Active.load(std::memory_order_relaxed);
+  PrevSample = D.SampleMode.load(std::memory_order_relaxed);
   PrevMax = D.MaxStates.load(std::memory_order_relaxed);
   D.States.store(0, std::memory_order_relaxed);
   D.Frontier.store(0, std::memory_order_relaxed);
@@ -202,12 +213,14 @@ ProgressScope::ProgressScope(uint64_t MaxStates) {
   D.VisitedBytes.store(0, std::memory_order_relaxed);
   D.MaxStates.store(MaxStates == UINT64_MAX ? 0 : MaxStates,
                     std::memory_order_relaxed);
+  D.SampleMode.store(SampleMode, std::memory_order_relaxed);
   D.Active.store(true, std::memory_order_relaxed);
 }
 
 ProgressScope::~ProgressScope() {
   ProgressData &D = progressData();
   D.Active.store(PrevActive, std::memory_order_relaxed);
+  D.SampleMode.store(PrevSample, std::memory_order_relaxed);
   D.MaxStates.store(PrevMax, std::memory_order_relaxed);
 }
 
@@ -248,6 +261,7 @@ void ProgressReporter::loop(double IntervalSeconds) {
     uint64_t Dedup = D.DedupHits.load(std::memory_order_relaxed);
     uint64_t Bytes = D.VisitedBytes.load(std::memory_order_relaxed);
     uint64_t Budget = D.MaxStates.load(std::memory_order_relaxed);
+    bool SampleMode = D.SampleMode.load(std::memory_order_relaxed);
 
     auto Now = std::chrono::steady_clock::now();
     double Dt = std::chrono::duration<double>(Now - LastTime).count();
@@ -256,27 +270,51 @@ void ProgressReporter::loop(double IntervalSeconds) {
     LastStates = States;
     LastTime = Now;
 
-    double HitRate =
-        States + Dedup ? 100.0 * Dedup / (States + Dedup) : 0.0;
-    std::string Line = "progress: " + std::to_string(States) + " states";
+    std::string Line;
     char Buf[160];
-    std::snprintf(Buf, sizeof(Buf), " (%.0f st/s), frontier %llu, dedup %.1f%%",
-                  Rate, static_cast<unsigned long long>(Frontier), HitRate);
-    Line += Buf;
-    if (Bytes) {
-      std::snprintf(Buf, sizeof(Buf), ", visited %.1f MiB",
-                    Bytes / (1024.0 * 1024.0));
+    if (SampleMode) {
+      // Sampling runs store no states: report samples done, throughput,
+      // steps, and the ETA against the sample budget (same line shape on
+      // TTY and redirected stderr).
+      uint64_t Steps = D.Transitions.load(std::memory_order_relaxed);
+      Line = "progress: " + std::to_string(States) + " samples";
+      std::snprintf(Buf, sizeof(Buf), " (%.0f samples/s), %llu steps", Rate,
+                    static_cast<unsigned long long>(Steps));
       Line += Buf;
-    }
-    if (Budget) {
-      std::snprintf(Buf, sizeof(Buf), ", %.1f%% of %llu budget",
-                    100.0 * States / Budget,
-                    static_cast<unsigned long long>(Budget));
-      Line += Buf;
-      if (Rate > 0 && Budget > States) {
-        std::snprintf(Buf, sizeof(Buf), ", ETA %.0fs to budget",
-                      (Budget - States) / Rate);
+      if (Budget) {
+        std::snprintf(Buf, sizeof(Buf), ", %.1f%% of %llu sample budget",
+                      100.0 * States / Budget,
+                      static_cast<unsigned long long>(Budget));
         Line += Buf;
+        if (Rate > 0 && Budget > States) {
+          std::snprintf(Buf, sizeof(Buf), ", ETA %.0fs to budget",
+                        (Budget - States) / Rate);
+          Line += Buf;
+        }
+      }
+    } else {
+      double HitRate =
+          States + Dedup ? 100.0 * Dedup / (States + Dedup) : 0.0;
+      Line = "progress: " + std::to_string(States) + " states";
+      std::snprintf(Buf, sizeof(Buf),
+                    " (%.0f st/s), frontier %llu, dedup %.1f%%", Rate,
+                    static_cast<unsigned long long>(Frontier), HitRate);
+      Line += Buf;
+      if (Bytes) {
+        std::snprintf(Buf, sizeof(Buf), ", visited %.1f MiB",
+                      Bytes / (1024.0 * 1024.0));
+        Line += Buf;
+      }
+      if (Budget) {
+        std::snprintf(Buf, sizeof(Buf), ", %.1f%% of %llu budget",
+                      100.0 * States / Budget,
+                      static_cast<unsigned long long>(Budget));
+        Line += Buf;
+        if (Rate > 0 && Budget > States) {
+          std::snprintf(Buf, sizeof(Buf), ", ETA %.0fs to budget",
+                        (Budget - States) / Rate);
+          Line += Buf;
+        }
       }
     }
     if (IsTty) {

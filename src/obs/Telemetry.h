@@ -56,9 +56,10 @@ enum class Phase : uint8_t {
   VisitedProbe, ///< Visited-set probe/insert incl. key serialization.
   OracleSweep,  ///< SC-consistency sweeps / oracle set comparisons.
   Replay,       ///< Parallel engine's deterministic sequential replay.
-  Report        ///< Run-report serialization and writing.
+  Report,       ///< Run-report serialization and writing.
+  Sample        ///< Sampling engine's monitored random-schedule loop.
 };
-inline constexpr unsigned NumPhases = 8;
+inline constexpr unsigned NumPhases = 9;
 
 /// Report key for a phase ("parse", "explore", ...).
 const char *phaseName(Phase P);
@@ -89,10 +90,14 @@ enum class Ctr : uint8_t {
   CheckpointWrites, ///< resilience.checkpoint_writes
   CheckpointBytes,  ///< resilience.checkpoint_bytes — payload bytes
                     ///< written (pre-header, post-serialization).
-  GovernorDowngrades ///< resilience.downgrades — degradation-ladder
-                     ///< rungs taken under memory pressure.
+  GovernorDowngrades, ///< resilience.downgrades — degradation-ladder
+                      ///< rungs taken under memory pressure.
+  SamplesRun,      ///< sample.samples — monitored schedules executed.
+  SampleSteps,     ///< sample.steps — transitions across all samples.
+  SampleDeadlocks, ///< sample.deadlocks — samples ending deadlocked.
+  SampleDepthHits  ///< sample.depth_hits — samples cut by MaxDepth.
 };
-inline constexpr unsigned NumCounters = 19;
+inline constexpr unsigned NumCounters = 23;
 
 /// Report key for a counter ("visited.probes", ...).
 const char *counterName(Ctr C);
@@ -219,6 +224,10 @@ struct ProgressData {
   std::atomic<uint64_t> DedupHits{0};
   std::atomic<uint64_t> VisitedBytes{0};
   std::atomic<uint64_t> MaxStates{0}; ///< 0 = no budget (no ETA).
+  /// Sampling-engine run: States/MaxStates mean samples done/budgeted
+  /// and Transitions means monitored steps, so the reporter prints
+  /// samples/sec and a sample-budget ETA instead of stored-state lines.
+  std::atomic<bool> SampleMode{false};
 };
 ProgressData &progressData();
 
@@ -227,13 +236,14 @@ ProgressData &progressData();
 /// the replay-inside-parallel nesting).
 class ProgressScope {
 public:
-  explicit ProgressScope(uint64_t MaxStates);
+  explicit ProgressScope(uint64_t MaxStates, bool SampleMode = false);
   ~ProgressScope();
   ProgressScope(const ProgressScope &) = delete;
   ProgressScope &operator=(const ProgressScope &) = delete;
 
 private:
   bool PrevActive;
+  bool PrevSample;
   uint64_t PrevMax;
 };
 
@@ -294,7 +304,7 @@ inline void add(Ctr, uint64_t = 1) {}
 
 class ProgressScope {
 public:
-  explicit ProgressScope(uint64_t) {}
+  explicit ProgressScope(uint64_t, bool = false) {}
 };
 
 inline void progressUpdate(uint64_t, uint64_t) {}

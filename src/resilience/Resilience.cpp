@@ -15,6 +15,8 @@ const char *rungName(StorageRung R) {
     return "no-payload";
   case StorageRung::Bitstate:
     return "bitstate";
+  case StorageRung::Sample:
+    return "sample";
   }
   return "unknown";
 }

@@ -42,9 +42,15 @@ enum class StorageRung : uint8_t {
   Exact = 0,
   NoPayload = 1,
   Bitstate = 2,
+  /// Monitored random-schedule sampling (src/sample): no visited set at
+  /// all, constant memory, probabilistic coverage. Never an in-run
+  /// storage switch — exploration hands over to the sampling engine
+  /// when the bitstate rung still exhausts the budget (opt-in via
+  /// SampleOnExhaustion).
+  Sample = 3,
 };
 
-/// Human-readable rung name ("exact", "no-payload", "bitstate").
+/// Human-readable rung name ("exact", "no-payload", "bitstate", "sample").
 const char *rungName(StorageRung R);
 
 /// One step down the degradation ladder, with the context in which the
@@ -93,6 +99,13 @@ struct ResilienceOptions {
   /// seconds, the watchdog stops the run as Bounded (0 = off).
   double WatchdogSeconds = 0;
 
+  /// Fourth rung of the ladder: when exploration is truncated by the
+  /// memory budget with no violation found (even after degrading to
+  /// bitstate), rerun through the sampling engine (src/sample) with
+  /// the configured RockerOptions::Sampling budget instead of giving
+  /// up. Verdicts from the fallback are capped at BoundedRobust.
+  bool SampleOnExhaustion = false;
+
   bool wantsCheckpoints() const { return !CheckpointPath.empty(); }
   bool wantsResume() const { return !ResumePath.empty(); }
   bool anyBudget() const { return MemBudgetBytes != 0 || DeadlineSeconds > 0; }
@@ -137,7 +150,10 @@ struct ResilienceReport {
 
   /// True while state coverage is still exhaustive: Robust is claimable
   /// only when this holds and the run completed.
-  bool exact() const { return FinalRung != StorageRung::Bitstate; }
+  bool exact() const {
+    return FinalRung == StorageRung::Exact ||
+           FinalRung == StorageRung::NoPayload;
+  }
 
   /// True if any resilience event made this run's coverage non-conclusive.
   bool degraded() const {

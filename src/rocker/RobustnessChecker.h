@@ -16,6 +16,7 @@
 
 #include "explore/Explorer.h"
 #include "lang/Program.h"
+#include "sample/Schedule.h"
 
 #include <string>
 
@@ -68,6 +69,16 @@ struct RockerOptions {
   /// (resilience/Resilience.h). Applied to the top-level product run
   /// only; internal replays and oracles never checkpoint or degrade.
   resilience::ResilienceOptions Resilience;
+  /// Use the sampling engine (sample/Sampler.h) instead of exhaustive
+  /// exploration: monitored random-schedule execution with no visited
+  /// set. The verdict ceiling is BoundedRobust — a clean sample budget
+  /// proves only "no violation in N schedules" — while violations found
+  /// are real and come with a deterministically replayed trace.
+  bool UseSampling = false;
+  /// Sampling-engine configuration (budget, seed, scheduler, workers);
+  /// consulted when UseSampling is set or when
+  /// Resilience.SampleOnExhaustion triggers the fourth-rung fallback.
+  sample::SampleOptions Sampling;
 };
 
 /// Outcome class with a stable process exit-code mapping (rocker_cli):
@@ -114,6 +125,8 @@ struct RockerReport {
   std::string FirstViolationText;
   /// The raw trace of the first violation (empty without RecordTrace).
   std::vector<TraceStep> FirstViolationTrace;
+  /// Sampling-run outcome (Enabled == false for exhaustive runs).
+  sample::SampleStats Sample;
 
   bool ok() const { return Robust && Complete; }
 

@@ -1,0 +1,131 @@
+//===- sample/Diversify.h - Schedule diversification policies --*- C++ -*-===//
+///
+/// \file
+/// The per-sample thread-choice policies of the sampling engine, beyond
+/// uniform random:
+///
+///  * **Random** — uniform over the enabled threads at every step. The
+///    baseline; probes deep interleavings poorly (each specific ordering
+///    of k racy steps has probability ~1/threads^k).
+///  * **PCT** — probabilistic concurrency testing (Burckhardt et al.,
+///    ASPLOS 2010): each sample draws a random priority permutation and
+///    d random change points; at every step the highest-priority enabled
+///    thread runs, and at each change point the running thread's
+///    priority drops below all others. For a bug of depth d, PCT gives a
+///    1/(threads · MaxDepth^(d-1)) detection guarantee per sample —
+///    vastly better than uniform random for ordering-sensitive
+///    robustness violations.
+///  * **POR-diverse** — reuses the ample-set analysis (explore/Por.h):
+///    when some thread's pending step provably commutes with everything
+///    the other threads can still do, that step is taken
+///    *deterministically* and no randomness is consumed. Random choice
+///    happens only at genuinely racy states, so schedules that differ
+///    merely in the ordering of commuting steps collapse into one —
+///    the sample budget is spent across representatives of distinct
+///    Mazurkiewicz traces instead of re-drawing equivalent ones.
+///
+/// Policies are pure functions of (options, per-sample RNG stream,
+/// state), so a sample's schedule is reproducible from its index alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SAMPLE_DIVERSIFY_H
+#define ROCKER_SAMPLE_DIVERSIFY_H
+
+#include "sample/Schedule.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace rocker::sample {
+
+/// One sample's schedule policy: constructed per sample (PCT draws its
+/// priorities and change points from the sample's RNG stream up front),
+/// then asked to pick a thread at every step.
+class SchedulePolicy {
+public:
+  SchedulePolicy(const SampleOptions &Opts, SampleRng &Rng,
+                 unsigned NumThreads)
+      : Sched(Opts.Sched) {
+    if (Sched != SampleScheduler::Pct)
+      return;
+    // Random priority permutation: Priority[T] ranks thread T; larger
+    // runs first. Values start above the change-point band so demoted
+    // threads always sink below every initial priority.
+    Priority.resize(NumThreads);
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Priority[T] = Opts.PctChangePoints + T + 1;
+    for (unsigned T = NumThreads; T > 1; --T)
+      std::swap(Priority[T - 1], Priority[Rng.below(T)]);
+    // d change points, uniform over the possible step indices.
+    ChangePoints.reserve(Opts.PctChangePoints);
+    for (unsigned I = 0; I != Opts.PctChangePoints; ++I)
+      ChangePoints.push_back(Rng.below(Opts.MaxDepth ? Opts.MaxDepth : 1));
+    std::sort(ChangePoints.begin(), ChangePoints.end());
+    NextDemotion = Opts.PctChangePoints;
+  }
+
+  /// Picks a thread among \p CandMask (bit T set = thread T currently
+  /// schedulable). \p Ample is the POR-selected thread (-1 when none);
+  /// it is honored only by the POR-diverse policy and only while its
+  /// bit is still set. Never consumes randomness for deterministic
+  /// picks. \p CandMask must be non-zero.
+  unsigned pick(SampleRng &Rng, uint64_t CandMask, int Ample) {
+    if (Sched == SampleScheduler::PorDiverse) {
+      if (Ample >= 0 && (CandMask >> Ample) & 1)
+        return static_cast<unsigned>(Ample);
+      TookRandomStep = true;
+      return nthSetBit(CandMask, Rng.below(std::popcount(CandMask)));
+    }
+    if (Sched == SampleScheduler::Pct) {
+      unsigned Best = nthSetBit(CandMask, 0);
+      for (uint64_t M = CandMask & (CandMask - 1); M; M &= M - 1) {
+        unsigned T = static_cast<unsigned>(std::countr_zero(M));
+        if (Priority[T] > Priority[Best])
+          Best = T;
+      }
+      return Best;
+    }
+    TookRandomStep = true;
+    return nthSetBit(CandMask, Rng.below(std::popcount(CandMask)));
+  }
+
+  /// Notifies the policy that thread \p T was scheduled at step
+  /// \p Depth (PCT: demote the running thread at change points). Called
+  /// once per executed step, after the pick succeeded — not for picks
+  /// that turned out blocked.
+  void scheduled(unsigned T, uint64_t Depth) {
+    if (Sched != SampleScheduler::Pct || ChangePoints.empty())
+      return;
+    while (!ChangePoints.empty() && ChangePoints.front() <= Depth) {
+      ChangePoints.erase(ChangePoints.begin());
+      // Demotion band [0, d): each demotion lands strictly below every
+      // initial priority and every earlier demotion.
+      Priority[T] = --NextDemotion;
+    }
+  }
+
+  /// True once this sample made at least one genuinely random choice
+  /// (POR-diverse schedules that stay ample throughout never do).
+  bool tookRandomStep() const { return TookRandomStep; }
+
+private:
+  static unsigned nthSetBit(uint64_t Mask, uint64_t N) {
+    for (uint64_t M = Mask;; M &= M - 1) {
+      if (N-- == 0)
+        return static_cast<unsigned>(std::countr_zero(M));
+    }
+  }
+
+  SampleScheduler Sched;
+  std::vector<unsigned> Priority;       ///< PCT only.
+  std::vector<uint64_t> ChangePoints;   ///< PCT only; sorted, consumed.
+  unsigned NextDemotion = 0;            ///< PCT demotion band cursor.
+  bool TookRandomStep = false;
+};
+
+} // namespace rocker::sample
+
+#endif // ROCKER_SAMPLE_DIVERSIFY_H

@@ -1,0 +1,26 @@
+//===- sample/Sampler.cpp - Monitored random-schedule sampling ------------===//
+
+#include "sample/Sampler.h"
+
+#include <bit>
+#include <cmath>
+
+namespace rocker::sample {
+
+double FinalStateSketch::estimate(uint64_t SamplesSeen) const {
+  // Linear counting (Whang et al. 1990): with m bits and z of them still
+  // zero after inserting the hashes, the maximum-likelihood distinct
+  // count is m·ln(m/z). The m = 2^16 sketch stays within a few percent
+  // up to ~m distinct states and degrades gracefully toward saturation,
+  // where the sample count itself is the only honest upper bound.
+  const double M = static_cast<double>(uint64_t(1) << Log2Bits);
+  uint64_t Zero = 0;
+  for (uint64_t W : Bits)
+    Zero += 64 - std::popcount(W);
+  if (Zero == 0)
+    return static_cast<double>(SamplesSeen);
+  double Est = M * std::log(M / static_cast<double>(Zero));
+  return std::min(Est, static_cast<double>(SamplesSeen));
+}
+
+} // namespace rocker::sample

@@ -1,0 +1,194 @@
+//===- sample/Schedule.h - Seeded schedule streams and options -*- C++ -*-===//
+///
+/// \file
+/// The deterministic randomness substrate of the sampling engine
+/// (sample/Sampler.h): a splittable per-sample PRNG, the scheduler
+/// taxonomy, and the option/stats structs shared with the rocker layer.
+///
+/// Reproducibility contract: sample \c i of a run with master seed \c s
+/// consumes only the stream \c SampleRng::forSample(s, i), so every
+/// sample is independently re-executable — by any worker, in any order,
+/// with any worker count — and a violating sample replays to the exact
+/// same schedule and trace. This is what makes "violation found by
+/// sample #i" a deterministic, shareable artifact instead of a
+/// wall-clock accident.
+///
+/// This header is deliberately link-free (everything inline): it is
+/// included by rocker/RobustnessChecker.h, whose header is in turn
+/// consumed by obs/RunReport.cpp below the sample library in the link
+/// graph.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SAMPLE_SCHEDULE_H
+#define ROCKER_SAMPLE_SCHEDULE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rocker::sample {
+
+/// xoshiro256** with splitmix64 stream derivation. Not cryptographic;
+/// chosen for speed, a 2^256 period, and cheap splitting (each sample's
+/// four state words come from an independently-mixed splitmix64 chain,
+/// so streams for distinct sample indices are statistically independent
+/// even for adjacent indices).
+class SampleRng {
+public:
+  /// The stream for sample \p Index of a run seeded with \p Seed.
+  static SampleRng forSample(uint64_t Seed, uint64_t Index) {
+    SampleRng R;
+    // Golden-ratio offset decorrelates (seed, index) pairs that differ
+    // in only one component before the splitmix chain whitens them.
+    uint64_t X = Seed ^ (Index * 0x9e3779b97f4a7c15ull + 0x6a09e667f3bcc909ull);
+    for (uint64_t &W : R.S)
+      W = splitmix64(X);
+    // All-zero state is the one lacuna of xoshiro; the splitmix chain
+    // cannot produce four zero words, but keep the guard explicit.
+    if (!(R.S[0] | R.S[1] | R.S[2] | R.S[3]))
+      R.S[0] = 0x9e3779b97f4a7c15ull;
+    return R;
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, N) (Lemire's multiply-shift; bias < 2^-64 per
+  /// draw, irrelevant at sampling scales and far cheaper than rejection).
+  uint64_t below(uint64_t N) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * N) >> 64);
+  }
+
+private:
+  static uint64_t splitmix64(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  static uint64_t rotl(uint64_t V, int K) {
+    return (V << K) | (V >> (64 - K));
+  }
+
+  uint64_t S[4] = {};
+};
+
+/// How each sample's interleaving is generated.
+enum class SampleScheduler : uint8_t {
+  Random,    ///< Uniform choice among enabled threads at every step.
+  Pct,       ///< PCT-style thread priorities with random change points.
+  PorDiverse ///< Ample steps (explore/Por.h) taken deterministically;
+             ///< randomness is spent only at genuinely racy states, so
+             ///< schedules differing in commuting steps collapse.
+};
+
+/// CLI name of a scheduler ("random", "pct", "por-diverse").
+inline const char *sampleSchedulerName(SampleScheduler S) {
+  switch (S) {
+  case SampleScheduler::Random:
+    return "random";
+  case SampleScheduler::Pct:
+    return "pct";
+  case SampleScheduler::PorDiverse:
+    return "por-diverse";
+  }
+  return "unknown";
+}
+
+/// Parses a scheduler name; nullopt for unknown spellings.
+inline std::optional<SampleScheduler>
+parseSampleScheduler(const std::string &Name) {
+  if (Name == "random")
+    return SampleScheduler::Random;
+  if (Name == "pct")
+    return SampleScheduler::Pct;
+  if (Name == "por-diverse")
+    return SampleScheduler::PorDiverse;
+  return std::nullopt;
+}
+
+/// Sampling-engine configuration. Defaults are the committed
+/// reproduction settings: every NotRobust corpus program is found
+/// within this budget and seed (asserted by tests/SamplerTest.cpp), so
+/// changing them is a baseline-visible event.
+struct SampleOptions {
+  /// Sample budget — monitored schedules to execute.
+  uint64_t Samples = 4096;
+  /// Master seed; sample i's stream is SampleRng::forSample(Seed, i).
+  uint64_t Seed = 1;
+  /// Per-sample step cap (guards against unlucky walks through spin
+  /// loops; capped samples count toward DepthCapHits, not deadlocks).
+  uint64_t MaxDepth = 4096;
+  SampleScheduler Sched = SampleScheduler::Random;
+  /// PCT: number of priority change points per sample.
+  unsigned PctChangePoints = 3;
+  /// Sampling worker threads sharing the budget (first-violation-wins).
+  unsigned Workers = 1;
+  bool StopOnViolation = true;
+  bool CheckAssertions = true;
+  bool CheckRaces = false;
+  /// Record the violating sample's schedule so the violation replays
+  /// through the standard trace machinery.
+  bool RecordTrace = true;
+  /// Wall-clock deadline in seconds (0 = none); hitting it stops the
+  /// run early with SamplesRun < SamplesRequested.
+  double DeadlineSeconds = 0;
+};
+
+/// Per-run sampling outcome, embedded in RockerReport and surfaced as
+/// the run report's "stats.sample" block. Default-constructed (Enabled
+/// == false) for non-sampling runs, which keeps every pre-existing
+/// report byte-identical.
+struct SampleStats {
+  bool Enabled = false;
+  uint64_t SamplesRequested = 0;
+  /// Samples actually executed to completion (including the violating
+  /// one). Equals SamplesRequested on a clean, undisturbed budget.
+  uint64_t SamplesRun = 0;
+  /// Total monitored transitions executed across all samples.
+  uint64_t Steps = 0;
+  /// Samples that ended with some thread unhalted but nothing enabled.
+  uint64_t DeadlockSamples = 0;
+  /// Samples truncated by the per-sample MaxDepth cap.
+  uint64_t DepthCapHits = 0;
+  /// Schedules where the POR-diverse policy took at least one random
+  /// (non-ample) decision; equal to SamplesRun for random/pct.
+  uint64_t RandomizedSamples = 0;
+  uint64_t Seed = 0;
+  uint64_t MaxDepth = 0;
+  unsigned Workers = 0;
+  std::string Scheduler;
+  /// Index of the sample that produced the reported violation; -1 when
+  /// the budget came back clean.
+  int64_t ViolationSample = -1;
+  /// Linear-counting estimate of distinct final program×memory states
+  /// over the completed samples (from a fixed 2^16-bit sketch — the
+  /// sampler's only state-dependent storage, constant in the explored
+  /// state count).
+  double DistinctFinalEstimate = 0;
+  /// Bytes of the final-state sketch (fixed; reported so the O(1)
+  /// memory claim is testable from the outside).
+  uint64_t SketchBytes = 0;
+  double Seconds = 0;
+
+  double schedulesPerSec() const {
+    return Seconds > 0 ? SamplesRun / Seconds : 0.0;
+  }
+};
+
+} // namespace rocker::sample
+
+#endif // ROCKER_SAMPLE_SCHEDULE_H

@@ -1,0 +1,254 @@
+//===- tests/SamplerTest.cpp - Sampling-engine contract ---------------------===//
+//
+// End-to-end contract of the monitored random-schedule sampling engine:
+//
+//  * Seeded reproducibility: per-sample PRNG streams depend only on
+//    (seed, index), so identical runs give identical violation indices,
+//    violation texts, and step totals.
+//  * Corpus soundness: every program the paper marks not-robust is found
+//    not-robust within the default budget under the committed seed, and
+//    the violation replays into the exhaustive engines' trace format.
+//  * Verdict-class neutrality: a clean budget caps at BoundedRobust —
+//    sampling never claims Robust.
+//  * Budget accounting: 1-worker and 4-worker runs execute exactly the
+//    requested number of samples, split across the shared atomic cursor,
+//    with sample outcomes independent of the worker count.
+//  * O(1) storage: the cross-sample footprint is the fixed 8 KiB final-
+//    state sketch regardless of how large the program's state space is.
+//
+// The Parallel* tests are in the CI ThreadSanitizer job's filter list.
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "memory/SCMemory.h"
+#include "rocker/RobustnessChecker.h"
+#include "sample/Sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace rocker;
+
+namespace {
+
+RockerOptions samplingOptions(uint64_t Samples = 4096, uint64_t Seed = 1,
+                              sample::SampleScheduler Sched =
+                                  sample::SampleScheduler::Random) {
+  RockerOptions RO;
+  RO.UseSampling = true;
+  RO.Sampling.Samples = Samples;
+  RO.Sampling.Seed = Seed;
+  RO.Sampling.Sched = Sched;
+  RO.RecordTrace = true;
+  return RO;
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded splittable streams
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerTest, RngStreamsAreDeterministicPerSeedAndIndex) {
+  sample::SampleRng A = sample::SampleRng::forSample(1, 7);
+  sample::SampleRng B = sample::SampleRng::forSample(1, 7);
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(A.next(), B.next());
+
+  // Different sample index or different seed: statistically disjoint
+  // streams. 64 draws colliding entirely would mean the split is broken.
+  sample::SampleRng C = sample::SampleRng::forSample(1, 8);
+  sample::SampleRng D = sample::SampleRng::forSample(2, 7);
+  sample::SampleRng E = sample::SampleRng::forSample(1, 7);
+  unsigned SameC = 0, SameD = 0;
+  for (int I = 0; I != 64; ++I) {
+    uint64_t R = E.next();
+    SameC += C.next() == R;
+    SameD += D.next() == R;
+  }
+  EXPECT_LT(SameC, 64u);
+  EXPECT_LT(SameD, 64u);
+}
+
+TEST(SamplerTest, SameSeedReproducesRunExactly) {
+  Program P = findCorpusEntry("peterson-sc").parse();
+  RockerReport R1 = checkRobustness(P, samplingOptions());
+  RockerReport R2 = checkRobustness(P, samplingOptions());
+  ASSERT_FALSE(R1.Robust);
+  EXPECT_EQ(R1.Sample.ViolationSample, R2.Sample.ViolationSample);
+  EXPECT_EQ(R1.Sample.Steps, R2.Sample.Steps);
+  EXPECT_EQ(R1.Sample.SamplesRun, R2.Sample.SamplesRun);
+  EXPECT_EQ(R1.FirstViolationText, R2.FirstViolationText);
+  ASSERT_FALSE(R1.FirstViolationTrace.empty());
+  ASSERT_EQ(R1.FirstViolationTrace.size(), R2.FirstViolationTrace.size());
+  for (size_t I = 0; I != R1.FirstViolationTrace.size(); ++I) {
+    EXPECT_EQ(R1.FirstViolationTrace[I].Thread,
+              R2.FirstViolationTrace[I].Thread);
+    EXPECT_EQ(R1.FirstViolationTrace[I].Text, R2.FirstViolationTrace[I].Text);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus soundness under the default budget and committed seed
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerTest, FindsEveryNotRobustCorpusProgram) {
+  auto Check = [](const CorpusEntry &E) {
+    if (E.ExpectRobust)
+      return;
+    Program P = E.parse();
+    RockerReport R = checkRobustness(P, samplingOptions());
+    EXPECT_FALSE(R.Robust) << E.Name << ": sampling missed the violation "
+                           << "within the default budget";
+    EXPECT_EQ(R.verdictClass(), VerdictClass::NotRobust) << E.Name;
+    EXPECT_FALSE(R.FirstViolationText.empty()) << E.Name;
+    EXPECT_GE(R.Sample.ViolationSample, 0) << E.Name;
+  };
+  for (const CorpusEntry &E : figure7Programs())
+    Check(E);
+  for (const CorpusEntry &E : litmusTests())
+    Check(E);
+}
+
+TEST(SamplerTest, EverySchedulerFindsTheKnownViolation) {
+  Program P = findCorpusEntry("peterson-sc").parse();
+  for (sample::SampleScheduler S : {sample::SampleScheduler::Random,
+                                    sample::SampleScheduler::Pct,
+                                    sample::SampleScheduler::PorDiverse}) {
+    RockerReport R = checkRobustness(P, samplingOptions(4096, 1, S));
+    EXPECT_FALSE(R.Robust) << sample::sampleSchedulerName(S);
+    EXPECT_GE(R.Sample.ViolationSample, 0)
+        << sample::sampleSchedulerName(S);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict-class neutrality
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerTest, CleanBudgetIsBoundedRobustNeverRobust) {
+  for (const char *Name : {"peterson-ra", "lamport2-ra"}) {
+    Program P = findCorpusEntry(Name).parse();
+    RockerReport R = checkRobustness(P, samplingOptions(512));
+    EXPECT_TRUE(R.Robust) << Name;
+    EXPECT_TRUE(R.Complete) << Name << ": full budget should not truncate";
+    EXPECT_TRUE(R.Approximate) << Name;
+    EXPECT_EQ(R.verdictClass(), VerdictClass::BoundedRobust) << Name;
+    EXPECT_EQ(R.Sample.SamplesRun, 512u) << Name;
+    EXPECT_EQ(R.Sample.ViolationSample, -1) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Replay through the standard trace machinery
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerTest, ViolationReplaysThroughStandardTracePrinter) {
+  Program P = findCorpusEntry("peterson-sc").parse();
+  RockerReport R = checkRobustness(P, samplingOptions());
+  ASSERT_FALSE(R.Robust);
+  ASSERT_FALSE(R.Violations.empty());
+  ASSERT_FALSE(R.FirstViolationTrace.empty());
+  // The reported text IS the exhaustive engines' renderer applied to the
+  // replayed schedule — byte-for-byte, not a sampling-specific format.
+  EXPECT_EQ(R.FirstViolationText,
+            formatViolation(P, R.Violations.front(), R.FirstViolationTrace));
+  EXPECT_NE(R.FirstViolationText.find("robustness violation"),
+            std::string::npos);
+  EXPECT_NE(R.FirstViolationText.find("found by sample #"),
+            std::string::npos);
+  // The witness schedule replays exactly ViolationSample's recorded
+  // steps: the trace length matches the step count in the detail line.
+  EXPECT_EQ(R.FirstViolationTrace.size(),
+            static_cast<size_t>(R.Violations.front().StateId));
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel workers: shared budget, worker-independent outcomes
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerTest, ParallelBudgetAccounting) {
+  Program P = findCorpusEntry("peterson-ra").parse();
+  SCMemory Mem(P);
+
+  sample::SampleOptions SO;
+  SO.Samples = 512;
+  SO.Seed = 1;
+  SO.StopOnViolation = false;
+
+  uint64_t Steps1 = 0;
+  double Estimate1 = 0;
+  for (unsigned Workers : {1u, 4u}) {
+    SO.Workers = Workers;
+    sample::SampleEngine<SCMemory> Engine(P, Mem, SO);
+    sample::SampleResult Res = Engine.run();
+
+    // The shared cursor hands out exactly the requested budget, and the
+    // per-worker tallies partition it without loss or double counting.
+    EXPECT_EQ(Res.Sample.SamplesRun, SO.Samples);
+    ASSERT_EQ(Res.Stats.Workers.size(), Workers);
+    uint64_t SumSamples = 0, SumSteps = 0;
+    for (const ExploreStats::WorkerCounters &W : Res.Stats.Workers) {
+      SumSamples += W.Expanded;
+      SumSteps += W.Transitions;
+    }
+    EXPECT_EQ(SumSamples, Res.Sample.SamplesRun);
+    EXPECT_EQ(SumSteps, Res.Sample.Steps);
+    EXPECT_FALSE(Res.hasViolation());
+    EXPECT_EQ(Res.Sample.ViolationSample, -1);
+
+    // Sample i's schedule depends only on (seed, i), so the fold over a
+    // full budget is identical whatever the worker count.
+    if (Workers == 1) {
+      Steps1 = Res.Sample.Steps;
+      Estimate1 = Res.Sample.DistinctFinalEstimate;
+    } else {
+      EXPECT_EQ(Res.Sample.Steps, Steps1);
+      EXPECT_EQ(Res.Sample.DistinctFinalEstimate, Estimate1);
+    }
+  }
+}
+
+TEST(SamplerTest, ParallelViolationShutdown) {
+  Program P = findCorpusEntry("peterson-sc").parse();
+  RockerOptions RO = samplingOptions();
+  RO.Sampling.Workers = 4;
+  RockerReport R = checkRobustness(P, RO);
+  ASSERT_FALSE(R.Robust);
+  ASSERT_FALSE(R.Violations.empty());
+  // First-violation-wins: whichever worker won, its schedule replays
+  // into a well-formed trace whose text the standard printer produced.
+  EXPECT_GE(R.Sample.ViolationSample, 0);
+  EXPECT_FALSE(R.FirstViolationTrace.empty());
+  EXPECT_EQ(R.FirstViolationText,
+            formatViolation(P, R.Violations.front(), R.FirstViolationTrace));
+  // Stop-on-violation actually stopped: the budget was not exhausted.
+  EXPECT_LT(R.Sample.SamplesRun, RO.Sampling.Samples);
+}
+
+//===----------------------------------------------------------------------===//
+// O(1) storage in the explored state count
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerTest, StorageIsConstantInStateSpaceSize) {
+  // A few hundred states vs ~763k states: the cross-sample footprint
+  // must be the same fixed sketch either way.
+  Program Small = findCorpusEntry("SB").parse();
+  Program Large = findCorpusEntry("lamport2-3-ra").parse();
+
+  uint64_t Bytes[2];
+  int I = 0;
+  for (Program *P : {&Small, &Large}) {
+    RockerOptions RO = samplingOptions(128);
+    RO.Sampling.StopOnViolation = false;
+    RockerReport R = checkRobustness(*P, RO);
+    EXPECT_EQ(R.Stats.VisitedBytes, R.Sample.SketchBytes);
+    EXPECT_EQ(R.Stats.VisitedRawBytes, R.Sample.SketchBytes);
+    Bytes[I++] = R.Stats.VisitedBytes;
+  }
+  EXPECT_EQ(Bytes[0], Bytes[1]);
+  EXPECT_EQ(Bytes[0], sample::FinalStateSketch().bytes());
+  EXPECT_EQ(Bytes[0], 8192u);
+}
+
+} // namespace
