@@ -1,0 +1,238 @@
+//===- bench/batch_throughput.cpp - Verdict-cache cold vs warm --------------===//
+//
+// Measures the serving tier's whole point: how much cheaper a corpus
+// submission gets once its verdicts are cached. The bench runs the
+// built-in evaluation batch (every Figure 7 program plus the litmus
+// corpus) twice against a freshly created cache directory:
+//
+//   * cold pass — empty cache, every job explores and publishes;
+//   * warm pass — same batch again, every job should be served from
+//     the store without re-exploring.
+//
+// The acceptance bars from the batch-runtime milestone are asserted
+// in-process: the warm pass must reproduce every cold verdict exactly,
+// hit on at least 95% of the jobs, and finish at least --min-speedup
+// times faster (default 10x) than the cold pass. A violated bar is an
+// exit-1 failure, so the CI step catches cache regressions without
+// parsing the table.
+//
+// Usage: batch_throughput [--json FILE] [--jobs N] [--max-states N]
+//                         [--min-speedup X]
+//
+// The JSON output (schema "rocker-bench-batch/1") is diffed by
+// bench/report_diff.py against the committed BENCH_batch.json:
+// verdict/key/state-count/warm-hit changes are errors, cold wall-time
+// growth and warm-speedup drops are timing-class warnings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parexplore/ParallelExplorer.h"
+#include "serve/BatchRunner.h"
+#include "support/ParseNum.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace rocker;
+
+namespace {
+
+/// Empties and removes one cache subdirectory (flat, no recursion
+/// needed: the store layout is entries/*.json and jobs/*.rkcp).
+void removeDirFiles(const std::string &Dir) {
+  if (DIR *D = opendir(Dir.c_str())) {
+    while (dirent *E = readdir(D)) {
+      if (std::strcmp(E->d_name, ".") == 0 || std::strcmp(E->d_name, "..") == 0)
+        continue;
+      std::string Path = Dir + "/" + E->d_name;
+      ::unlink(Path.c_str());
+    }
+    closedir(D);
+  }
+  ::rmdir(Dir.c_str());
+}
+
+void removeCacheDir(const std::string &Dir) {
+  removeDirFiles(Dir + "/entries");
+  removeDirFiles(Dir + "/jobs");
+  ::unlink((Dir + "/index.json").c_str());
+  ::rmdir(Dir.c_str());
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: batch_throughput [--json FILE] [--jobs N]\n"
+               "                        [--max-states N] [--min-speedup X]\n");
+  return 3;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Workers = 1;
+  uint64_t MaxStates = 4000000;
+  double MinSpeedup = 10.0;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string A = argv[I];
+    auto Value = [&]() -> const char * {
+      return ++I == argc ? nullptr : argv[I];
+    };
+    if (A == "--json") {
+      const char *V = Value();
+      if (!V)
+        return usage();
+      JsonPath = V;
+    } else if (A == "--jobs") {
+      const char *V = Value();
+      auto N = V ? num::parseU32(V) : std::nullopt;
+      if (!N) {
+        std::fprintf(stderr, "error: invalid value for --jobs: '%s'\n",
+                     V ? V : "");
+        return usage();
+      }
+      Workers = *N ? *N : resolveThreadCount(0);
+    } else if (A == "--max-states") {
+      const char *V = Value();
+      auto N = V ? num::parseU64(V) : std::nullopt;
+      if (!N) {
+        std::fprintf(stderr, "error: invalid value for --max-states: '%s'\n",
+                     V ? V : "");
+        return usage();
+      }
+      MaxStates = *N;
+    } else if (A == "--min-speedup") {
+      const char *V = Value();
+      auto X = V ? num::parseF64(V) : std::nullopt;
+      if (!X) {
+        std::fprintf(stderr, "error: invalid value for --min-speedup: '%s'\n",
+                     V ? V : "");
+        return usage();
+      }
+      MinSpeedup = *X;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return usage();
+    }
+  }
+
+  char Template[] = "rocker_batch_bench.XXXXXX";
+  if (!mkdtemp(Template)) {
+    std::perror("batch_throughput: mkdtemp");
+    return 4;
+  }
+  std::string CacheDir = Template;
+
+  RockerOptions Defaults;
+  Defaults.MaxStates = MaxStates;
+  std::vector<serve::BatchJob> Jobs = serve::corpusBatch(Defaults);
+
+  serve::BatchOptions BO;
+  BO.CacheDir = CacheDir;
+  BO.Workers = Workers;
+
+  serve::BatchResult Cold = serve::runBatch(Jobs, BO);
+  serve::BatchResult Warm = serve::runBatch(Jobs, BO);
+  removeCacheDir(CacheDir);
+
+  if (Cold.Jobs.size() != Warm.Jobs.size() || Cold.Errors || Warm.Errors) {
+    std::fprintf(stderr, "batch_throughput: batch errors (cold %llu, "
+                         "warm %llu)\n",
+                 static_cast<unsigned long long>(Cold.Errors),
+                 static_cast<unsigned long long>(Warm.Errors));
+    return 4;
+  }
+
+  bool VerdictsIdentical = true;
+  std::printf("%-24s %-13s %9s  warm\n", "Program", "Verdict", "States");
+  std::printf("%s\n", std::string(56, '-').c_str());
+  for (size_t I = 0; I != Cold.Jobs.size(); ++I) {
+    const serve::BatchJobResult &C = Cold.Jobs[I];
+    const serve::BatchJobResult &W = Warm.Jobs[I];
+    bool Same = C.Verdict == W.Verdict && C.States == W.States &&
+                C.Key == W.Key;
+    VerdictsIdentical = VerdictsIdentical && Same;
+    std::printf("%-24s %-13s %9llu  %-4s%s\n", C.Name.c_str(),
+                verdictClassName(C.Verdict),
+                static_cast<unsigned long long>(C.States),
+                W.Source == serve::JobSource::CacheHit ? "hit" : "MISS",
+                Same ? "" : "  VERDICT CHANGED");
+  }
+
+  double Speedup =
+      Warm.WallSeconds > 0 ? Cold.WallSeconds / Warm.WallSeconds : 0.0;
+  double HitRate = Warm.hitRate();
+  std::printf("\ncold: %.3fs (%llu stored)   warm: %.3fs "
+              "(%llu/%zu hits, %.1f%%)   speedup: %.0fx\n",
+              Cold.WallSeconds, static_cast<unsigned long long>(Cold.Stores),
+              Warm.WallSeconds, static_cast<unsigned long long>(Warm.Hits),
+              Warm.Jobs.size(), 100.0 * HitRate, Speedup);
+
+  if (!JsonPath.empty()) {
+    obs::json::Value Doc = obs::json::Value::object();
+    Doc.set("schema", "rocker-bench-batch/1");
+    Doc.set("corpus_size", static_cast<uint64_t>(Cold.Jobs.size()));
+    obs::json::Value ColdJ = obs::json::Value::object();
+    ColdJ.set("seconds", Cold.WallSeconds);
+    ColdJ.set("hits", Cold.Hits);
+    ColdJ.set("misses", Cold.Misses);
+    ColdJ.set("stores", Cold.Stores);
+    Doc.set("cold", std::move(ColdJ));
+    obs::json::Value WarmJ = obs::json::Value::object();
+    WarmJ.set("seconds", Warm.WallSeconds);
+    WarmJ.set("hits", Warm.Hits);
+    WarmJ.set("misses", Warm.Misses);
+    Doc.set("warm", std::move(WarmJ));
+    Doc.set("speedup", Speedup);
+    Doc.set("hit_rate", HitRate);
+    Doc.set("verdicts_identical", VerdictsIdentical);
+    obs::json::Value Rows = obs::json::Value::array();
+    for (size_t I = 0; I != Cold.Jobs.size(); ++I) {
+      const serve::BatchJobResult &C = Cold.Jobs[I];
+      obs::json::Value Row = obs::json::Value::object();
+      Row.set("name", C.Name);
+      Row.set("key", C.Key);
+      Row.set("verdict", verdictClassName(C.Verdict));
+      Row.set("states", C.States);
+      Row.set("warm_hit",
+              Warm.Jobs[I].Source == serve::JobSource::CacheHit);
+      Rows.push(std::move(Row));
+    }
+    Doc.set("programs", std::move(Rows));
+    std::FILE *F = JsonPath == "-" ? stdout : std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "batch_throughput: cannot write %s\n",
+                   JsonPath.c_str());
+      return 4;
+    }
+    std::string Out = Doc.dump();
+    std::fwrite(Out.data(), 1, Out.size(), F);
+    std::fputc('\n', F);
+    if (F != stdout)
+      std::fclose(F);
+  }
+
+  // The milestone's acceptance bars, asserted here so CI fails loudly.
+  bool Ok = true;
+  if (!VerdictsIdentical) {
+    std::fprintf(stderr, "FAIL: warm verdicts differ from cold pass\n");
+    Ok = false;
+  }
+  if (HitRate < 0.95) {
+    std::fprintf(stderr, "FAIL: warm hit rate %.1f%% below 95%%\n",
+                 100.0 * HitRate);
+    Ok = false;
+  }
+  if (Speedup < MinSpeedup) {
+    std::fprintf(stderr, "FAIL: warm speedup %.1fx below %.1fx\n", Speedup,
+                 MinSpeedup);
+    Ok = false;
+  }
+  return Ok ? 0 : 1;
+}

@@ -28,6 +28,7 @@
 #include "litmus/Corpus.h"
 #include "obs/RunReport.h"
 #include "rocker/RobustnessChecker.h"
+#include "support/ParseNum.h"
 #include "tso/TSORobustness.h"
 
 #include <cstdio>
@@ -92,11 +93,23 @@ int main(int argc, char **argv) {
     } else if (Is(*It, "--samples")) {
       if (!TakeValue(It, "--samples", Val))
         return 3;
-      Sampling.Samples = std::strtoull(Val.c_str(), nullptr, 10);
+      if (auto N = num::parseU64(Val.c_str())) {
+        Sampling.Samples = *N;
+      } else {
+        std::fprintf(stderr, "error: invalid value for --samples: '%s'\n",
+                     Val.c_str());
+        return 3;
+      }
     } else if (Is(*It, "--sample-seed")) {
       if (!TakeValue(It, "--sample-seed", Val))
         return 3;
-      Sampling.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+      if (auto N = num::parseU64(Val.c_str())) {
+        Sampling.Seed = *N;
+      } else {
+        std::fprintf(stderr, "error: invalid value for --sample-seed: '%s'\n",
+                     Val.c_str());
+        return 3;
+      }
     } else if (Is(*It, "--sched")) {
       if (!TakeValue(It, "--sched", Val))
         return 3;

@@ -33,6 +33,14 @@ Also accepts a pair of sampler-throughput bench files (schema
 bench runs a fixed seed on one worker) and schedules/sec drops beyond
 the threshold are warnings.
 
+Also accepts a pair of batch-throughput bench files (schema
+"rocker-bench-batch/1", written by `batch_throughput --json`): per
+program, verdict/key/state-count/warm-hit changes are errors (the
+verdict cache must reproduce the fresh verdict exactly and the key
+format is part of the on-disk contract), a warm hit rate below 95% is
+an error (the batch acceptance bar), and cold wall-time growth or
+warm-speedup drops beyond the threshold are warnings.
+
 Also accepts a pair of checkpoint-overhead bench files (schema
 "rocker-bench-resilience/1", written by `checkpoint_overhead --json`).
 For those the tool flags state-count changes and checkpoint-perturbed
@@ -61,14 +69,18 @@ import sys
 SCHEMAS = ("rocker-run-report/1", "rocker-run-report/2")
 RESILIENCE_SCHEMA = "rocker-bench-resilience/1"
 SAMPLE_SCHEMA = "rocker-bench-sample/1"
+BATCH_SCHEMA = "rocker-bench-batch/1"
 CKPT_OVERHEAD_BAR_PCT = 5.0  # 30s-interval overhead acceptance bar.
+BATCH_HIT_RATE_BAR = 0.95  # warm-pass hit-rate acceptance bar.
 
 
 def load_reports(path):
     """Returns ("run", {program-name: report}) for run-report files,
     ("resilience", {program-name: row}) for checkpoint-overhead bench
-    files, or ("sample", {(program, scheduler): row}) for
-    sampler-throughput bench files."""
+    files, ("sample", {(program, scheduler): row}) for
+    sampler-throughput bench files, or ("batch", whole-file-dict) for
+    batch-throughput bench files (those carry summary fields next to
+    the per-program rows, so the dict is kept intact)."""
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     if isinstance(data, dict) and data.get("schema") == RESILIENCE_SCHEMA:
@@ -77,21 +89,31 @@ def load_reports(path):
         return "sample", {
             (p["name"], p["scheduler"]): p for p in data["programs"]
         }
+    if isinstance(data, dict) and data.get("schema") == BATCH_SCHEMA:
+        return "batch", data
     reports = data if isinstance(data, list) else [data]
     out = {}
     for r in reports:
         if r.get("schema") not in SCHEMAS:
             raise ValueError(
                 f"{path}: unexpected schema {r.get('schema')!r} "
-                f"(want one of {SCHEMAS!r}, {RESILIENCE_SCHEMA!r}, or "
-                f"{SAMPLE_SCHEMA!r})"
+                f"(want one of {SCHEMAS!r}, {RESILIENCE_SCHEMA!r}, "
+                f"{SAMPLE_SCHEMA!r}, or {BATCH_SCHEMA!r})"
             )
         out[r["program"]] = r
     return "run", out
 
 
 def pct(new, old):
-    return 100.0 * (new - old) / old if old else 0.0
+    """Relative change in percent, or None when the baseline is zero.
+
+    A zero baseline has no meaningful percentage — treating it as 0%
+    (the old behaviour) silently hid every regression against a
+    zero-valued baseline row. Callers turn None into a "new/absolute"
+    row that reports the raw values without a percentage."""
+    if not old:
+        return None
+    return 100.0 * (new - old) / old
 
 
 def compare(base, cur, threshold):
@@ -157,7 +179,15 @@ def compare(base, cur, threshold):
                 )
             sched_delta = pct(c_smp.get("schedules_per_sec", 0),
                               b_smp.get("schedules_per_sec", 0))
-            if sched_delta < -threshold:
+            if sched_delta is None:
+                if c_smp.get("schedules_per_sec", 0):
+                    yield "warn", (
+                        f"{name}: schedules/sec new/absolute "
+                        f"(baseline 0, now "
+                        f"{c_smp.get('schedules_per_sec', 0):.0f}; "
+                        "no percentage)"
+                    )
+            elif sched_delta < -threshold:
                 yield "warn", (
                     f"{name}: schedules/sec dropped {-sched_delta:.1f}% "
                     f"({b_smp.get('schedules_per_sec', 0):.0f} -> "
@@ -166,7 +196,13 @@ def compare(base, cur, threshold):
 
         rate_delta = pct(cs.get("states_per_sec", 0),
                          bs.get("states_per_sec", 0))
-        if rate_delta < -threshold:
+        if rate_delta is None:
+            if cs.get("states_per_sec", 0):
+                yield "warn", (
+                    f"{name}: states/sec new/absolute (baseline 0, now "
+                    f"{cs.get('states_per_sec', 0):.0f}; no percentage)"
+                )
+        elif rate_delta < -threshold:
             yield "warn", (
                 f"{name}: states/sec dropped {-rate_delta:.1f}% "
                 f"({bs.get('states_per_sec', 0):.0f} -> "
@@ -175,7 +211,13 @@ def compare(base, cur, threshold):
 
         bytes_delta = pct(cs.get("visited_bytes", 0),
                           bs.get("visited_bytes", 0))
-        if bytes_delta > threshold:
+        if bytes_delta is None:
+            if cs.get("visited_bytes", 0):
+                yield "warn", (
+                    f"{name}: visited bytes new/absolute (baseline 0, "
+                    f"now {cs.get('visited_bytes', 0)}; no percentage)"
+                )
+        elif bytes_delta > threshold:
             yield "warn", (
                 f"{name}: visited bytes grew {bytes_delta:.1f}% "
                 f"({bs.get('visited_bytes', 0)} -> "
@@ -247,13 +289,85 @@ def compare_sample(base, cur, threshold):
             )
         sched_delta = pct(c.get("schedules_per_sec", 0),
                           b.get("schedules_per_sec", 0))
-        if sched_delta < -threshold:
+        if sched_delta is None:
+            if c.get("schedules_per_sec", 0):
+                yield "warn", (
+                    f"{label(key)}: schedules/sec new/absolute "
+                    f"(baseline 0, now "
+                    f"{c.get('schedules_per_sec', 0):.0f}; "
+                    "no percentage)"
+                )
+        elif sched_delta < -threshold:
             yield "warn", (
                 f"{label(key)}: schedules/sec dropped "
                 f"{-sched_delta:.1f}% "
                 f"({b.get('schedules_per_sec', 0):.0f} -> "
                 f"{c.get('schedules_per_sec', 0):.0f})"
             )
+
+
+def compare_batch(base, cur, threshold):
+    """Comparison for batch-throughput bench files (cold-vs-warm verdict
+    cache passes over the evaluation corpus). The cache contract is that
+    a warm hit reproduces the fresh verdict exactly, so per-program
+    verdict, cache-key, state-count, or warm-hit changes are errors; so
+    is a warm hit rate below the 95% acceptance bar. Cold wall-time
+    growth and warm-speedup drops beyond the threshold are timing-class
+    warnings."""
+    b_rows = {p["name"]: p for p in base.get("programs", [])}
+    c_rows = {p["name"]: p for p in cur.get("programs", [])}
+    for name in sorted(set(b_rows) | set(c_rows)):
+        if name not in c_rows:
+            yield "error", f"{name}: present in baseline, missing now"
+            continue
+        if name not in b_rows:
+            yield "warn", f"{name}: new program (no baseline)"
+            continue
+        b, c = b_rows[name], c_rows[name]
+        for key in ("verdict", "key", "states", "warm_hit"):
+            if b.get(key) != c.get(key):
+                yield "error", (
+                    f"{name}: {key} changed "
+                    f"{b.get(key)!r} -> {c.get(key)!r}"
+                )
+
+    if not cur.get("verdicts_identical", True):
+        yield "error", "warm verdicts differ from the cold pass"
+    hit_rate = cur.get("hit_rate", 1.0)
+    if hit_rate < BATCH_HIT_RATE_BAR:
+        yield "error", (
+            f"warm hit rate {100.0 * hit_rate:.1f}% below the "
+            f"{100.0 * BATCH_HIT_RATE_BAR:.0f}% bar"
+        )
+
+    cold_b = base.get("cold", {}).get("seconds", 0)
+    cold_c = cur.get("cold", {}).get("seconds", 0)
+    cold_delta = pct(cold_c, cold_b)
+    if cold_delta is None:
+        if cold_c:
+            yield "warn", (
+                f"cold wall time new/absolute (baseline 0, now "
+                f"{cold_c:.3f}s; no percentage)"
+            )
+    elif cold_delta > threshold:
+        yield "warn", (
+            f"cold wall time grew {cold_delta:.1f}% "
+            f"({cold_b:.3f}s -> {cold_c:.3f}s)"
+        )
+
+    sp_delta = pct(cur.get("speedup", 0), base.get("speedup", 0))
+    if sp_delta is None:
+        if cur.get("speedup", 0):
+            yield "warn", (
+                f"warm speedup new/absolute (baseline 0, now "
+                f"{cur.get('speedup', 0):.0f}x; no percentage)"
+            )
+    elif sp_delta < -threshold:
+        yield "warn", (
+            f"warm speedup dropped {-sp_delta:.1f}% "
+            f"({base.get('speedup', 0):.0f}x -> "
+            f"{cur.get('speedup', 0):.0f}x)"
+        )
 
 
 def main(argv):
@@ -298,13 +412,16 @@ def main(argv):
     compare_fn = {
         "resilience": compare_resilience,
         "sample": compare_sample,
+        "batch": compare_batch,
     }.get(base_kind, compare)
     findings = list(compare_fn(base, cur, args.threshold))
     for severity, msg in findings:
         print(f"{severity}: {msg}")
     if not findings:
+        count = len(cur.get("programs", [])) if base_kind == "batch" \
+            else len(cur)
         print(
-            f"ok: {len(cur)} programs, no regressions beyond "
+            f"ok: {count} programs, no regressions beyond "
             f"{args.threshold:.0f}%"
         )
     if args.update_baseline:

@@ -1,0 +1,212 @@
+//===- examples/rocker_batch.cpp - Batch verdict-cache runtime ------------===//
+//
+// Usage: rocker_batch [options] <manifest.json | --corpus>
+//
+// The batch front end of the serving tier (src/serve): runs a
+// rocker-batch-manifest/1 job file — or the built-in Figure 7 + litmus
+// evaluation corpus — across a worker pool, serving every verdict the
+// cache already holds without re-exploring and publishing every fresh
+// complete verdict for the next submission.
+//
+// Exit codes follow the batch contract: 0 all robust, 1 any not-robust,
+// 2 any bounded-robust, 3 usage error, 4 any job/internal error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parexplore/ParallelExplorer.h"
+#include "resilience/Resilience.h"
+#include "serve/BatchRunner.h"
+#include "support/ParseNum.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace rocker;
+
+namespace {
+
+enum ExitCode : int {
+  ExitUsage = 3,
+  ExitInternal = 4,
+};
+
+struct BatchCliState {
+  serve::BatchOptions BO;
+  RockerOptions Defaults; ///< --corpus per-job defaults.
+  bool Corpus = false;
+  std::string ManifestPath;
+  std::string ReportPath;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: rocker_batch [options] <manifest.json | --corpus>\n"
+      "\noptions:\n"
+      "  --corpus            run the built-in Figure 7 + litmus corpus\n"
+      "                      instead of a manifest file\n"
+      "  --cache DIR         verdict cache directory (default: no cache,\n"
+      "                      every job runs fresh)\n"
+      "  --jobs N            worker-pool size — jobs in flight at once\n"
+      "                      (default 1; 0 = hardware concurrency)\n"
+      "  --recheck           bypass cache lookups; fresh verdicts are\n"
+      "                      still stored\n"
+      "  --report FILE       write the rocker-batch-report/1 summary\n"
+      "                      (\"-\" = stdout)\n"
+      "  --threads N         --corpus: engine threads per job (default 1)\n"
+      "  --max-states N      --corpus: per-job state budget\n"
+      "  --mem-budget BYTES  --corpus: per-job memory budget (K/M/G)\n"
+      "  --deadline S        --corpus: per-job wall-clock deadline\n"
+      "  --sample-on-exhaustion\n"
+      "                      --corpus: sampling fallback on exhaustion\n"
+      "\nexit codes: 0 all robust, 1 any not robust, 2 any bounded,\n"
+      "3 usage, 4 any job error\n");
+  return ExitUsage;
+}
+
+/// Numeric option value via the checked parsers; garbage = usage error.
+template <typename ParseFn, typename Apply>
+bool checkedValue(const char *Flag, const char *V, ParseFn Parse,
+                  Apply Set) {
+  if (auto N = Parse(V)) {
+    Set(*N);
+    return true;
+  }
+  std::fprintf(stderr, "error: invalid value for %s: '%s'\n", Flag,
+               V ? V : "");
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BatchCliState C;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string A = argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      if (++I == argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[I];
+    };
+    if (A == "--corpus") {
+      C.Corpus = true;
+    } else if (A == "--recheck") {
+      C.BO.UseCache = false;
+    } else if (A == "--cache") {
+      const char *V = Value("--cache");
+      if (!V)
+        return usage();
+      C.BO.CacheDir = V;
+    } else if (A == "--report") {
+      const char *V = Value("--report");
+      if (!V)
+        return usage();
+      C.ReportPath = V;
+    } else if (A == "--jobs") {
+      const char *V = Value("--jobs");
+      if (!V || !checkedValue("--jobs", V,
+                            [](const char *S) { return num::parseU32(S); }, [&](unsigned N) {
+            C.BO.Workers = N ? N : resolveThreadCount(0);
+          }))
+        return usage();
+    } else if (A == "--threads") {
+      const char *V = Value("--threads");
+      if (!V || !checkedValue("--threads", V,
+                            [](const char *S) { return num::parseU32(S); }, [&](unsigned N) {
+            C.Defaults.Threads = N ? N : resolveThreadCount(0);
+          }))
+        return usage();
+    } else if (A == "--max-states") {
+      const char *V = Value("--max-states");
+      if (!V || !checkedValue("--max-states", V,
+                              [](const char *S) { return num::parseU64(S); },
+                              [&](uint64_t N) { C.Defaults.MaxStates = N; }))
+        return usage();
+    } else if (A == "--mem-budget") {
+      const char *V = Value("--mem-budget");
+      if (!V || !checkedValue("--mem-budget", V,
+                              [](const char *S) { return num::parseByteSize(S); },
+                              [&](uint64_t N) {
+                                C.Defaults.Resilience.MemBudgetBytes = N;
+                              }))
+        return usage();
+    } else if (A == "--deadline") {
+      const char *V = Value("--deadline");
+      if (!V || !checkedValue("--deadline", V,
+                              [](const char *S) { return num::parseF64(S); }, [&](double S) {
+            C.Defaults.Resilience.DeadlineSeconds = S;
+          }))
+        return usage();
+    } else if (A == "--sample-on-exhaustion") {
+      C.Defaults.Resilience.SampleOnExhaustion = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return usage();
+    } else if (C.ManifestPath.empty()) {
+      C.ManifestPath = A;
+    } else {
+      return usage();
+    }
+  }
+  if (C.Corpus == !C.ManifestPath.empty())
+    return usage(); // Exactly one of --corpus / manifest file.
+
+  std::vector<serve::BatchJob> Jobs;
+  if (C.Corpus) {
+    Jobs = serve::corpusBatch(C.Defaults);
+  } else {
+    std::ifstream In(C.ManifestPath);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read batch manifest '%s'\n",
+                   C.ManifestPath.c_str());
+      return ExitUsage;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string MErr;
+    auto Parsed = serve::parseBatchManifest(Buf.str(), &MErr);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: %s: %s\n", C.ManifestPath.c_str(),
+                   MErr.c_str());
+      return ExitUsage;
+    }
+    Jobs = std::move(*Parsed);
+  }
+
+  // ^C drains in-flight jobs at a safe point; preempted jobs leave
+  // resumable spills in the cache.
+  resilience::installStopHandlers();
+
+  serve::BatchResult R = serve::runBatch(Jobs, C.BO);
+
+  for (const serve::BatchJobResult &J : R.Jobs) {
+    if (!J.Error.empty()) {
+      std::printf("%-24s ERROR: %s\n", J.Name.c_str(), J.Error.c_str());
+      continue;
+    }
+    std::printf("%-24s %-15s %-9s %llu states, %.3fs%s\n", J.Name.c_str(),
+                verdictClassName(J.Verdict), serve::jobSourceName(J.Source),
+                static_cast<unsigned long long>(J.States), J.EngineSeconds,
+                J.Stored ? " [stored]" : "");
+  }
+  std::printf("batch: %zu jobs, %llu hits / %llu misses (%llu resumed), "
+              "%.3fs wall%s\n",
+              R.Jobs.size(), static_cast<unsigned long long>(R.Hits),
+              static_cast<unsigned long long>(R.Misses),
+              static_cast<unsigned long long>(R.Resumes), R.WallSeconds,
+              R.Errors ? " — ERRORS" : "");
+
+  if (!C.ReportPath.empty() &&
+      !serve::writeBatchReport(C.ReportPath, R, C.BO)) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 C.ReportPath.c_str());
+    return ExitInternal;
+  }
+  return serve::batchExitCode(R);
+}

@@ -21,6 +21,8 @@
 #include "resilience/Resilience.h"
 #include "rocker/RobustnessChecker.h"
 #include "rocker/WitnessGraph.h"
+#include "serve/BatchRunner.h"
+#include "support/ParseNum.h"
 #include "tso/TSORobustness.h"
 
 #include <cstdio>
@@ -45,8 +47,21 @@ struct CliState {
   bool Stats = false;
   std::string ReportPath;       ///< --report / ROCKER_REPORT.
   double ProgressInterval = 0;  ///< --progress / ROCKER_PROGRESS; 0 = off.
+  std::string BatchManifest;    ///< --batch; run a manifest, not a program.
+  std::string CacheDir;         ///< --cache; verdict cache for --batch.
+  unsigned BatchWorkers = 1;    ///< --jobs; batch worker-pool size.
   bool OptError = false;        ///< An option value failed to parse.
 };
+
+/// Rejects a malformed option value: usage message + exit code 3 (via
+/// OptError → usage()). All numeric flags and env values route through
+/// the checked num:: parsers and land here on garbage — trailing junk
+/// ("--threads=2x") used to be silently misparsed.
+void badValue(CliState &C, const char *Flag, const char *V) {
+  std::fprintf(stderr, "error: invalid value for %s: '%s'\n", Flag,
+               V ? V : "");
+  C.OptError = true;
+}
 
 /// One command-line option: flag name, argument placeholder (null for
 /// plain flags), help text, and its effect. All options accept the
@@ -59,25 +74,18 @@ struct CliOption {
   bool OptionalArg = false; ///< The argument may be omitted (--name[=V]).
 };
 
-/// --progress interval from a flag or env value; bare/garbage = 2s.
-double progressInterval(const char *V) {
-  double S = V ? std::strtod(V, nullptr) : 0;
-  return S > 0 ? S : 2.0;
-}
-
-/// Byte count with an optional K/M/G suffix ("512M", "2G", "1048576").
-uint64_t parseBytes(const char *V) {
-  char *End = nullptr;
-  double N = std::strtod(V, &End);
-  uint64_t Mult = 1;
-  if (End)
-    switch (*End) {
-    case 'k': case 'K': Mult = 1ull << 10; break;
-    case 'm': case 'M': Mult = 1ull << 20; break;
-    case 'g': case 'G': Mult = 1ull << 30; break;
-    default: break;
-    }
-  return N > 0 ? static_cast<uint64_t>(N * Mult) : 0;
+/// --progress / ROCKER_PROGRESS interval: bare --progress = 2s, an
+/// explicit value must be a valid non-negative number (0 = off).
+void setProgressInterval(CliState &C, const char *Flag, const char *V) {
+  if (!V) {
+    C.ProgressInterval = 2.0;
+    return;
+  }
+  auto S = num::parseF64(V);
+  if (!S)
+    badValue(C, Flag, V);
+  else
+    C.ProgressInterval = *S;
 }
 
 /// Exit codes (stable contract, consumed by bench/fig7_table and CI):
@@ -104,26 +112,36 @@ const CliOption Options[] = {
      [](CliState &C, const char *) { C.Opts.CheckAssertions = false; }},
     {"--max-states", "N", "state budget (default 200M)",
      [](CliState &C, const char *V) {
-       C.Opts.MaxStates = std::strtoull(V, nullptr, 10);
+       if (auto N = num::parseU64(V))
+         C.Opts.MaxStates = *N;
+       else
+         badValue(C, "--max-states", V);
      }},
     {"--max-seconds", "S",
      "wall-clock budget (parallel engine; default none)",
      [](CliState &C, const char *V) {
-       C.Opts.MaxSeconds = std::strtod(V, nullptr);
+       if (auto S = num::parseF64(V))
+         C.Opts.MaxSeconds = *S;
+       else
+         badValue(C, "--max-seconds", V);
      }},
     {"--threads", "N",
      "worker threads (default 1 = sequential engine; 0 = hardware "
      "concurrency)",
      [](CliState &C, const char *V) {
-       unsigned N = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
-       C.Opts.Threads = N ? N : resolveThreadCount(0);
+       if (auto N = num::parseU32(V))
+         C.Opts.Threads = *N ? *N : resolveThreadCount(0);
+       else
+         badValue(C, "--threads", V);
      }},
     {"--bitstate", "K",
      "Spin-style bitstate hashing with 2^K bits (approximate; sequential "
      "engine only)",
      [](CliState &C, const char *V) {
-       C.Opts.BitstateLog2 =
-           static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+       if (auto K = num::parseU32(V))
+         C.Opts.BitstateLog2 = *K;
+       else
+         badValue(C, "--bitstate", V);
      }},
     {"--no-compress", nullptr,
      "store full state keys instead of the compressed (interned-"
@@ -162,7 +180,7 @@ const CliOption Options[] = {
      "bytes, ETA) to stderr every SECS seconds (default 2); env "
      "equivalent: ROCKER_PROGRESS",
      [](CliState &C, const char *V) {
-       C.ProgressInterval = progressInterval(V);
+       setProgressInterval(C, "--progress", V);
      },
      /*OptionalArg=*/true},
     {"--mem-budget", "BYTES",
@@ -171,13 +189,19 @@ const CliOption Options[] = {
      "bitstate) instead of OOMing; a degraded clean sweep exits "
      "BOUNDED-ROBUST (2)",
      [](CliState &C, const char *V) {
-       C.Opts.Resilience.MemBudgetBytes = parseBytes(V);
+       if (auto B = num::parseByteSize(V))
+         C.Opts.Resilience.MemBudgetBytes = *B;
+       else
+         badValue(C, "--mem-budget", V);
      }},
     {"--deadline", "S",
      "wall-clock deadline: the run drains at a safe point, writes a "
      "final checkpoint (with --checkpoint), and exits BOUNDED-ROBUST",
      [](CliState &C, const char *V) {
-       C.Opts.Resilience.DeadlineSeconds = std::strtod(V, nullptr);
+       if (auto S = num::parseF64(V))
+         C.Opts.Resilience.DeadlineSeconds = *S;
+       else
+         badValue(C, "--deadline", V);
      }},
     {"--checkpoint", "FILE",
      "write crash-safe checkpoints to FILE periodically and on "
@@ -189,8 +213,10 @@ const CliOption Options[] = {
     {"--checkpoint-interval", "S",
      "seconds between periodic checkpoints (default 30)",
      [](CliState &C, const char *V) {
-       C.Opts.Resilience.CheckpointIntervalSeconds =
-           std::strtod(V, nullptr);
+       if (auto S = num::parseF64(V))
+         C.Opts.Resilience.CheckpointIntervalSeconds = *S;
+       else
+         badValue(C, "--checkpoint-interval", V);
      }},
     {"--resume", "FILE",
      "resume from a checkpoint written by --checkpoint; the program and "
@@ -202,7 +228,10 @@ const CliOption Options[] = {
      "parallel engine: if no worker makes progress for S seconds, stop "
      "the run as BOUNDED-ROBUST instead of hanging",
      [](CliState &C, const char *V) {
-       C.Opts.Resilience.WatchdogSeconds = std::strtod(V, nullptr);
+       if (auto S = num::parseF64(V))
+         C.Opts.Resilience.WatchdogSeconds = *S;
+       else
+         badValue(C, "--watchdog", V);
      }},
     {"--engine", "ENG",
      "exact (default) or sample: monitored random-schedule sampling with "
@@ -214,17 +243,23 @@ const CliOption Options[] = {
        else if (std::strcmp(V, "exact") == 0)
          C.Opts.UseSampling = false;
        else
-         C.OptError = true;
+         badValue(C, "--engine", V);
      }},
     {"--samples", "N", "sampling engine: sample budget (default 4096)",
      [](CliState &C, const char *V) {
-       C.Opts.Sampling.Samples = std::strtoull(V, nullptr, 10);
+       if (auto N = num::parseU64(V))
+         C.Opts.Sampling.Samples = *N;
+       else
+         badValue(C, "--samples", V);
      }},
     {"--sample-seed", "S",
      "sampling engine: master seed; sample i replays deterministically "
      "from (seed, i) alone (default 1)",
      [](CliState &C, const char *V) {
-       C.Opts.Sampling.Seed = std::strtoull(V, nullptr, 10);
+       if (auto S = num::parseU64(V))
+         C.Opts.Sampling.Seed = *S;
+       else
+         badValue(C, "--sample-seed", V);
      }},
     {"--sched", "NAME",
      "sampling engine: schedule generator — random, pct (priority "
@@ -234,12 +269,15 @@ const CliOption Options[] = {
        if (auto S = sample::parseSampleScheduler(V))
          C.Opts.Sampling.Sched = *S;
        else
-         C.OptError = true;
+         badValue(C, "--sched", V);
      }},
     {"--sample-depth", "N",
      "sampling engine: per-sample step cap (default 4096)",
      [](CliState &C, const char *V) {
-       C.Opts.Sampling.MaxDepth = std::strtoull(V, nullptr, 10);
+       if (auto N = num::parseU64(V))
+         C.Opts.Sampling.MaxDepth = *N;
+       else
+         badValue(C, "--sample-depth", V);
      }},
     {"--sample-on-exhaustion", nullptr,
      "fourth ladder rung: when exploration exhausts its budget with no "
@@ -247,6 +285,25 @@ const CliOption Options[] = {
      "instead of giving up",
      [](CliState &C, const char *) {
        C.Opts.Resilience.SampleOnExhaustion = true;
+     }},
+    {"--batch", "FILE",
+     "run a rocker-batch-manifest/1 job file instead of a single program "
+     "(per-job options come from the manifest; --report then writes the "
+     "rocker-batch-report/1 summary); see rocker_batch for the full "
+     "batch CLI",
+     [](CliState &C, const char *V) { C.BatchManifest = V; }},
+    {"--cache", "DIR",
+     "with --batch: verdict cache directory — hits are served without "
+     "re-exploring, fresh complete verdicts are stored",
+     [](CliState &C, const char *V) { C.CacheDir = V; }},
+    {"--jobs", "N",
+     "with --batch: worker-pool size, jobs in flight at once (default 1; "
+     "0 = hardware concurrency)",
+     [](CliState &C, const char *V) {
+       if (auto N = num::parseU32(V))
+         C.BatchWorkers = *N ? *N : resolveThreadCount(0);
+       else
+         badValue(C, "--jobs", V);
      }},
 };
 
@@ -393,6 +450,57 @@ void printResilience(const resilience::ResilienceReport &RR) {
                 RR.CheckpointSeconds);
 }
 
+/// The --batch path: parse the manifest, run it over the cache, print
+/// one row per job plus the summary, and map to the exit-code contract.
+int runBatchManifest(const CliState &C) {
+  std::ifstream In(C.BatchManifest);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read batch manifest '%s'\n",
+                 C.BatchManifest.c_str());
+    return ExitUsage;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string MErr;
+  auto Jobs = serve::parseBatchManifest(Buf.str(), &MErr);
+  if (!Jobs) {
+    std::fprintf(stderr, "error: %s: %s\n", C.BatchManifest.c_str(),
+                 MErr.c_str());
+    return ExitUsage;
+  }
+
+  serve::BatchOptions BO;
+  BO.CacheDir = C.CacheDir;
+  BO.Workers = C.BatchWorkers;
+  resilience::installStopHandlers();
+  serve::BatchResult R = serve::runBatch(*Jobs, BO);
+
+  for (const serve::BatchJobResult &J : R.Jobs) {
+    if (!J.Error.empty()) {
+      std::printf("%-24s ERROR: %s\n", J.Name.c_str(), J.Error.c_str());
+      continue;
+    }
+    std::printf("%-24s %-15s %-9s %llu states, %.3fs%s\n", J.Name.c_str(),
+                verdictClassName(J.Verdict), serve::jobSourceName(J.Source),
+                static_cast<unsigned long long>(J.States), J.EngineSeconds,
+                J.Stored ? " [stored]" : "");
+  }
+  std::printf("batch: %zu jobs, %llu hits / %llu misses (%llu resumed), "
+              "%.3fs wall%s\n",
+              R.Jobs.size(), static_cast<unsigned long long>(R.Hits),
+              static_cast<unsigned long long>(R.Misses),
+              static_cast<unsigned long long>(R.Resumes), R.WallSeconds,
+              R.Errors ? " — ERRORS" : "");
+
+  if (!C.ReportPath.empty() &&
+      !serve::writeBatchReport(C.ReportPath, R, BO)) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 C.ReportPath.c_str());
+    return ExitInternal;
+  }
+  return serve::batchExitCode(R);
+}
+
 int exitCodeFor(VerdictClass VC) {
   switch (VC) {
   case VerdictClass::Robust:
@@ -415,7 +523,7 @@ int main(int argc, char **argv) {
   if (const char *E = std::getenv("ROCKER_REPORT"); E && *E)
     C.ReportPath = E;
   if (const char *E = std::getenv("ROCKER_PROGRESS"); E && *E)
-    C.ProgressInterval = progressInterval(E);
+    setProgressInterval(C, "ROCKER_PROGRESS", E);
 
   for (int I = 1; I != argc; ++I) {
     std::string A = argv[I];
@@ -447,7 +555,14 @@ int main(int argc, char **argv) {
       return usage();
     }
   }
-  if (Input.empty() || C.OptError)
+  if (C.OptError)
+    return usage();
+  if (!C.BatchManifest.empty()) {
+    if (!Input.empty()) // The manifest replaces the program argument.
+      return usage();
+    return runBatchManifest(C);
+  }
+  if (Input.empty())
     return usage();
 
   // Sampling workers ride the same --threads knob as the parallel

@@ -32,6 +32,8 @@ const char *obs::phaseName(Phase P) {
     return "report";
   case Phase::Sample:
     return "sample";
+  case Phase::Batch:
+    return "batch";
   }
   return "unknown";
 }
@@ -84,6 +86,14 @@ const char *obs::counterName(Ctr C) {
     return "sample.deadlocks";
   case Ctr::SampleDepthHits:
     return "sample.depth_hits";
+  case Ctr::CacheHits:
+    return "cache.hits";
+  case Ctr::CacheMisses:
+    return "cache.misses";
+  case Ctr::CacheStores:
+    return "cache.stores";
+  case Ctr::CacheRejects:
+    return "cache.rejects";
   }
   return "unknown";
 }

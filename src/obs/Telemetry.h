@@ -57,9 +57,12 @@ enum class Phase : uint8_t {
   OracleSweep,  ///< SC-consistency sweeps / oracle set comparisons.
   Replay,       ///< Parallel engine's deterministic sequential replay.
   Report,       ///< Run-report serialization and writing.
-  Sample        ///< Sampling engine's monitored random-schedule loop.
+  Sample,       ///< Sampling engine's monitored random-schedule loop.
+  Batch         ///< serve/: verdict-cache lookups/stores and batch
+                ///< scheduling (engine time inside a job is attributed
+                ///< to the engine phases as usual).
 };
-inline constexpr unsigned NumPhases = 9;
+inline constexpr unsigned NumPhases = 10;
 
 /// Report key for a phase ("parse", "explore", ...).
 const char *phaseName(Phase P);
@@ -95,9 +98,15 @@ enum class Ctr : uint8_t {
   SamplesRun,      ///< sample.samples — monitored schedules executed.
   SampleSteps,     ///< sample.steps — transitions across all samples.
   SampleDeadlocks, ///< sample.deadlocks — samples ending deadlocked.
-  SampleDepthHits  ///< sample.depth_hits — samples cut by MaxDepth.
+  SampleDepthHits, ///< sample.depth_hits — samples cut by MaxDepth.
+  CacheHits,       ///< cache.hits — verdicts served from the store.
+  CacheMisses,     ///< cache.misses — lookups that fell through to an
+                   ///< engine run.
+  CacheStores,     ///< cache.stores — entries published to the store.
+  CacheRejects     ///< cache.rejects — entries present but refused
+                   ///< (corrupt, truncated, wrong schema/key).
 };
-inline constexpr unsigned NumCounters = 23;
+inline constexpr unsigned NumCounters = 27;
 
 /// Report key for a counter ("visited.probes", ...).
 const char *counterName(Ctr C);

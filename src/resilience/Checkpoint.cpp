@@ -38,6 +38,63 @@ bool writeAll(int Fd, const char *Data, size_t Len) {
 
 } // namespace
 
+bool fsyncParentDir(const std::string &Path, std::string *Err) {
+  if (fi::shouldFail("ckpt.dirsync")) {
+    if (Err)
+      *Err = "injected directory fsync failure";
+    return false;
+  }
+  std::string::size_type Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  if (Dir.empty())
+    Dir = "/";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0) {
+    if (Err)
+      *Err = sysError("open checkpoint directory");
+    return false;
+  }
+  bool Ok = ::fsync(Fd) == 0;
+  if (!Ok && Err)
+    *Err = sysError("fsync checkpoint directory");
+  ::close(Fd);
+  return Ok;
+}
+
+bool atomicWriteFile(const std::string &Path, const std::string &Data,
+                     std::string *Err) {
+  if (fi::shouldFail("ckpt.write")) {
+    if (Err)
+      *Err = "injected atomic write failure";
+    return false;
+  }
+  std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    if (Err)
+      *Err = sysError("open temp file");
+    return false;
+  }
+  bool Ok = writeAll(Fd, Data.data(), Data.size());
+  if (Ok && ::fsync(Fd) != 0)
+    Ok = false;
+  if (::close(Fd) != 0)
+    Ok = false;
+  if (!Ok) {
+    if (Err)
+      *Err = sysError("write temp file");
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Err)
+      *Err = sysError("rename into place");
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return fsyncParentDir(Path, Err);
+}
+
 bool writeCheckpointFile(const std::string &Path, uint64_t ConfigHash,
                          const std::string &Payload, std::string *Err) {
   if (fi::shouldFail("ckpt.write")) {
@@ -88,7 +145,10 @@ bool writeCheckpointFile(const std::string &Path, uint64_t ConfigHash,
     ::unlink(Tmp.c_str());
     return false;
   }
-  return true;
+  // The renamed file is complete and checksummed; a kill here must leave a
+  // loadable checkpoint even though the directory entry is not yet synced.
+  fi::maybeKill("ckpt.postrename");
+  return fsyncParentDir(Path, Err);
 }
 
 namespace {

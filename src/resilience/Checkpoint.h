@@ -41,11 +41,28 @@ namespace rocker::ckpt {
 /// rejected instead of misdecoded.
 constexpr uint32_t FormatVersion = 1;
 
-/// Writes \p Payload to \p Path crash-safely (tmp + fsync + rename).
-/// Returns false and sets \p Err on I/O failure. Honors the
-/// fi::maybeKill("ckpt.midwrite") and fi::shouldFail("ckpt.write") probes.
+/// Writes \p Payload to \p Path crash-safely (tmp + fsync + rename +
+/// parent-directory fsync; without the final directory fsync a power loss
+/// after the rename can still lose the directory entry). Returns false and
+/// sets \p Err on I/O failure. Honors the fi::maybeKill("ckpt.midwrite"),
+/// fi::maybeKill("ckpt.postrename"), fi::shouldFail("ckpt.write"), and
+/// fi::shouldFail("ckpt.dirsync") probes.
 bool writeCheckpointFile(const std::string &Path, uint64_t ConfigHash,
                          const std::string &Payload, std::string *Err);
+
+/// Writes \p Data to \p Path with the same tmp + fsync + rename +
+/// parent-directory fsync discipline as writeCheckpointFile, but with no
+/// container framing: callers that store self-validating content (JSON with
+/// a schema field, checksummed blobs) use this for crash-safe publication.
+/// Honors the fi::shouldFail("ckpt.write") and fi::shouldFail("ckpt.dirsync")
+/// probes.
+bool atomicWriteFile(const std::string &Path, const std::string &Data,
+                     std::string *Err);
+
+/// Fsyncs the directory containing \p Path so a rename into it is durable.
+/// Returns false and sets \p Err on failure (or under the injected
+/// "ckpt.dirsync" fault).
+bool fsyncParentDir(const std::string &Path, std::string *Err);
 
 /// Loads and validates a checkpoint, returning the payload. Rejects bad
 /// magic/version, config-hash mismatch (stale checkpoint), and checksum

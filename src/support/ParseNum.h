@@ -1,0 +1,107 @@
+//===- support/ParseNum.h - Strict numeric option parsing -------*- C++ -*-===//
+///
+/// \file
+/// Checked parsing for numeric flag and environment values. The CLIs and
+/// bench drivers used to call strtoul/strtod with a null end pointer, which
+/// silently accepts trailing junk ("--threads=2x" ran with 2 threads,
+/// "ROCKER_PROGRESS=abc" became 0). Every numeric option now goes through
+/// these helpers, which require the whole string to be consumed and reject
+/// empty input, signs on unsigned values, and out-of-range magnitudes, so
+/// malformed input becomes a usage error instead of a misparse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SUPPORT_PARSENUM_H
+#define ROCKER_SUPPORT_PARSENUM_H
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace rocker::num {
+
+/// Parses a non-negative decimal integer; the whole string must be digits.
+inline std::optional<uint64_t> parseU64(const std::string &S) {
+  if (S.empty() || !std::isdigit(static_cast<unsigned char>(S[0])))
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno == ERANGE || End != S.c_str() + S.size())
+    return std::nullopt;
+  return static_cast<uint64_t>(V);
+}
+
+/// parseU64 restricted to values that fit an unsigned int.
+inline std::optional<unsigned> parseU32(const std::string &S) {
+  auto V = parseU64(S);
+  if (!V || *V > 0xffffffffull)
+    return std::nullopt;
+  return static_cast<unsigned>(*V);
+}
+
+/// Parses a non-negative decimal floating-point value ("2", "0.5", "1e3").
+inline std::optional<double> parseF64(const std::string &S) {
+  if (S.empty() || S[0] == '-' || S[0] == '+' ||
+      std::isspace(static_cast<unsigned char>(S[0])))
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (errno == ERANGE || End != S.c_str() + S.size())
+    return std::nullopt;
+  return V;
+}
+
+/// Parses a byte size: digits with an optional single K/M/G suffix
+/// (case-insensitive, powers of 1024). "512M" ok, "12Q" and "1MB" rejected.
+inline std::optional<uint64_t> parseByteSize(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  uint64_t Mult = 1;
+  std::string Digits = S;
+  char Last = S.back();
+  if (!std::isdigit(static_cast<unsigned char>(Last))) {
+    switch (std::toupper(static_cast<unsigned char>(Last))) {
+    case 'K':
+      Mult = 1ull << 10;
+      break;
+    case 'M':
+      Mult = 1ull << 20;
+      break;
+    case 'G':
+      Mult = 1ull << 30;
+      break;
+    default:
+      return std::nullopt;
+    }
+    Digits.pop_back();
+  }
+  auto V = parseU64(Digits);
+  if (!V || (Mult != 1 && *V > UINT64_MAX / Mult))
+    return std::nullopt;
+  return *V * Mult;
+}
+
+// Null-safe C-string overloads: getenv() and argv plumbing hand these
+// helpers possibly-null pointers, which must read as a parse failure,
+// not undefined behaviour.
+inline std::optional<uint64_t> parseU64(const char *S) {
+  return S ? parseU64(std::string(S)) : std::nullopt;
+}
+inline std::optional<unsigned> parseU32(const char *S) {
+  return S ? parseU32(std::string(S)) : std::nullopt;
+}
+inline std::optional<double> parseF64(const char *S) {
+  return S ? parseF64(std::string(S)) : std::nullopt;
+}
+inline std::optional<uint64_t> parseByteSize(const char *S) {
+  return S ? parseByteSize(std::string(S)) : std::nullopt;
+}
+
+} // namespace rocker::num
+
+#endif // ROCKER_SUPPORT_PARSENUM_H

@@ -483,6 +483,23 @@ TEST(Resilience, VerdictClassContract) {
                "bounded-robust");
 }
 
+TEST(Resilience, AtomicWriteFileRoundTrip) {
+  ScopedFile F(tmpPath("atomic-write"));
+  std::string Err;
+  ASSERT_TRUE(ckpt::atomicWriteFile(F.Path, "hello\n", &Err)) << Err;
+  {
+    std::ifstream In(F.Path);
+    std::string Data(std::istreambuf_iterator<char>(In), {});
+    EXPECT_EQ(Data, "hello\n");
+  }
+  // Overwrites go through the same tmp+rename path: no partial state.
+  ASSERT_TRUE(ckpt::atomicWriteFile(F.Path, "second", &Err)) << Err;
+  std::ifstream In(F.Path);
+  std::string Data(std::istreambuf_iterator<char>(In), {});
+  EXPECT_EQ(Data, "second");
+  EXPECT_FALSE(fs::exists(F.Path + ".tmp"));
+}
+
 TEST(Resilience, BitstateLog2ForBudgetClampsAndScales) {
   unsigned Tiny = resilience::bitstateLog2ForBudget(1);
   unsigned Mid = resilience::bitstateLog2ForBudget(64ull << 20);
@@ -615,6 +632,29 @@ TEST(ResilienceFi, CheckpointWriteFailureIsSkippedNotFatal) {
   EXPECT_EQ(R.verdictClass(), VerdictClass::Robust);
   EXPECT_GE(R.Stats.Resilience.CheckpointsWritten, 1u);
   EXPECT_TRUE(fs::exists(Ckpt.Path));
+}
+
+TEST(ResilienceFi, DirectoryFsyncFailureFailsTheWrite) {
+  // The parent-directory fsync added after the rename is part of the
+  // durability contract: its failure must surface as a failed write,
+  // not be swallowed.
+  ScopedFile F(tmpPath("fi-dirsync"));
+  std::string Err;
+  ASSERT_TRUE(ckpt::atomicWriteFile(F.Path, "payload", &Err)) << Err;
+  fi::configure("fail:ckpt.dirsync@1");
+  EXPECT_FALSE(ckpt::atomicWriteFile(F.Path, "payload2", &Err));
+  fi::configure("");
+  EXPECT_NE(Err.find("fsync"), std::string::npos) << Err;
+}
+
+TEST(ResilienceFi, PostRenameKillLeavesDurableCheckpoint) {
+  // Dies between the first checkpoint's rename and the parent-directory
+  // fsync: the renamed file is complete and checksummed, so it must
+  // still load and resume to the exact reference outcome.
+  Program P = findCorpusEntry("peterson-ra").parse();
+  RockerReport Ref = checkRobustness(P, baseOpts(1));
+  ASSERT_TRUE(Ref.Complete);
+  fiKillThenResume(P, Ref, "kill:ckpt.postrename@1", "fi-postrename");
 }
 
 #endif // ROCKER_FAULT_INJECT
