@@ -7,7 +7,7 @@
 // instrumented vs plain exploration (absolute times differ: we use our
 // own explicit-state checker instead of Spin, on different hardware).
 //
-// Usage: fig7_table [-v] [--no-por] [--reports FILE]
+// Usage: fig7_table [-v] [--no-por] [--reports FILE] [--trace FILE[:N]]
 //                   [--engine=sample] [--samples N] [--sample-seed S]
 //                   [--sched NAME] [program-name ...]
 //        (default: the whole table; --no-por disables the ample-set
@@ -27,11 +27,13 @@
 
 #include "litmus/Corpus.h"
 #include "obs/RunReport.h"
+#include "obs/Trace.h"
 #include "rocker/RobustnessChecker.h"
 #include "support/ParseNum.h"
 #include "tso/TSORobustness.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -47,6 +49,9 @@ int main(int argc, char **argv) {
   bool UseSampling = false;
   sample::SampleOptions Sampling;
   std::string ReportsPath;
+  std::string TraceSpec;
+  if (const char *E = std::getenv("ROCKER_TRACE"); E && *E)
+    TraceSpec = E;
   // Consumes the "--flag VALUE" / "--flag=VALUE" spellings; returns
   // false (after erasing nothing further) when the value is missing.
   auto TakeValue = [&Only](std::vector<std::string>::iterator &It,
@@ -81,6 +86,10 @@ int main(int argc, char **argv) {
       if (!TakeValue(It, "--reports", Val))
         return 3; // Usage, same contract as rocker_cli.
       ReportsPath = Val;
+    } else if (Is(*It, "--trace")) {
+      if (!TakeValue(It, "--trace", Val))
+        return 3;
+      TraceSpec = Val;
     } else if (Is(*It, "--engine")) {
       if (!TakeValue(It, "--engine", Val))
         return 3;
@@ -125,6 +134,23 @@ int main(int argc, char **argv) {
     }
   }
   std::vector<obs::RunReport> Reports;
+
+  bool Tracing = false;
+  if (!TraceSpec.empty()) {
+    std::optional<obs::TraceSpec> TS =
+        obs::parseTraceSpec(TraceSpec.c_str());
+    if (!TS) {
+      std::fprintf(stderr, "error: invalid value for --trace: '%s'\n",
+                   TraceSpec.c_str());
+      return 3;
+    }
+    if (!obs::traceSupported())
+      std::fprintf(stderr,
+                   "warning: --trace ignored: telemetry is compiled out "
+                   "(ROCKER_NO_TELEMETRY)\n");
+    else if (obs::traceConfigure(TS->Path, TS->Cap))
+      Tracing = true;
+  }
 
   std::printf("%-22s | %-3s %-4s | %2s | %4s | %9s %8s | %8s | %-4s %8s\n",
               "Program", "Res", "(exp)", "#T", "LoC", "States", "Time[s]",
@@ -210,6 +236,18 @@ int main(int argc, char **argv) {
   std::printf("\n");
   std::printf("(* = paper marks the Trencher verdict as an artifact of "
               "lowering blocking instructions)\n");
+  if (Tracing) {
+    obs::traceStop();
+    obs::TraceWriteResult TR = obs::traceWrite();
+    if (TR.Ok)
+      std::fprintf(stderr, "trace: %llu events -> %s (open in "
+                           "ui.perfetto.dev)\n",
+                   static_cast<unsigned long long>(TR.Events),
+                   obs::traceConfiguredPath().c_str());
+    else
+      std::fprintf(stderr, "warning: trace write failed: %s\n",
+                   TR.Error.c_str());
+  }
   if (!ReportsPath.empty()) {
     if (!obs::writeRunReports(ReportsPath, Reports)) {
       std::fprintf(stderr, "error: cannot write reports to '%s'\n",

@@ -49,9 +49,25 @@ counts as errors, checkpoint overhead at the default 30s interval above
 and overhead growth beyond the threshold in percentage points as a
 warning. The two files must share a schema.
 
-Exit status: 0 when clean, 1 when something was flagged. With
---warn-only everything is printed but the exit status stays 0 — CI uses
-this to surface noise-prone timing regressions without blocking merges.
+Also accepts a pair of flight-recorder overhead bench files (schema
+"rocker-bench-trace/1", written by `trace_overhead --json`): per
+program, state-count changes and trace-perturbed counts are errors,
+traced overhead above 5% of baseline throughput is an error (the
+tracing acceptance bar), and overhead growth beyond the threshold in
+percentage points is a warning.
+
+Also accepts a pair of batch summary reports (schema
+"rocker-batch-report/1", written by `rocker_batch --report`): per job,
+verdict changes are errors; queue-wait (queue_seconds) regressions
+beyond the threshold — over an absolute 0.1s floor, so instant queues
+don't alarm on microsecond jitter — and job wall-time growth beyond
+the threshold are warnings.
+
+Exit status: 0 when clean or when only warnings (timing-class noise)
+were flagged, 1 when an error (verdict, determinism, or acceptance-bar
+change) was found. With --warn-only everything is printed but the exit
+status stays 0 — CI uses this to surface even error-class findings on
+noise-prone benches without blocking merges.
 With --update-baseline the comparison is printed as usual, then the
 CURRENT file's contents are written over BASELINE and the exit status
 is 0 — for regenerating the committed baseline after an intentional
@@ -70,8 +86,12 @@ SCHEMAS = ("rocker-run-report/1", "rocker-run-report/2")
 RESILIENCE_SCHEMA = "rocker-bench-resilience/1"
 SAMPLE_SCHEMA = "rocker-bench-sample/1"
 BATCH_SCHEMA = "rocker-bench-batch/1"
+TRACE_SCHEMA = "rocker-bench-trace/1"
+BATCH_REPORT_SCHEMA = "rocker-batch-report/1"
 CKPT_OVERHEAD_BAR_PCT = 5.0  # 30s-interval overhead acceptance bar.
 BATCH_HIT_RATE_BAR = 0.95  # warm-pass hit-rate acceptance bar.
+TRACE_OVERHEAD_BAR_PCT = 5.0  # flight-recorder overhead acceptance bar.
+QUEUE_WAIT_FLOOR_SECONDS = 0.1  # ignore queue-wait jitter below this.
 
 
 def load_reports(path):
@@ -91,6 +111,10 @@ def load_reports(path):
         }
     if isinstance(data, dict) and data.get("schema") == BATCH_SCHEMA:
         return "batch", data
+    if isinstance(data, dict) and data.get("schema") == TRACE_SCHEMA:
+        return "trace", {p["name"]: p for p in data["programs"]}
+    if isinstance(data, dict) and data.get("schema") == BATCH_REPORT_SCHEMA:
+        return "batchreport", {j["name"]: j for j in data["jobs"]}
     reports = data if isinstance(data, list) else [data]
     out = {}
     for r in reports:
@@ -98,7 +122,8 @@ def load_reports(path):
             raise ValueError(
                 f"{path}: unexpected schema {r.get('schema')!r} "
                 f"(want one of {SCHEMAS!r}, {RESILIENCE_SCHEMA!r}, "
-                f"{SAMPLE_SCHEMA!r}, or {BATCH_SCHEMA!r})"
+                f"{SAMPLE_SCHEMA!r}, {BATCH_SCHEMA!r}, "
+                f"{TRACE_SCHEMA!r}, or {BATCH_REPORT_SCHEMA!r})"
             )
         out[r["program"]] = r
     return "run", out
@@ -264,6 +289,77 @@ def compare_resilience(base, cur, threshold):
                 )
 
 
+def compare_trace(base, cur, threshold):
+    """Comparison for flight-recorder overhead bench files: determinism
+    is an error, the 5% traced-overhead bar is an error, overhead growth
+    beyond the threshold (in percentage points) is a warning."""
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            yield "error", f"{name}: present in baseline, missing now"
+            continue
+        if name not in base:
+            yield "warn", f"{name}: new program (no baseline)"
+            continue
+        b, c = base[name], cur[name]
+        if b.get("states") != c.get("states"):
+            yield "error", (
+                f"{name}: state count changed "
+                f"{b.get('states')} -> {c.get('states')} "
+                "(exploration should be deterministic)"
+            )
+        if not c.get("counts_match", True):
+            yield "error", (
+                f"{name}: tracing perturbed the verdict or state count"
+            )
+        ovh = c.get("traced", {}).get("overhead_pct", 0.0)
+        if ovh > TRACE_OVERHEAD_BAR_PCT:
+            yield "error", (
+                f"{name}: flight-recorder overhead {ovh:.2f}% exceeds "
+                f"the {TRACE_OVERHEAD_BAR_PCT:.0f}% bar"
+            )
+        bo = b.get("traced", {}).get("overhead_pct", 0.0)
+        if ovh - bo > threshold:
+            yield "warn", (
+                f"{name}: traced overhead grew {bo:.2f}% -> {ovh:.2f}%"
+            )
+
+
+def compare_batch_report(base, cur, threshold):
+    """Comparison for rocker-batch-report/1 summaries: per job, verdict
+    changes are errors; queue-wait regressions beyond the threshold (over
+    the absolute floor) and wall-time growth beyond the threshold are
+    warnings. Provenance (source) legitimately differs between cold and
+    warm passes, so it is not compared."""
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            yield "error", f"{name}: present in baseline, missing now"
+            continue
+        if name not in base:
+            yield "warn", f"{name}: new job (no baseline)"
+            continue
+        b, c = base[name], cur[name]
+        if b.get("verdict") != c.get("verdict"):
+            yield "error", (
+                f"{name}: verdict changed "
+                f"{b.get('verdict')!r} -> {c.get('verdict')!r}"
+            )
+        bq, cq = b.get("queue_seconds", 0.0), c.get("queue_seconds", 0.0)
+        q_delta = pct(cq, bq)
+        if cq > QUEUE_WAIT_FLOOR_SECONDS and (
+            q_delta is None or q_delta > threshold
+        ):
+            yield "warn", (
+                f"{name}: queue wait grew {bq:.3f}s -> {cq:.3f}s"
+            )
+        bw, cw = b.get("wall_seconds", 0.0), c.get("wall_seconds", 0.0)
+        w_delta = pct(cw, bw)
+        if w_delta is not None and w_delta > threshold and \
+                cw > QUEUE_WAIT_FLOOR_SECONDS:
+            yield "warn", (
+                f"{name}: job wall time grew {bw:.3f}s -> {cw:.3f}s"
+            )
+
+
 def compare_sample(base, cur, threshold):
     """Comparison for sampler-throughput bench files: the bench runs a
     fixed seed on a single worker, so violation-sample changes are
@@ -413,6 +509,8 @@ def main(argv):
         "resilience": compare_resilience,
         "sample": compare_sample,
         "batch": compare_batch,
+        "trace": compare_trace,
+        "batchreport": compare_batch_report,
     }.get(base_kind, compare)
     findings = list(compare_fn(base, cur, args.threshold))
     for severity, msg in findings:
@@ -431,7 +529,7 @@ def main(argv):
             f.write(contents)
         print(f"updated baseline {args.baseline} from {args.current}")
         return 0
-    if not findings:
+    if not any(severity == "error" for severity, _ in findings):
         return 0
     return 0 if args.warn_only else 1
 

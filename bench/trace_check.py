@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a flight-recorder trace file (Chrome trace-event JSON).
+
+Usage: trace_check.py TRACE.json [TRACE2.json ...]
+
+Checks, per file:
+  - the document parses as JSON and has the object-with-traceEvents
+    envelope the serializer writes;
+  - every event carries the fields its phase requires (name/ph/ts/pid/tid
+    for B/E/i/C; metadata events carry args);
+  - phases are restricted to the set the recorder emits (B E i C M);
+  - per (pid, tid), span and instant timestamps are monotonically
+    non-decreasing — rings are emitted in push order, so a violation
+    means a serializer bug, not clock skew (counter events are exempt:
+    the derived rate tracks are appended after the rings, and viewers
+    sort by ts);
+  - per (pid, tid), B/E span events balance: no E without an open B, and
+    no span left open at end of trace (the serializer repairs truncated
+    rings by synthesizing the missing edges);
+  - counter events carry a numeric args value.
+
+Exit code 0 when every file passes, 1 otherwise. Output is one line per
+check failure plus a per-file summary, so CI logs show what broke.
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"B", "E", "i", "C", "M"}
+# "E" events close the innermost open span, so the serializer omits
+# their name (the trace format allows this); every other phase names.
+REQUIRED_FIELDS = {"ph", "pid", "tid"}
+
+
+def check_file(path):
+    errors = []
+
+    def err(msg):
+        if len(errors) < 20:  # Keep CI logs readable.
+            errors.append(f"{path}: {msg}")
+        elif len(errors) == 20:
+            errors.append(f"{path}: ... further errors suppressed")
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable JSON: {e}"], 0
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: missing traceEvents envelope"], 0
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents is not an array"], 0
+
+    last_ts = {}     # (pid, tid) -> last timestamp seen
+    open_spans = {}  # (pid, tid) -> stack of open B names
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            err(f"event {i}: not an object")
+            continue
+        missing = REQUIRED_FIELDS - ev.keys()
+        if missing:
+            err(f"event {i}: missing fields {sorted(missing)}")
+            continue
+        ph = ev["ph"]
+        if ph not in ALLOWED_PHASES:
+            err(f"event {i}: unexpected phase {ph!r}")
+            continue
+        if ph != "E" and "name" not in ev:
+            err(f"event {i}: {ph} event without a name")
+            continue
+        key = (ev["pid"], ev["tid"])
+
+        if ph == "M":
+            if "args" not in ev:
+                err(f"event {i}: metadata event without args")
+            continue  # Metadata carries no timestamp.
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            err(f"event {i}: {ph} event without numeric ts")
+            continue
+        if ph != "C":
+            if ts < last_ts.get(key, float("-inf")):
+                err(f"event {i} ({ev.get('name', ph)}): ts {ts} < "
+                    f"previous {last_ts[key]} on tid {key[1]}")
+            last_ts[key] = ts
+
+        if ph == "B":
+            open_spans.setdefault(key, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_spans.get(key)
+            if not stack:
+                err(f"event {i}: E without matching B on tid {key[1]}")
+            else:
+                stack.pop()
+        elif ph == "i":
+            if ev.get("s") not in (None, "t", "p", "g"):
+                err(f"event {i}: instant with bad scope {ev.get('s')!r}")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not any(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                err(f"event {i}: counter without numeric args value")
+
+    for key, stack in open_spans.items():
+        if stack:
+            err(f"tid {key[1]}: {len(stack)} span(s) left open at end "
+                f"of trace (innermost: {stack[-1]!r})")
+
+    return errors, len(events)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors, n = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e)
+            print(f"{path}: FAIL ({n} events)")
+        else:
+            print(f"{path}: OK ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

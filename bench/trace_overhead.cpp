@@ -1,0 +1,229 @@
+//===- bench/trace_overhead.cpp - Cost of the flight recorder ---------------===//
+//
+// Measures what --trace costs on programs large enough for the number
+// to mean something (default: >= 1e5 states). Each qualifying program
+// runs twice after a warmup:
+//
+//   off      flight recorder disabled (baseline states/sec)
+//   traced   obs::traceConfigure active for the whole run, trace
+//            serialized to a temp file afterwards (the write happens
+//            after the run, so only the in-loop recording cost lands
+//            in the states/sec column; the serialize time is reported
+//            separately)
+//
+// The acceptance bar is the traced row: overhead below 5% of baseline
+// states/sec. Verdicts and state counts must be identical — recording
+// must never perturb the search.
+//
+// Each configuration runs --reps times (default 3) and keeps the best
+// states/sec: per-run noise on a shared machine is larger than the
+// recording cost being measured, and best-of-N is the standard way to
+// strip it (the recorder's cost is a floor, not a distribution). The
+// off/traced reps are interleaved so minute-scale machine-load drift
+// hits both configurations, not just whichever ran second.
+//
+// Usage: trace_overhead [--min-states N] [--reps N] [--json FILE]
+//                       [program-name ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Corpus.h"
+#include "obs/Trace.h"
+#include "rocker/RobustnessChecker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace rocker;
+
+namespace {
+
+struct ConfigResult {
+  double Seconds = 0;
+  double StatesPerSec = 0;
+  double OverheadPct = 0;
+  uint64_t Events = 0;       ///< Events serialized (traced row only).
+  uint64_t TraceBytes = 0;   ///< Size of the written trace file.
+  double SerializeSeconds = 0; ///< traceWrite() wall time (post-run).
+};
+
+struct Row {
+  std::string Name;
+  uint64_t States = 0;
+  bool Robust = false;
+  bool CountsMatch = true;
+  ConfigResult Off, Traced;
+};
+
+std::string tmpTracePath() {
+  return (std::filesystem::temp_directory_path() /
+          ("trace-overhead." + std::to_string(::getpid()) + ".json"))
+      .string();
+}
+
+ConfigResult runOnce(const Program &P, bool Traced,
+                     const std::string &TracePath, RockerReport &Out) {
+  RockerOptions O;
+  O.RecordTrace = false;
+  O.StopOnViolation = false; // Full exploration: comparable counts.
+  O.MaxStates = 4'000'000;
+  if (Traced)
+    obs::traceConfigure(TracePath);
+  Out = checkRobustness(P, O);
+  ConfigResult R;
+  R.Seconds = Out.Stats.Seconds;
+  R.StatesPerSec =
+      Out.Stats.Seconds > 0 ? Out.Stats.NumStates / Out.Stats.Seconds : 0;
+  if (Traced) {
+    obs::traceStop();
+    auto T0 = std::chrono::steady_clock::now();
+    obs::TraceWriteResult W = obs::traceWrite();
+    R.SerializeSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count();
+    R.Events = W.Events;
+    std::error_code Ec;
+    R.TraceBytes = std::filesystem::file_size(TracePath, Ec);
+    if (Ec)
+      R.TraceBytes = 0;
+    std::filesystem::remove(TracePath, Ec);
+  }
+  return R;
+}
+
+double overhead(const ConfigResult &Base, const ConfigResult &C) {
+  return Base.StatesPerSec > 0
+             ? 100.0 * (Base.StatesPerSec - C.StatesPerSec) /
+                   Base.StatesPerSec
+             : 0.0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t MinStates = 100'000;
+  unsigned Reps = 3;
+  const char *JsonPath = nullptr;
+  std::vector<std::string> Only;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--min-states") && I + 1 != argc)
+      MinStates = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--reps") && I + 1 != argc)
+      Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--json") && I + 1 != argc)
+      JsonPath = argv[++I];
+    else
+      Only.push_back(argv[I]);
+  }
+  if (Reps == 0)
+    Reps = 1;
+
+  if (!obs::traceSupported()) {
+    std::fprintf(stderr, "error: telemetry is compiled out "
+                         "(ROCKER_NO_TELEMETRY); nothing to measure\n");
+    return 2;
+  }
+
+  std::string TracePath = tmpTracePath();
+  std::printf("%-16s | %9s | %9s | %8s | %9s %9s %8s\n", "Program",
+              "States", "Base[/s]", "ovh%", "events", "trace[B]",
+              "ser[s]");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  std::vector<Row> Rows;
+  bool AllMatch = true;
+  for (const CorpusEntry &E : figure7Programs()) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), E.Name) == Only.end())
+      continue;
+    Program P = E.parse();
+
+    RockerReport Base, Tr;
+    Row R;
+    R.Name = E.Name;
+    // Warmup: the very first exploration pays allocator and page-cache
+    // cold costs that would otherwise be charged to the baseline and
+    // make the traced row look spuriously cheap (or free).
+    runOnce(P, false, TracePath, Base);
+    if (Only.empty() && Base.Stats.NumStates < MinStates)
+      continue; // Too small for the overhead to rise above noise.
+    R.States = Base.Stats.NumStates;
+    R.Robust = Base.Robust;
+    for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+      RockerReport Rb;
+      ConfigResult Off = runOnce(P, false, TracePath, Rb);
+      ConfigResult Traced = runOnce(P, true, TracePath, Tr);
+      R.CountsMatch = R.CountsMatch && Base.Robust == Rb.Robust &&
+                      Base.Robust == Tr.Robust &&
+                      Base.Stats.NumStates == Rb.Stats.NumStates &&
+                      Base.Stats.NumStates == Tr.Stats.NumStates;
+      if (Rep == 0 || Off.StatesPerSec > R.Off.StatesPerSec)
+        R.Off = Off;
+      if (Rep == 0 || Traced.StatesPerSec > R.Traced.StatesPerSec)
+        R.Traced = Traced;
+    }
+    R.Traced.OverheadPct = overhead(R.Off, R.Traced);
+    AllMatch &= R.CountsMatch;
+    Rows.push_back(R);
+
+    std::printf("%-16s | %9llu | %9.0f | %7.2f%% | %9llu %9llu %8.4f%s\n",
+                R.Name.c_str(), static_cast<unsigned long long>(R.States),
+                R.Off.StatesPerSec, R.Traced.OverheadPct,
+                static_cast<unsigned long long>(R.Traced.Events),
+                static_cast<unsigned long long>(R.Traced.TraceBytes),
+                R.Traced.SerializeSeconds, R.CountsMatch ? "" : " !COUNTS");
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", std::string(84, '-').c_str());
+  if (!AllMatch)
+    std::printf("!COUNTS = tracing changed the verdict or state count "
+                "(must never happen)\n");
+
+  if (JsonPath) {
+    std::FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath);
+      return 2;
+    }
+    std::fprintf(F,
+                 "{\n  \"schema\": \"rocker-bench-trace/1\",\n"
+                 "  \"min_states\": %llu,\n  \"counts_match\": %s,\n"
+                 "  \"programs\": [\n",
+                 static_cast<unsigned long long>(MinStates),
+                 AllMatch ? "true" : "false");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"states\": %llu, \"robust\": "
+                   "%s, \"counts_match\": %s,\n",
+                   R.Name.c_str(),
+                   static_cast<unsigned long long>(R.States),
+                   R.Robust ? "true" : "false",
+                   R.CountsMatch ? "true" : "false");
+      std::fprintf(F,
+                   "      \"off\": {\"seconds\": %.6f, "
+                   "\"states_per_sec\": %.1f},\n",
+                   R.Off.Seconds, R.Off.StatesPerSec);
+      std::fprintf(F,
+                   "      \"traced\": {\"seconds\": %.6f, "
+                   "\"states_per_sec\": %.1f, \"overhead_pct\": %.2f, "
+                   "\"events\": %llu, \"trace_bytes\": %llu, "
+                   "\"serialize_seconds\": %.6f}\n",
+                   R.Traced.Seconds, R.Traced.StatesPerSec,
+                   R.Traced.OverheadPct,
+                   static_cast<unsigned long long>(R.Traced.Events),
+                   static_cast<unsigned long long>(R.Traced.TraceBytes),
+                   R.Traced.SerializeSeconds);
+      std::fprintf(F, "    }%s\n", I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
+  return AllMatch ? 0 : 1;
+}

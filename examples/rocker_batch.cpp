@@ -13,12 +13,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "parexplore/ParallelExplorer.h"
 #include "resilience/Resilience.h"
 #include "serve/BatchRunner.h"
 #include "support/ParseNum.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -39,6 +41,7 @@ struct BatchCliState {
   bool Corpus = false;
   std::string ManifestPath;
   std::string ReportPath;
+  std::string TraceSpec; ///< --trace / ROCKER_TRACE; FILE[:cap].
 };
 
 int usage() {
@@ -56,6 +59,10 @@ int usage() {
       "                      still stored\n"
       "  --report FILE       write the rocker-batch-report/1 summary\n"
       "                      (\"-\" = stdout)\n"
+      "  --trace FILE[:N]    record a flight-recorder trace (Chrome\n"
+      "                      trace-event JSON, open in ui.perfetto.dev);\n"
+      "                      :N caps each thread's ring at N events;\n"
+      "                      env equivalent: ROCKER_TRACE\n"
       "  --threads N         --corpus: engine threads per job (default 1)\n"
       "  --max-states N      --corpus: per-job state budget\n"
       "  --mem-budget BYTES  --corpus: per-job memory budget (K/M/G)\n"
@@ -84,6 +91,8 @@ bool checkedValue(const char *Flag, const char *V, ParseFn Parse,
 
 int main(int argc, char **argv) {
   BatchCliState C;
+  if (const char *E = std::getenv("ROCKER_TRACE"); E && *E)
+    C.TraceSpec = E;
 
   for (int I = 1; I != argc; ++I) {
     std::string A = argv[I];
@@ -108,6 +117,11 @@ int main(int argc, char **argv) {
       if (!V)
         return usage();
       C.ReportPath = V;
+    } else if (A == "--trace") {
+      const char *V = Value("--trace");
+      if (!V)
+        return usage();
+      C.TraceSpec = V;
     } else if (A == "--jobs") {
       const char *V = Value("--jobs");
       if (!V || !checkedValue("--jobs", V,
@@ -157,6 +171,23 @@ int main(int argc, char **argv) {
   if (C.Corpus == !C.ManifestPath.empty())
     return usage(); // Exactly one of --corpus / manifest file.
 
+  bool Tracing = false;
+  if (!C.TraceSpec.empty()) {
+    std::optional<obs::TraceSpec> TS =
+        obs::parseTraceSpec(C.TraceSpec.c_str());
+    if (!TS) {
+      std::fprintf(stderr, "error: invalid value for --trace: '%s'\n",
+                   C.TraceSpec.c_str());
+      return usage();
+    }
+    if (!obs::traceSupported())
+      std::fprintf(stderr,
+                   "warning: --trace ignored: telemetry is compiled out "
+                   "(ROCKER_NO_TELEMETRY)\n");
+    else if (obs::traceConfigure(TS->Path, TS->Cap))
+      Tracing = true;
+  }
+
   std::vector<serve::BatchJob> Jobs;
   if (C.Corpus) {
     Jobs = serve::corpusBatch(C.Defaults);
@@ -202,6 +233,18 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(R.Resumes), R.WallSeconds,
               R.Errors ? " — ERRORS" : "");
 
+  if (Tracing) {
+    obs::traceStop();
+    obs::TraceWriteResult TR = obs::traceWrite();
+    if (TR.Ok)
+      std::fprintf(stderr, "trace: %llu events -> %s (open in "
+                           "ui.perfetto.dev)\n",
+                   static_cast<unsigned long long>(TR.Events),
+                   obs::traceConfiguredPath().c_str());
+    else
+      std::fprintf(stderr, "warning: trace write failed: %s\n",
+                   TR.Error.c_str());
+  }
   if (!C.ReportPath.empty() &&
       !serve::writeBatchReport(C.ReportPath, R, C.BO)) {
     std::fprintf(stderr, "error: cannot write report to '%s'\n",

@@ -16,6 +16,7 @@
 #include "litmus/Corpus.h"
 #include "obs/RunReport.h"
 #include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "parexplore/ParallelExplorer.h"
 #include "promela/PromelaExport.h"
 #include "resilience/Resilience.h"
@@ -50,7 +51,29 @@ struct CliState {
   std::string BatchManifest;    ///< --batch; run a manifest, not a program.
   std::string CacheDir;         ///< --cache; verdict cache for --batch.
   unsigned BatchWorkers = 1;    ///< --jobs; batch worker-pool size.
+  std::string TraceSpec;        ///< --trace / ROCKER_TRACE; FILE[:cap].
   bool OptError = false;        ///< An option value failed to parse.
+};
+
+/// Flushes the flight recorder on every exit path: stops recording and
+/// serializes the Perfetto JSON when --trace armed it. Reports to stderr
+/// so traced stdout is byte-identical to untraced stdout.
+struct TraceGuard {
+  bool Active = false;
+  ~TraceGuard() {
+    if (!Active)
+      return;
+    obs::traceStop();
+    obs::TraceWriteResult R = obs::traceWrite();
+    if (R.Ok)
+      std::fprintf(stderr, "trace: %llu events -> %s (open in "
+                           "ui.perfetto.dev)\n",
+                   static_cast<unsigned long long>(R.Events),
+                   obs::traceConfiguredPath().c_str());
+    else
+      std::fprintf(stderr, "warning: trace write failed: %s\n",
+                   R.Error.c_str());
+  }
 };
 
 /// Rejects a malformed option value: usage message + exit code 3 (via
@@ -305,6 +328,12 @@ const CliOption Options[] = {
        else
          badValue(C, "--jobs", V);
      }},
+    {"--trace", "FILE[:N]",
+     "record a flight-recorder trace to FILE as Chrome trace-event JSON "
+     "(open in ui.perfetto.dev or chrome://tracing); :N caps the "
+     "per-thread ring at N events (default 65536, oldest overwritten); "
+     "env equivalent: ROCKER_TRACE",
+     [](CliState &C, const char *V) { C.TraceSpec = V; }},
 };
 
 int usage() {
@@ -524,6 +553,8 @@ int main(int argc, char **argv) {
     C.ReportPath = E;
   if (const char *E = std::getenv("ROCKER_PROGRESS"); E && *E)
     setProgressInterval(C, "ROCKER_PROGRESS", E);
+  if (const char *E = std::getenv("ROCKER_TRACE"); E && *E)
+    C.TraceSpec = E;
 
   for (int I = 1; I != argc; ++I) {
     std::string A = argv[I];
@@ -557,6 +588,24 @@ int main(int argc, char **argv) {
   }
   if (C.OptError)
     return usage();
+
+  TraceGuard Trace;
+  if (!C.TraceSpec.empty()) {
+    std::optional<obs::TraceSpec> TS =
+        obs::parseTraceSpec(C.TraceSpec.c_str());
+    if (!TS) {
+      std::fprintf(stderr, "error: invalid value for --trace: '%s'\n",
+                   C.TraceSpec.c_str());
+      return usage();
+    }
+    if (!obs::traceSupported())
+      std::fprintf(stderr,
+                   "warning: --trace ignored: telemetry is compiled out "
+                   "(ROCKER_NO_TELEMETRY)\n");
+    else if (obs::traceConfigure(TS->Path, TS->Cap))
+      Trace.Active = true;
+  }
+
   if (!C.BatchManifest.empty()) {
     if (!Input.empty()) // The manifest replaces the program argument.
       return usage();

@@ -34,6 +34,7 @@
 #include "lang/Program.h"
 #include "lang/Step.h"
 #include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "resilience/Checkpoint.h"
 #include "resilience/Resilience.h"
 #include "support/FaultInject.h"
@@ -270,6 +271,13 @@ public:
     LastCkptTime = RunStart;
     obs::Span PhaseSp(Opts.TelemetryPhase);
     obs::ProgressScope Progress(Opts.MaxStates);
+    if (obs::traceActive()) {
+      // Post-mortem dumps land next to the checkpoint when one exists.
+      if (ckptActive())
+        obs::traceSetCrashDumpPath(Opts.Resilience.CheckpointPath +
+                                   ".trace.txt");
+      obs::traceInstant(obs::TraceInstant::EngineStart, 1);
+    }
     ExploreResult Res;
     auto &RR = Res.Stats.Resilience;
     uint64_t Expanded = 0;
@@ -430,6 +438,19 @@ public:
     obs::add(obs::Ctr::PorFallbacks, PorFullStates);
     obs::add(obs::Ctr::PorSavedSteps, PorSavedSteps);
     obs::add(obs::Ctr::PorChainedStates, PorChainedStates);
+    if (obs::traceActive()) {
+      // Final counter sample: short runs (POR-chained or tiny programs)
+      // can finish inside one progress interval, and traces should
+      // always end with the true totals on the counter tracks.
+      obs::traceCounter(obs::TraceCounterTrack::States,
+                        Res.Stats.NumStates);
+      obs::traceCounter(obs::TraceCounterTrack::Frontier, 0);
+      if (Res.hasViolation())
+        obs::traceInstant(obs::TraceInstant::ViolationFound,
+                          Res.Violations.front().StateId);
+      obs::traceInstant(obs::TraceInstant::EngineStop,
+                        Res.Stats.NumStates);
+    }
     return Res;
   }
 
@@ -564,14 +585,18 @@ private:
                            Res.Stats.DedupHits - PubDedupHits);
     PubTransitions = Res.Stats.NumTransitions;
     PubDedupHits = Res.Stats.DedupHits;
+    if (obs::traceActive()) {
+      obs::traceCounter(obs::TraceCounterTrack::States, States.size());
+      obs::traceCounter(obs::TraceCounterTrack::Frontier, Frontier);
+    }
     if ((++PubCount & 7) != 0)
       return;
-    if (Opts.BitstateLog2)
-      obs::progressVisitedBytes(Bitstate.size() * sizeof(uint64_t));
-    else if (Interner)
-      obs::progressVisitedBytes(Interner->bytesUsed());
-    else
-      obs::progressVisitedBytes(RawVisitedBytes);
+    uint64_t VisitedB = Opts.BitstateLog2
+                            ? Bitstate.size() * sizeof(uint64_t)
+                        : Interner ? Interner->bytesUsed()
+                                   : RawVisitedBytes;
+    obs::progressVisitedBytes(VisitedB);
+    obs::traceCounter(obs::TraceCounterTrack::VisitedBytes, VisitedB);
   }
 
   void link(uint64_t Child, uint64_t Parent, ThreadId T, bool Internal,
@@ -715,6 +740,7 @@ private:
         return std::move(S); // StopOnViolation: the run is over anyway.
       ++AmpleStates;
       ++PorChainedStates;
+      obs::traceInstant(obs::TraceInstant::FastForward, PorChainedStates);
       const ThreadStep &Step = ChainSteps[Ample];
       if (Step.K == ThreadStep::Kind::Local) {
         S.Threads[Ample] = Step.Next;
@@ -993,6 +1019,10 @@ private:
     auto &RR = Res.Stats.Resilience;
     const resilience::ResilienceOptions &RO = Opts.Resilience;
     if (resilience::stopRequested()) {
+      if (obs::traceActive()) {
+        obs::traceInstant(obs::TraceInstant::StopDrain);
+        obs::traceCrashDump("signal drain (sequential engine)");
+      }
       RR.Interrupted = true;
       Res.Stats.Truncated = true;
       return false;
@@ -1059,6 +1089,8 @@ private:
     RR.Downgrades.push_back(E);
     RR.FinalRung = Rung;
     obs::add(obs::Ctr::GovernorDowngrades, 1);
+    obs::traceInstant(obs::TraceInstant::Downgrade,
+                      static_cast<uint64_t>(Rung));
     return true;
   }
 
@@ -1256,6 +1288,8 @@ private:
         RR.CheckpointBytes += W.Buf.size();
         obs::add(obs::Ctr::CheckpointWrites, 1);
         obs::add(obs::Ctr::CheckpointBytes, W.Buf.size());
+        obs::traceInstant(obs::TraceInstant::CheckpointWrite,
+                          W.Buf.size());
       }
       RR.CheckpointSeconds +=
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -1414,6 +1448,7 @@ private:
       }
       RR.Resumed = true;
       RR.RestoredStates = N;
+      obs::traceInstant(obs::TraceInstant::CheckpointResume, N);
       return true;
     }
     return false;

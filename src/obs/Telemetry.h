@@ -63,6 +63,9 @@ enum class Phase : uint8_t {
                 ///< to the engine phases as usual).
 };
 inline constexpr unsigned NumPhases = 10;
+static_assert(NumPhases == static_cast<unsigned>(Phase::Batch) + 1,
+              "NumPhases must track the Phase enum: when adding a phase, "
+              "update the enum, NumPhases, and phaseName() together");
 
 /// Report key for a phase ("parse", "explore", ...).
 const char *phaseName(Phase P);
@@ -107,6 +110,9 @@ enum class Ctr : uint8_t {
                    ///< (corrupt, truncated, wrong schema/key).
 };
 inline constexpr unsigned NumCounters = 27;
+static_assert(NumCounters == static_cast<unsigned>(Ctr::CacheRejects) + 1,
+              "NumCounters must track the Ctr enum: when adding a counter, "
+              "update the enum, NumCounters, and counterName() together");
 
 /// Report key for a counter ("visited.probes", ...).
 const char *counterName(Ctr C);
@@ -191,6 +197,20 @@ struct ThreadBlock {
 /// The calling thread's block (created and registered on first use).
 ThreadBlock &tls();
 
+/// Flight-recorder gate (obs/Trace.h). The flag is defined in Trace.cpp;
+/// Span forwards begin/end through it so traced runs get duration events
+/// for every phase while untraced runs pay one relaxed load per span.
+/// traceSpanBegin returns whether the event was recorded: the recorder
+/// decimates the per-expansion leaf phases (MonitorStep, VisitedProbe),
+/// which fire millions of times per second, and Span must suppress the
+/// matching end event to keep B/E balanced.
+extern std::atomic<bool> TraceActiveFlag;
+inline bool traceActive() {
+  return TraceActiveFlag.load(std::memory_order_relaxed);
+}
+bool traceSpanBegin(Phase P, uint64_t Now); ///< Defined in Trace.cpp.
+void traceSpanEnd(uint64_t Now);            ///< Defined in Trace.cpp.
+
 /// RAII phase attribution (see file comment: self time; strictly nested
 /// per thread by construction).
 class Span {
@@ -201,12 +221,16 @@ public:
     T.LastStamp = Now;
     Prev = T.Cur;
     T.Cur = P;
+    if (traceActive())
+      Traced = traceSpanBegin(P, Now);
   }
   ~Span() {
     uint64_t Now = tick();
     T.bump(T.PhaseCycles[static_cast<unsigned>(T.Cur)], Now - T.LastStamp);
     T.LastStamp = Now;
     T.Cur = Prev;
+    if (Traced)
+      traceSpanEnd(Now);
   }
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
@@ -214,6 +238,7 @@ public:
 private:
   ThreadBlock &T;
   Phase Prev;
+  bool Traced = false;
 };
 
 /// Adds \p N to counter \p C (thread-local; folded by snapshot()).
@@ -303,6 +328,8 @@ private:
 };
 
 #else // ROCKER_NO_TELEMETRY: every entry point compiles to nothing.
+
+inline bool traceActive() { return false; }
 
 class Span {
 public:

@@ -42,6 +42,7 @@
 #include "explore/Explorer.h"
 #include "lang/Program.h"
 #include "lang/Step.h"
+#include "obs/Trace.h"
 #include "parexplore/WorkDeque.h"
 #include "support/ShardedSet.h"
 #include "support/StateInterner.h"
@@ -182,6 +183,12 @@ public:
     ParExploreResult Res;
 
     unsigned NumWorkers = resolveThreadCount(Opts.Threads);
+    if (obs::traceActive()) {
+      if (ckptActive())
+        obs::traceSetCrashDumpPath(Opts.Resilience.CheckpointPath +
+                                   ".trace.txt");
+      obs::traceInstant(obs::TraceInstant::EngineStart, NumWorkers);
+    }
     Shared Sh(NumWorkers, Opts.ShardCountLog2);
     if (Opts.CompressVisited) {
       Sh.Interner.emplace(P.numThreads() + memComponentCount(Mem),
@@ -349,6 +356,18 @@ public:
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
+    if (obs::traceActive()) {
+      // Final counter sample: short runs can finish inside one progress
+      // interval, and traces should always end with the true totals.
+      obs::traceCounter(obs::TraceCounterTrack::States,
+                        Res.Stats.NumStates);
+      obs::traceCounter(obs::TraceCounterTrack::Frontier, 0);
+      if (Res.hasViolation())
+        obs::traceInstant(obs::TraceInstant::ViolationFound,
+                          Res.Violations.front().StateId);
+      obs::traceInstant(obs::TraceInstant::EngineStop,
+                        Res.Stats.NumStates);
+    }
     return Res;
   }
 
@@ -594,6 +613,9 @@ private:
     RR.FinalRung = resilience::StorageRung::Bitstate;
     Res.Approximate = true;
     obs::add(obs::Ctr::GovernorDowngrades);
+    obs::traceInstant(
+        obs::TraceInstant::Downgrade,
+        static_cast<uint64_t>(resilience::StorageRung::Bitstate));
     resumeWorld(Sh);
   }
 
@@ -617,6 +639,10 @@ private:
         RR.Interrupted = true;
         Sh.Bounded.store(true, std::memory_order_relaxed);
         Sh.TB.requestStop();
+        if (obs::traceActive()) {
+          obs::traceInstant(obs::TraceInstant::StopDrain);
+          obs::traceCrashDump("signal drain (parallel engine)");
+        }
       }
       uint64_t Total = totalExpanded(Sh);
       auto Now = std::chrono::steady_clock::now();
@@ -644,6 +670,11 @@ private:
           RR.WatchdogFired = true;
           Sh.Bounded.store(true, std::memory_order_relaxed);
           Sh.TB.requestStop();
+          if (obs::traceActive()) {
+            obs::traceInstant(obs::TraceInstant::WatchdogFired,
+                              Sh.TB.inFlight());
+            obs::traceCrashDump("watchdog: no expansion progress");
+          }
         }
       }
       if (RO.MemBudgetBytes != 0 && !Sh.TB.stopped()) {
@@ -829,6 +860,8 @@ private:
         RR.CheckpointBytes += W.Buf.size();
         obs::add(obs::Ctr::CheckpointWrites);
         obs::add(obs::Ctr::CheckpointBytes, W.Buf.size());
+        obs::traceInstant(obs::TraceInstant::CheckpointWrite,
+                          W.Buf.size());
       }
       RR.CheckpointSeconds +=
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -948,6 +981,7 @@ private:
       Sh.StateCount.store(NStates, std::memory_order_relaxed);
       RR.Resumed = true;
       RR.RestoredStates = NStates;
+      obs::traceInstant(obs::TraceInstant::CheckpointResume, NStates);
       return true;
     }
     return false;
@@ -1020,6 +1054,8 @@ private:
   void workerMain(Shared &Sh, unsigned Me, AccessHook &AHook,
                   StateHook &SHook) {
     auto T0 = std::chrono::steady_clock::now();
+    if (obs::traceActive())
+      obs::traceThreadName("explore worker " + std::to_string(Me));
     obs::Span PhaseSp(obs::Phase::Explore);
     WorkerSlot &W = *Sh.Workers[Me];
     size_t NumWorkers = Sh.Workers.size();
@@ -1030,10 +1066,15 @@ private:
         parkAtBarrier(Sh);
       std::optional<ProductState> S = W.Deque.pop();
       if (!S) {
-        for (size_t I = 1; !S && I != NumWorkers; ++I)
-          S = Sh.Workers[(Me + I) % NumWorkers]->Deque.steal();
-        if (S)
+        size_t Victim = 0;
+        for (size_t I = 1; !S && I != NumWorkers; ++I) {
+          Victim = (Me + I) % NumWorkers;
+          S = Sh.Workers[Victim]->Deque.steal();
+        }
+        if (S) {
           ++W.Steals;
+          obs::traceInstant(obs::TraceInstant::Steal, Victim);
+        }
       }
       if (!S) {
         if (Sh.TB.inFlight() == 0)
@@ -1087,19 +1128,27 @@ private:
   void publishProgress(Shared &Sh, WorkerSlot &W, unsigned Me) const {
     if constexpr (!obs::telemetryEnabled())
       return;
-    obs::progressUpdate(Sh.StateCount.load(std::memory_order_relaxed),
-                        Sh.TB.inFlight());
+    uint64_t States = Sh.StateCount.load(std::memory_order_relaxed);
+    uint64_t Frontier = Sh.TB.inFlight();
+    obs::progressUpdate(States, Frontier);
     obs::progressAddCounts(W.Transitions - W.PubTransitions,
                            W.DedupHits - W.PubDedupHits);
     W.PubTransitions = W.Transitions;
     W.PubDedupHits = W.DedupHits;
+    if (obs::traceActive()) {
+      obs::traceCounter(obs::TraceCounterTrack::States, States);
+      obs::traceCounter(obs::TraceCounterTrack::Frontier, Frontier);
+    }
     if (Me == 0 &&
-        (W.Expanded.load(std::memory_order_relaxed) & 4095) == 0)
-      obs::progressVisitedBytes(
+        (W.Expanded.load(std::memory_order_relaxed) & 4095) == 0) {
+      uint64_t VisitedB =
           Sh.BitstateLog2.load(std::memory_order_relaxed)
               ? Sh.BitstateWords * sizeof(uint64_t)
           : Sh.Interner ? Sh.Interner->bytesUsed()
-                        : Sh.Visited.bytesUsed());
+                        : Sh.Visited.bytesUsed();
+      obs::progressVisitedBytes(VisitedB);
+      obs::traceCounter(obs::TraceCounterTrack::VisitedBytes, VisitedB);
+    }
   }
 
   /// The per-state checks for a chain-skipped state — the parallel twin
@@ -1215,6 +1264,7 @@ private:
         return std::move(S); // StopOnViolation: the run is over anyway.
       ++W.AmpleStates;
       ++W.ChainedStates;
+      obs::traceInstant(obs::TraceInstant::FastForward, W.ChainedStates);
       const ThreadStep &Step = W.ChainStepsBuf[Ample];
       if (Step.K == ThreadStep::Kind::Local) {
         S.Threads[Ample] = Step.Next;

@@ -51,6 +51,7 @@
 #include "lang/Program.h"
 #include "lang/Step.h"
 #include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "resilience/Resilience.h"
 #include "sample/Diversify.h"
 #include "sample/Schedule.h"
@@ -132,6 +133,7 @@ public:
     auto RunStart = std::chrono::steady_clock::now();
     obs::Span PhaseSp(obs::Phase::Sample);
     obs::ProgressScope Progress(Opts.Samples, /*SampleMode=*/true);
+    obs::traceInstant(obs::TraceInstant::EngineStart, Opts.Workers);
 
     SampleResult Res;
     Res.Sample.Enabled = true;
@@ -163,6 +165,10 @@ public:
         if (resilience::stopRequested()) {
           Interrupted.store(true, std::memory_order_relaxed);
           Stop.store(true, std::memory_order_relaxed);
+          if (obs::traceActive()) {
+            obs::traceInstant(obs::TraceInstant::StopDrain);
+            obs::traceCrashDump("signal drain (sampling engine)");
+          }
           break;
         }
         if (Opts.DeadlineSeconds > 0 &&
@@ -210,6 +216,7 @@ public:
           obs::progressUpdate(D, 0);
           obs::progressAddCounts(T.Steps - PubSteps, 0);
           PubSteps = T.Steps;
+          obs::traceCounter(obs::TraceCounterTrack::Samples, D);
         }
       }
       T.Seconds = std::chrono::duration<double>(
@@ -225,7 +232,10 @@ public:
       std::vector<std::thread> Threads;
       Threads.reserve(Opts.Workers);
       for (unsigned W = 0; W != Opts.Workers; ++W)
-        Threads.emplace_back(WorkerFn, W);
+        Threads.emplace_back([&WorkerFn, W] {
+          obs::traceThreadName("sample worker " + std::to_string(W));
+          WorkerFn(W);
+        });
       for (std::thread &Th : Threads)
         Th.join();
     }
@@ -282,6 +292,15 @@ public:
     obs::add(obs::Ctr::SampleSteps, Res.Sample.Steps);
     obs::add(obs::Ctr::SampleDeadlocks, Res.Sample.DeadlockSamples);
     obs::add(obs::Ctr::SampleDepthHits, Res.Sample.DepthCapHits);
+    if (obs::traceActive()) {
+      if (Res.hasViolation())
+        obs::traceInstant(obs::TraceInstant::ViolationFound,
+                          WinnerIndex < 0 ? 0
+                                          : static_cast<uint64_t>(
+                                                WinnerIndex));
+      obs::traceInstant(obs::TraceInstant::EngineStop,
+                        Res.Sample.SamplesRun);
+    }
     return Res;
   }
 

@@ -5,6 +5,7 @@
 #include "litmus/Corpus.h"
 #include "obs/RunReport.h"
 #include "obs/Telemetry.h"
+#include "obs/Trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -383,12 +384,16 @@ namespace {
 /// Runs one non-duplicate job: cache lookup, engine run (with resume
 /// from a prior preempted spill), publication of reproducible outcomes.
 BatchJobResult runOne(const BatchJob &Job, const std::string &Key,
-                      VerdictCache *Cache, const BatchOptions &BO) {
+                      VerdictCache *Cache, const BatchOptions &BO,
+                      Clock::time_point BatchStart, size_t Index) {
   Clock::time_point T0 = Clock::now();
   BatchJobResult R;
   R.Name = Job.Name;
   R.Key = Key;
   R.Mode = Job.Mode;
+  R.QueueSeconds =
+      std::chrono::duration<double>(T0 - BatchStart).count();
+  obs::traceInstant(obs::TraceInstant::JobStarted, Index);
 
   if (Cache && BO.UseCache) {
     if (std::optional<CacheHit> Hit = Cache->lookup(Key)) {
@@ -401,6 +406,7 @@ BatchJobResult runOne(const BatchJob &Job, const std::string &Key,
       R.FinalRung = Hit->FinalRung;
       R.Downgrades = Hit->Downgrades;
       R.WallSeconds = secondsSince(T0);
+      obs::traceInstant(obs::TraceInstant::JobFinished, Index);
       return R;
     }
   } else if (Cache) {
@@ -452,6 +458,10 @@ BatchJobResult runOne(const BatchJob &Job, const std::string &Key,
   const resilience::ResilienceReport &Res = Rep.Stats.Resilience;
   bool Reproducible = Rep.Complete && !Res.Interrupted && !Res.DeadlineHit &&
                       !Res.WatchdogFired && Res.ResumeError.empty();
+  if (R.Source == JobSource::Resumed)
+    obs::traceInstant(obs::TraceInstant::JobResumed, Index);
+  if (Cache && !Reproducible)
+    obs::traceInstant(obs::TraceInstant::JobPreempted, Index);
   if (Cache && Reproducible) {
     obs::RunReport RR = obs::buildRunReport(Job.Name, Job.Mode, Job.Opts,
                                             Rep, Before, After);
@@ -469,6 +479,7 @@ BatchJobResult runOne(const BatchJob &Job, const std::string &Key,
     }
   }
   R.WallSeconds = secondsSince(T0);
+  obs::traceInstant(obs::TraceInstant::JobFinished, Index);
   return R;
 }
 
@@ -505,6 +516,8 @@ BatchResult runBatch(const std::vector<BatchJob> &Jobs,
     for (size_t I = 0; I != Jobs.size(); ++I) {
       Keys[I] = cacheKey(Jobs[I].Prog, Jobs[I].Mode, Jobs[I].Opts);
       Owner[I] = FirstWithKey.emplace(Keys[I], I).first->second;
+      if (Owner[I] == I)
+        obs::traceInstant(obs::TraceInstant::JobQueued, I);
     }
   }
 
@@ -516,7 +529,7 @@ BatchResult runBatch(const std::vector<BatchJob> &Jobs,
         break;
       if (Owner[I] != I)
         continue;
-      Result.Jobs[I] = runOne(Jobs[I], Keys[I], Cache.get(), BO);
+      Result.Jobs[I] = runOne(Jobs[I], Keys[I], Cache.get(), BO, T0, I);
     }
   };
 
@@ -541,6 +554,7 @@ BatchResult runBatch(const std::vector<BatchJob> &Jobs,
     Result.Jobs[I].Source = JobSource::CacheHit;
     Result.Jobs[I].Stored = false;
     Result.Jobs[I].WallSeconds = 0;
+    Result.Jobs[I].QueueSeconds = 0;
   }
 
   for (const BatchJobResult &J : Result.Jobs) {
@@ -605,6 +619,7 @@ obs::json::Value toJson(const BatchResult &R, const BatchOptions &BO) {
     Row.set("states", Job.States);
     Row.set("engine_seconds", Job.EngineSeconds);
     Row.set("wall_seconds", Job.WallSeconds);
+    Row.set("queue_seconds", Job.QueueSeconds);
     Row.set("final_rung", Job.FinalRung);
     Row.set("downgrades", Job.Downgrades);
     Row.set("stored", Job.Stored);

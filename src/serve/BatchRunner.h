@@ -94,6 +94,10 @@ struct BatchJobResult {
   uint64_t States = 0;
   double EngineSeconds = 0; ///< Engine-reported (original run on a hit).
   double WallSeconds = 0;   ///< This batch's wall time for the job.
+  /// Batch-start → job-start latency: how long the job sat in the pool
+  /// queue before a worker picked it up (0 for intra-batch duplicates,
+  /// which never enter the queue).
+  double QueueSeconds = 0;
   std::string FinalRung = "exact";
   uint64_t Downgrades = 0;
   bool Stored = false; ///< Published to the cache by this batch.

@@ -4,6 +4,7 @@
 
 #include "lang/Printer.h"
 #include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "resilience/Checkpoint.h"
 #include "support/Hashing.h"
 
@@ -176,6 +177,7 @@ std::optional<CacheHit> VerdictCache::lookup(const std::string &Key,
       *Why = Reason;
     obs::add(obs::Ctr::CacheRejects);
     obs::add(obs::Ctr::CacheMisses);
+    obs::traceInstant(obs::TraceInstant::CacheMiss);
     return std::nullopt;
   };
 
@@ -184,6 +186,7 @@ std::optional<CacheHit> VerdictCache::lookup(const std::string &Key,
     if (Why)
       *Why = "absent";
     obs::add(obs::Ctr::CacheMisses);
+    obs::traceInstant(obs::TraceInstant::CacheMiss);
     return std::nullopt;
   }
   auto J = obs::json::parse(*Text);
@@ -226,6 +229,7 @@ std::optional<CacheHit> VerdictCache::lookup(const std::string &Key,
       Hit.Downgrades = D->items().size();
   }
   obs::add(obs::Ctr::CacheHits);
+  obs::traceInstant(obs::TraceInstant::CacheHit);
   return Hit;
 }
 
@@ -249,6 +253,7 @@ bool VerdictCache::store(const std::string &Key,
   if (!rewriteIndexLocked(StoreErr))
     return false;
   obs::add(obs::Ctr::CacheStores);
+  obs::traceInstant(obs::TraceInstant::CacheStore);
   return true;
 }
 

@@ -173,12 +173,28 @@ inline bool probe(const char *Name, RuleKind Want) {
   return false;
 }
 
+/// Hook invoked immediately before an injected SIGKILL. SIGKILL is
+/// uncatchable by design, so this is the only window for a post-mortem
+/// artifact; the flight recorder (obs/Trace.h) registers its crash dump
+/// here. Must be async-signal-agnostic best effort: the process dies
+/// right after regardless of what the hook manages to write.
+inline std::atomic<void (*)()> &preKillHookSlot() {
+  static std::atomic<void (*)()> H{nullptr};
+  return H;
+}
+inline void setPreKillHook(void (*Hook)()) {
+  preKillHookSlot().store(Hook, std::memory_order_release);
+}
+
 /// SIGKILLs the process at the rule's trigger point — the hardest possible
 /// crash, no destructors, no atexit, exactly what checkpoint crash-safety
 /// must survive.
 inline void maybeKill(const char *Probe) {
-  if (probe(Probe, RuleKind::Kill))
+  if (probe(Probe, RuleKind::Kill)) {
+    if (void (*Hook)() = preKillHookSlot().load(std::memory_order_acquire))
+      Hook();
     ::raise(SIGKILL);
+  }
 }
 
 /// True exactly at the configured hit of a "fail:" rule.
@@ -206,6 +222,7 @@ inline double clockSkewSeconds() {
 #else // !ROCKER_FAULT_INJECT
 
 inline void configure(const char *) {}
+inline void setPreKillHook(void (*)()) {}
 inline void maybeKill(const char *) {}
 inline bool shouldFail(const char *) { return false; }
 inline void maybeStall(const char *) {}

@@ -25,6 +25,7 @@
 
 #include "litmus/Corpus.h"
 #include "memory/SCMemory.h"
+#include "obs/Trace.h"
 #include "parexplore/ParallelExplorer.h"
 #include "resilience/Checkpoint.h"
 #include "resilience/Resilience.h"
@@ -36,6 +37,7 @@
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -519,22 +521,43 @@ TEST(Resilience, BitstateLog2ForBudgetClampsAndScales) {
 namespace {
 
 /// Forks a child with \p FiSpec; the configured kill must terminate it
-/// with SIGKILL, then a fault-free resume must match \p Ref.
+/// with SIGKILL, then a fault-free resume must match \p Ref. The child
+/// records a flight-recorder trace, so the fault-injection pre-kill hook
+/// must leave a readable last-events dump next to the checkpoint.
 void fiKillThenResume(const Program &P, const RockerReport &Ref,
                       const char *FiSpec, const std::string &Stem) {
   ScopedFile Ckpt(tmpPath(Stem));
   ScopedFile Result(tmpPath(Stem + "-result"));
+  ScopedFile Trace(Ckpt.Path + ".trace.json");
+  ScopedFile Dump(Ckpt.Path + ".trace.txt");
 
   pid_t Pid = ::fork();
   ASSERT_NE(Pid, -1);
-  if (Pid == 0)
+  if (Pid == 0) {
+    obs::traceConfigure(Trace.Path);
     childCheckRun(P, Ckpt.Path, Result.Path, false, 1, FiSpec);
+  }
   int St = 0;
   ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
   ASSERT_TRUE(WIFSIGNALED(St)) << "child was not killed (" << FiSpec << ")";
   ASSERT_EQ(WTERMSIG(St), SIGKILL);
   ASSERT_TRUE(fs::exists(Ckpt.Path))
       << "no checkpoint survived the kill (" << FiSpec << ")";
+  if (obs::traceSupported()) {
+    // The engine redirects the dump next to its checkpoint, and the
+    // pre-kill hook fires before SIGKILL: the dump must name the kill
+    // and carry at least one recorded event line.
+    ASSERT_TRUE(fs::exists(Dump.Path))
+        << "kill left no flight-recorder dump (" << FiSpec << ")";
+    std::ifstream DumpIn(Dump.Path);
+    std::stringstream DumpBuf;
+    DumpBuf << DumpIn.rdbuf();
+    EXPECT_NE(DumpBuf.str().find("fault-injection kill"),
+              std::string::npos)
+        << FiSpec;
+    EXPECT_NE(DumpBuf.str().find("begin "), std::string::npos)
+        << FiSpec << ": dump carries no span events";
+  }
 
   pid_t Pid2 = ::fork();
   ASSERT_NE(Pid2, -1);
@@ -602,6 +625,13 @@ TEST(ResilienceFi, ClockSkewTripsDeadline) {
 }
 
 TEST(ResilienceFi, WatchdogCatchesStuckWorker) {
+  // Traced run: the watchdog trip must also leave a readable
+  // last-events dump (default location: next to the trace file).
+  ScopedFile Trace(tmpPath("fi-watchdog-trace"));
+  ScopedFile Dump(Trace.Path + ".crash.txt");
+  bool Tracing =
+      obs::traceSupported() && obs::traceConfigure(Trace.Path);
+
   fi::configure("stall:worker.stall@50");
   Program P = findCorpusEntry("lamport2-ra").parse();
   SCMemory Mem(P);
@@ -615,6 +645,15 @@ TEST(ResilienceFi, WatchdogCatchesStuckWorker) {
   EXPECT_TRUE(R.Stats.Resilience.WatchdogFired);
   EXPECT_TRUE(R.Stats.Truncated);
   EXPECT_EQ(R.Verdict, ParVerdict::Bounded);
+  if (Tracing) {
+    obs::traceStop();
+    ASSERT_TRUE(fs::exists(Dump.Path))
+        << "watchdog trip left no flight-recorder dump";
+    std::ifstream DumpIn(Dump.Path);
+    std::stringstream DumpBuf;
+    DumpBuf << DumpIn.rdbuf();
+    EXPECT_NE(DumpBuf.str().find("watchdog"), std::string::npos);
+  }
 }
 
 TEST(ResilienceFi, CheckpointWriteFailureIsSkippedNotFatal) {

@@ -37,6 +37,33 @@ void busyWait(double Ms) {
 
 } // namespace
 
+// The phase and counter taxonomies are maintained by hand in three
+// places (enum, Num constant, name switch); the static_asserts in
+// Telemetry.h pin the counts, and this pins the names: total (every
+// value has one), non-empty, and unique — a copy-pasted duplicate name
+// would silently merge two report keys.
+TEST(Telemetry, PhaseAndCounterNamesTotalUniqueNonEmpty) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I != obs::NumPhases; ++I) {
+    const char *N = obs::phaseName(static_cast<obs::Phase>(I));
+    ASSERT_NE(N, nullptr);
+    EXPECT_STRNE(N, "") << "phase " << I << " has an empty name";
+    EXPECT_TRUE(Seen.insert(N).second)
+        << "phase name '" << N << "' is not unique";
+  }
+  EXPECT_EQ(Seen.size(), obs::NumPhases);
+
+  Seen.clear();
+  for (unsigned I = 0; I != obs::NumCounters; ++I) {
+    const char *N = obs::counterName(static_cast<obs::Ctr>(I));
+    ASSERT_NE(N, nullptr);
+    EXPECT_STRNE(N, "") << "counter " << I << " has an empty name";
+    EXPECT_TRUE(Seen.insert(N).second)
+        << "counter name '" << N << "' is not unique";
+  }
+  EXPECT_EQ(Seen.size(), obs::NumCounters);
+}
+
 #ifndef ROCKER_NO_TELEMETRY
 
 TEST(Telemetry, SpanSelfTimeAttribution) {
@@ -100,6 +127,27 @@ TEST(Telemetry, PhaseTimesSumToExploreSeconds) {
   EXPECT_GT(D.counter(obs::Ctr::MonitorChecks), 0u);
   EXPECT_EQ(D.counter(obs::Ctr::VisitedInserts), R.Stats.NumStates);
   EXPECT_EQ(D.counter(obs::Ctr::DedupHits), R.Stats.DedupHits);
+}
+
+// Retired-thread fold: a worker that records span time and counters and
+// then *exits* must still be visible to a later snapshot() — its
+// ThreadBlock is folded into the registry's retired totals on thread
+// exit, not dropped. (CountersAggregateAcrossThreads covers the counter
+// half; this pins the phase-cycle half, which takes a different path
+// through the cycles→seconds calibration.)
+TEST(Telemetry, RetiredThreadSnapshotFold) {
+  obs::Snapshot Before = obs::snapshot();
+  std::thread Worker([] {
+    obs::Span S(obs::Phase::OracleSweep);
+    busyWait(20);
+    obs::add(obs::Ctr::SweptStates, 7);
+  });
+  Worker.join(); // The worker's block is retired before this snapshot.
+  obs::Snapshot D = obs::diff(obs::snapshot(), Before);
+  EXPECT_NEAR(D.phase(obs::Phase::OracleSweep), 0.020, 0.015)
+      << "retired thread's span cycles were lost in the fold";
+  EXPECT_EQ(D.counter(obs::Ctr::SweptStates), 7u)
+      << "retired thread's counters were lost in the fold";
 }
 
 TEST(Telemetry, CompiledIn) {
