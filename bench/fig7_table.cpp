@@ -7,14 +7,16 @@
 // instrumented vs plain exploration (absolute times differ: we use our
 // own explicit-state checker instead of Spin, on different hardware).
 //
-// Usage: fig7_table [-v] [--no-por] [--reports FILE] [--trace FILE[:N]]
-//                   [--engine=sample] [--samples N] [--sample-seed S]
-//                   [--sched NAME] [program-name ...]
+// Usage: fig7_table [-v] [--no-por] [--threads N] [--reports FILE]
+//                   [--trace FILE[:N]] [--engine=sample] [--samples N]
+//                   [--sample-seed S] [--sched NAME] [program-name ...]
 //        (default: the whole table; --no-por disables the ample-set
 //        partial-order reduction for all three checkers, like
-//        `rocker_cli --no-por` / ROCKER_NO_POR; --reports writes a JSON
-//        array of run reports, one per program — CI diffs it against the
-//        checked-in BENCH_fig7_reports.json baseline)
+//        `rocker_cli --no-por` / ROCKER_NO_POR; --threads N runs the
+//        robustness, SC, and TSO columns on N workers — 0 = hardware
+//        concurrency, default 1 = the sequential engine; --reports
+//        writes a JSON array of run reports, one per program — CI diffs
+//        it against the checked-in BENCH_fig7_reports.json baseline)
 //
 // With --engine=sample the robustness column runs the sampling engine
 // (same flags as rocker_cli: --samples/--sample-seed/--sched). Clean
@@ -28,6 +30,7 @@
 #include "litmus/Corpus.h"
 #include "obs/RunReport.h"
 #include "obs/Trace.h"
+#include "parexplore/ParallelExplorer.h"
 #include "rocker/RobustnessChecker.h"
 #include "support/ParseNum.h"
 #include "tso/TSORobustness.h"
@@ -46,6 +49,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Only(argv + 1, argv + argc);
   bool Verbose = false;
   bool UsePor = defaultUsePor();
+  unsigned Threads = 1;
   bool UseSampling = false;
   sample::SampleOptions Sampling;
   std::string ReportsPath;
@@ -82,6 +86,16 @@ int main(int argc, char **argv) {
     } else if (*It == "--no-por") {
       UsePor = false;
       It = Only.erase(It);
+    } else if (Is(*It, "--threads")) {
+      if (!TakeValue(It, "--threads", Val))
+        return 3;
+      if (auto N = num::parseU32(Val.c_str())) {
+        Threads = *N ? *N : resolveThreadCount(0);
+      } else {
+        std::fprintf(stderr, "error: invalid value for --threads: '%s'\n",
+                     Val.c_str());
+        return 3;
+      }
     } else if (Is(*It, "--reports")) {
       if (!TakeValue(It, "--reports", Val))
         return 3; // Usage, same contract as rocker_cli.
@@ -169,6 +183,7 @@ int main(int argc, char **argv) {
     RO.RecordTrace = Verbose;
     RO.MaxStates = 4'000'000;
     RO.UsePor = UsePor;
+    RO.Threads = Threads;
     RO.UseSampling = UseSampling;
     RO.Sampling = Sampling;
     obs::Snapshot Before = obs::snapshot();
@@ -181,12 +196,14 @@ int main(int argc, char **argv) {
     SO.RecordTrace = false;
     SO.MaxStates = 4'000'000;
     SO.UsePor = UsePor;
+    SO.Threads = Threads;
     RockerReport SC = exploreSC(P, SO);
 
     TSOOptions TO;
     TO.TrencherMode = true;
     TO.MaxStates = 4'000'000;
     TO.UsePor = UsePor;
+    TO.Threads = Threads;
     TSORobustnessResult Tso = checkTSORobustness(P, TO);
 
     // A bounded run (budget/deadline truncation or degraded storage)

@@ -56,6 +56,15 @@ traced overhead above 5% of baseline throughput is an error (the
 tracing acceptance bar), and overhead growth beyond the threshold in
 percentage points is a warning.
 
+Also accepts a pair of parallel-speedup bench files (schema
+"rocker-bench-speedup/1", written by `parallel_speedup --json`): per
+program, verdict or state-count drift between any (threads, impl) cell
+and the sequential baseline is an error (the parallel engine and both
+visited tiers must be observationally identical); per matched
+(threads, impl) cell, speedup drops beyond the threshold are warnings
+(timing class — thread ladders and hardware differ between machines,
+so unmatched cells are skipped silently).
+
 Also accepts a pair of batch summary reports (schema
 "rocker-batch-report/1", written by `rocker_batch --report`): per job,
 verdict changes are errors; queue-wait (queue_seconds) regressions
@@ -87,6 +96,7 @@ RESILIENCE_SCHEMA = "rocker-bench-resilience/1"
 SAMPLE_SCHEMA = "rocker-bench-sample/1"
 BATCH_SCHEMA = "rocker-bench-batch/1"
 TRACE_SCHEMA = "rocker-bench-trace/1"
+SPEEDUP_SCHEMA = "rocker-bench-speedup/1"
 BATCH_REPORT_SCHEMA = "rocker-batch-report/1"
 CKPT_OVERHEAD_BAR_PCT = 5.0  # 30s-interval overhead acceptance bar.
 BATCH_HIT_RATE_BAR = 0.95  # warm-pass hit-rate acceptance bar.
@@ -113,6 +123,8 @@ def load_reports(path):
         return "batch", data
     if isinstance(data, dict) and data.get("schema") == TRACE_SCHEMA:
         return "trace", {p["name"]: p for p in data["programs"]}
+    if isinstance(data, dict) and data.get("schema") == SPEEDUP_SCHEMA:
+        return "speedup", {p["name"]: p for p in data["programs"]}
     if isinstance(data, dict) and data.get("schema") == BATCH_REPORT_SCHEMA:
         return "batchreport", {j["name"]: j for j in data["jobs"]}
     reports = data if isinstance(data, list) else [data]
@@ -123,7 +135,8 @@ def load_reports(path):
                 f"{path}: unexpected schema {r.get('schema')!r} "
                 f"(want one of {SCHEMAS!r}, {RESILIENCE_SCHEMA!r}, "
                 f"{SAMPLE_SCHEMA!r}, {BATCH_SCHEMA!r}, "
-                f"{TRACE_SCHEMA!r}, or {BATCH_REPORT_SCHEMA!r})"
+                f"{TRACE_SCHEMA!r}, {SPEEDUP_SCHEMA!r}, or "
+                f"{BATCH_REPORT_SCHEMA!r})"
             )
         out[r["program"]] = r
     return "run", out
@@ -324,6 +337,55 @@ def compare_trace(base, cur, threshold):
             )
 
 
+def compare_speedup(base, cur, threshold):
+    """Comparison for parallel-speedup bench files: every (threads,
+    impl) cell must reproduce the sequential verdict and state count
+    exactly (an equivalence error, machine-independent); speedup drops
+    beyond the threshold on matched cells are timing-class warnings.
+    Cells present on only one side are skipped — thread ladders follow
+    the machine's core count."""
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            yield "error", f"{name}: present in baseline, missing now"
+            continue
+        if name not in base:
+            yield "warn", f"{name}: new program (no baseline)"
+            continue
+        b, c = base[name], cur[name]
+        if b.get("states") != c.get("states"):
+            yield "error", (
+                f"{name}: state count changed "
+                f"{b.get('states')} -> {c.get('states')} "
+                "(exploration should be deterministic)"
+            )
+        if b.get("robust") != c.get("robust"):
+            yield "error", (
+                f"{name}: verdict changed "
+                f"{b.get('robust')} -> {c.get('robust')}"
+            )
+        if not c.get("counts_match", True):
+            yield "error", (
+                f"{name}: a parallel run diverged from the sequential "
+                "baseline (verdict or state count)"
+            )
+        b_runs = {(r["threads"], r["impl"]): r for r in b.get("runs", [])}
+        c_runs = {(r["threads"], r["impl"]): r for r in c.get("runs", [])}
+        for key in sorted(set(b_runs) & set(c_runs)):
+            br, cr = b_runs[key], c_runs[key]
+            if not cr.get("counts_match", True):
+                yield "error", (
+                    f"{name} [{key[0]}t {key[1]}]: verdict/state-count "
+                    "mismatch vs sequential"
+                )
+            sp_delta = pct(cr.get("speedup", 0), br.get("speedup", 0))
+            if sp_delta is not None and sp_delta < -threshold:
+                yield "warn", (
+                    f"{name} [{key[0]}t {key[1]}]: speedup dropped "
+                    f"{-sp_delta:.1f}% ({br.get('speedup', 0):.2f}x -> "
+                    f"{cr.get('speedup', 0):.2f}x)"
+                )
+
+
 def compare_batch_report(base, cur, threshold):
     """Comparison for rocker-batch-report/1 summaries: per job, verdict
     changes are errors; queue-wait regressions beyond the threshold (over
@@ -510,6 +572,7 @@ def main(argv):
         "sample": compare_sample,
         "batch": compare_batch,
         "trace": compare_trace,
+        "speedup": compare_speedup,
         "batchreport": compare_batch_report,
     }.get(base_kind, compare)
     findings = list(compare_fn(base, cur, args.threshold))

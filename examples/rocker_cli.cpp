@@ -170,6 +170,25 @@ const CliOption Options[] = {
      "store full state keys instead of the compressed (interned-"
      "component) visited set",
      [](CliState &C, const char *) { C.Opts.CompressVisited = false; }},
+    {"--visited", "IMPL",
+     "parallel-engine visited tier: lockfree (CAS-published tables, the "
+     "default) or striped (sharded locks); identical verdicts either "
+     "way; env equivalent: ROCKER_VISITED",
+     [](CliState &C, const char *V) {
+       if (auto I = parseVisitedImpl(V))
+         C.Opts.Visited = *I;
+       else
+         badValue(C, "--visited", V);
+     }},
+    {"--visited-log2", "K",
+     "initial lock-free root-table capacity 2^K slots (default 2^18); "
+     "tables grow 4x automatically, truncating only at the 2^30 ceiling",
+     [](CliState &C, const char *V) {
+       if (auto K = num::parseU32(V))
+         C.Opts.LockFreeLog2 = *K;
+       else
+         badValue(C, "--visited-log2", V);
+     }},
     {"--no-por", nullptr,
      "disable the ample-set partial-order reduction (full expansion; "
      "identical verdicts, more states); env equivalent: ROCKER_NO_POR",
@@ -411,6 +430,25 @@ void printStats(const ExploreStats &S) {
                   static_cast<unsigned long long>(W.Steals));
     std::printf("\n");
   }
+  // Lock-free-tier and steal-tuning contention counters (telemetry
+  // registry; zero and silent for sequential / striped runs).
+  obs::Snapshot Now = obs::snapshot();
+  uint64_t Cas = Now.counter(obs::Ctr::VisitedCasRetries);
+  uint64_t Probe = Now.counter(obs::Ctr::VisitedProbeSteps);
+  uint64_t Grow = Now.counter(obs::Ctr::VisitedGrowths);
+  if (Cas || Probe)
+    std::printf("stats: lock-free visited: %llu CAS retries, %llu probe "
+                "steps, %llu growth%s\n",
+                static_cast<unsigned long long>(Cas),
+                static_cast<unsigned long long>(Probe),
+                static_cast<unsigned long long>(Grow),
+                Grow == 1 ? "" : "s");
+  uint64_t Att = Now.counter(obs::Ctr::StealAttempts);
+  uint64_t Items = Now.counter(obs::Ctr::StealBatchItems);
+  if (Att)
+    std::printf("stats: steals: %llu attempts, %llu states stolen\n",
+                static_cast<unsigned long long>(Att),
+                static_cast<unsigned long long>(Items));
 }
 
 /// Sampling-run statistics: throughput and schedule-diversity signals

@@ -154,6 +154,38 @@ public:
     }
   }
 
+  /// Single-chunk re-emission for the incremental (Zobrist) visited path:
+  /// appends exactly the bytes serializeComponents emits for \p Chunk.
+  void serializeComponent(const State &S, unsigned Chunk,
+                          std::string &Out) const {
+    if (Chunk < NumLocs) {
+      const std::vector<RAMessage> &Ms = S.Mem[Chunk];
+      Out.push_back(static_cast<char>(Ms.size()));
+      for (const RAMessage &M : Ms) {
+        Out.push_back(static_cast<char>(M.V));
+        Out.push_back(static_cast<char>(M.IsRmw));
+        Out.append(reinterpret_cast<const char *>(M.MsgView.data()),
+                   M.MsgView.size());
+      }
+      return;
+    }
+    const View &Vw = S.TView[Chunk - NumLocs];
+    Out.append(reinterpret_cast<const char *>(Vw.data()), Vw.size());
+  }
+
+  /// Chunks a step by thread \p T with access \p A may change, as a bit
+  /// mask over the chunk indices above. A plain read (Read/Wait) only
+  /// joins the reading thread's view — chunk NumLocs + T. Anything that
+  /// can insert a message (writes and the RMW-capable kinds) goes
+  /// through insertAfterFor, which renumbers timestamps and shifts views
+  /// everywhere — all chunks dirty. RA has no internal steps (nullptr
+  /// \p A is conservatively "all").
+  uint64_t dirtyComponents(ThreadId T, const MemAccess *A) const {
+    if (A && (A->K == MemAccess::Kind::Read || A->K == MemAccess::Kind::Wait))
+      return uint64_t{1} << (NumLocs + T);
+    return ~uint64_t{0};
+  }
+
   /// Inserts a new message for thread \p T at position Pred+1 of location
   /// \p L, shifting all views that point at or beyond the insertion point.
   /// Sets the thread's view to the new message and stamps the message with

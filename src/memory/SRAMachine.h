@@ -87,6 +87,17 @@ public:
     Inner.serializeComponents(S, Out, Cut);
   }
 
+  void serializeComponent(const State &S, unsigned Chunk,
+                          std::string &Out) const {
+    Inner.serializeComponent(S, Chunk, Out);
+  }
+
+  /// Same dirty-chunk analysis as RAMachine: maximal placement restricts
+  /// *where* insertAfterFor inserts, not what it shifts.
+  uint64_t dirtyComponents(ThreadId T, const MemAccess *A) const {
+    return Inner.dirtyComponents(T, A);
+  }
+
 private:
   static void joinInto(View &Dst, const View &Src) {
     for (unsigned I = 0; I != Dst.size(); ++I)

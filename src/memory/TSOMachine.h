@@ -158,6 +158,42 @@ public:
     }
   }
 
+  /// Single-chunk re-emission for the incremental (Zobrist) visited path:
+  /// appends exactly the bytes serializeComponents emits for \p Chunk.
+  void serializeComponent(const State &S, unsigned Chunk,
+                          std::string &Out) const {
+    if (Chunk == 0) {
+      Out.append(reinterpret_cast<const char *>(S.Mem.data()), S.Mem.size());
+      return;
+    }
+    const std::vector<BufferedWrite> &B = S.Buf[Chunk - 1];
+    Out.push_back(static_cast<char>(B.size()));
+    for (const BufferedWrite &W : B) {
+      Out.push_back(static_cast<char>(W.Loc));
+      Out.push_back(static_cast<char>(W.V));
+    }
+  }
+
+  /// Chunks a step by thread \p T with access \p A may change, as a bit
+  /// mask over the chunk indices above. Reads (including failed CAS
+  /// compares) copy the state unchanged; a write appends to T's buffer
+  /// (chunk 1 + T); a successful RMW writes main memory with an empty
+  /// buffer (chunk 0); an internal flush (nullptr \p A) pops T's buffer
+  /// into memory (chunks 0 and 1 + T).
+  uint64_t dirtyComponents(ThreadId T, const MemAccess *A) const {
+    if (!A)
+      return uint64_t{1} | (uint64_t{1} << (1 + T));
+    switch (A->K) {
+    case MemAccess::Kind::Read:
+    case MemAccess::Kind::Wait:
+      return 0;
+    case MemAccess::Kind::Write:
+      return uint64_t{1} << (1 + T);
+    default: // Fadd/Xchg/Cas/Bcas: locked RMW straight to memory.
+      return uint64_t{1};
+    }
+  }
+
   /// True if some write was ever refused because of the buffer bound (the
   /// exploration is then an under-approximation of TSO).
   bool saturated() const {

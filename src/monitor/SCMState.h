@@ -162,6 +162,37 @@ public:
     }
   }
 
+  /// Single-chunk re-emission for the incremental (Zobrist) visited path:
+  /// appends exactly the bytes serializeComponents emits for \p Chunk.
+  void serializeComponent(const State &S, unsigned Chunk,
+                          std::string &Out) const {
+    if (Chunk == 0)
+      serializeGlobal(S, Out);
+    else
+      serializeThread(S, Chunk - 1, Out);
+  }
+
+  /// Chunks a step by thread \p T with access \p A may change, as a bit
+  /// mask over the chunk indices above (nullptr \p A = internal step;
+  /// SCM has none, so that case is conservatively "all"). Derived from
+  /// stepWrite/stepRead/stepRmw: an NA write touches only M (chunk 0),
+  /// an NA read nothing; a non-NA plain read updates VSC[T]/MSC (chunk
+  /// 0) and T's V/VRMW/CV rows (chunk 1 + T); writes and RMWs |= the
+  /// demoted value into every other thread's V row, so all chunks are
+  /// dirty. Cas/Bcas may land as plain reads (failed compare) or RMWs —
+  /// the mask covers the union.
+  uint64_t dirtyComponents(ThreadId T, const MemAccess *A) const {
+    if (!A)
+      return ~uint64_t{0};
+    bool ReadOnly =
+        A->K == MemAccess::Kind::Read || A->K == MemAccess::Kind::Wait;
+    if (A->IsNA)
+      return ReadOnly ? 0 : uint64_t{1};
+    if (ReadOnly)
+      return uint64_t{1} | (uint64_t{1} << (1 + T));
+    return ~uint64_t{0};
+  }
+
   /// Checkpoint codec (resilience layer): all field lengths are fixed by
   /// the program dimensions + the abstraction flag, so the encoding is
   /// the value bytes plus each bit set's raw 64-bit mask.

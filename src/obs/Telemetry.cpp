@@ -94,6 +94,16 @@ const char *obs::counterName(Ctr C) {
     return "cache.stores";
   case Ctr::CacheRejects:
     return "cache.rejects";
+  case Ctr::VisitedCasRetries:
+    return "visited.cas_retries";
+  case Ctr::VisitedProbeSteps:
+    return "visited.probe_steps";
+  case Ctr::StealAttempts:
+    return "steal.attempts";
+  case Ctr::StealBatchItems:
+    return "steal.batch_items";
+  case Ctr::VisitedGrowths:
+    return "visited.growths";
   }
   return "unknown";
 }

@@ -106,11 +106,22 @@ enum class Ctr : uint8_t {
   CacheMisses,     ///< cache.misses — lookups that fell through to an
                    ///< engine run.
   CacheStores,     ///< cache.stores — entries published to the store.
-  CacheRejects     ///< cache.rejects — entries present but refused
+  CacheRejects,    ///< cache.rejects — entries present but refused
                    ///< (corrupt, truncated, wrong schema/key).
+  VisitedCasRetries, ///< visited.cas_retries — lost CAS claims in the
+                     ///< lock-free visited tier (contention measure).
+  VisitedProbeSteps, ///< visited.probe_steps — open-address slots
+                     ///< inspected by the lock-free tier (clustering
+                     ///< measure; steps / probes = mean probe length).
+  StealAttempts,     ///< steal.attempts — victim deques inspected
+                     ///< (empty or not) by idle workers.
+  StealBatchItems,   ///< steal.batch_items — states moved by batched
+                     ///< steals (items / steals = mean batch size).
+  VisitedGrowths     ///< visited.growths — lock-free table capacity
+                     ///< rebuilds (pause-the-world 4x growth).
 };
-inline constexpr unsigned NumCounters = 27;
-static_assert(NumCounters == static_cast<unsigned>(Ctr::CacheRejects) + 1,
+inline constexpr unsigned NumCounters = 32;
+static_assert(NumCounters == static_cast<unsigned>(Ctr::VisitedGrowths) + 1,
               "NumCounters must track the Ctr enum: when adding a counter, "
               "update the enum, NumCounters, and counterName() together");
 

@@ -67,6 +67,8 @@ const char *obs::traceCounterTrackName(TraceCounterTrack C) {
     return "visited_bytes";
   case TraceCounterTrack::Samples:
     return "samples";
+  case TraceCounterTrack::CasRetries:
+    return "cas_retries";
   }
   return "unknown";
 }

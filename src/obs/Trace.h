@@ -88,9 +88,11 @@ enum class TraceCounterTrack : uint8_t {
                 ///< sampling engine... see Samples below for the raw
                 ///< sample count).
   VisitedBytes, ///< visited_bytes — visited-set footprint.
-  Samples       ///< samples — monitored schedules executed.
+  Samples,      ///< samples — monitored schedules executed.
+  CasRetries    ///< cas_retries — lock-free visited-tier lost CAS
+                ///< claims (cumulative across workers).
 };
-inline constexpr unsigned NumTraceCounterTracks = 4;
+inline constexpr unsigned NumTraceCounterTracks = 5;
 
 const char *traceCounterTrackName(TraceCounterTrack C);
 

@@ -7,13 +7,19 @@
 /// robustness to reachability (Theorem 5.3), so every oracle in this repo
 /// bottlenecks on the exploration loop; this engine parallelizes it:
 ///
-///  * Visited set: by default a sharded collapse-compressed set of
-///    interned component-id tuples (support/StateInterner.h); with
-///    CompressVisited off, a sharded, striped-lock set of serialized
-///    product states (support/ShardedSet.h). Either way dedup is exact,
-///    so a run that is not truncated visits exactly the reachable state
-///    set — state and transition counts are equal to the sequential
-///    engine's.
+///  * Visited set: by default a lock-free collapse-compressed set of
+///    interned component-id tuples (support/LockFreeVisited.h — CAS-
+///    claimed open-address tables probed by an incrementally maintained
+///    Zobrist hash, so re-hashing a successor costs only its changed
+///    chunks); --visited=striped selects the mutex-striped tier
+///    (support/StateInterner.h / support/ShardedSet.h) instead, and
+///    CompressVisited off swaps the compressed layout for full serialized
+///    product-state keys in either tier. Every combination deduplicates
+///    exactly, so a run that is not truncated visits exactly the
+///    reachable state set — state and transition counts are equal to the
+///    sequential engine's. The lock-free tables are fixed-capacity; on
+///    the (engineered-to-be-rare) full-table event the run truncates like
+///    a MaxStates cut rather than ever mis-deduplicating.
 ///  * Frontier: one WorkDeque per worker (owner LIFO, thieves FIFO), with
 ///    round-robin stealing.
 ///  * Termination: a Dijkstra-style in-flight counter (TerminationBarrier)
@@ -44,12 +50,16 @@
 #include "lang/Step.h"
 #include "obs/Trace.h"
 #include "parexplore/WorkDeque.h"
+#include "support/LockFreeVisited.h"
 #include "support/ShardedSet.h"
 #include "support/StateInterner.h"
 #include "support/StateKey.h"
+#include "support/Zobrist.h"
 
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <concepts>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -71,6 +81,20 @@ enum class ParVerdict : uint8_t {
 /// Renders a verdict for reports.
 const char *parVerdictName(ParVerdict V);
 
+/// True when \p MemSys provides the two hooks the incremental Zobrist
+/// path needs on top of serializeComponents: single-chunk re-emission
+/// (serializeComponent) and a dirty-chunk mask for a step
+/// (dirtyComponents — a superset mask over the subsystem's chunk
+/// indices; unchanged chunks must re-serialize byte-identically).
+template <typename MemSys>
+concept HasIncrementalHash =
+    HasSerializeComponents<MemSys> &&
+    requires(const MemSys &M, const typename MemSys::State &S,
+             std::string &Out, ThreadId T, const MemAccess *A) {
+      M.serializeComponent(S, 0u, Out);
+      { M.dirtyComponents(T, A) } -> std::convertible_to<uint64_t>;
+    };
+
 /// Resolves a requested worker count (0 = std::thread::hardware_concurrency,
 /// clamped to at least 1).
 unsigned resolveThreadCount(unsigned Requested);
@@ -91,10 +115,22 @@ struct ParExploreOptions {
   bool RecordTrace = true;
   /// Run the deterministic sequential replay when a violation is found.
   bool ReplayOnViolation = true;
-  unsigned ShardCountLog2 = 8; ///< Visited-set shards = 2^k.
-  /// Use the sharded collapse-compressed visited set (exact; see
+  unsigned ShardCountLog2 = 8; ///< Striped visited-set shards = 2^k.
+  /// Use the collapse-compressed visited set (exact; see
   /// ExploreOptions::CompressVisited).
   bool CompressVisited = defaultCompressVisited();
+  /// Visited-tier implementation: lock-free CAS tables (default) or the
+  /// mutex-striped sets. Verdicts, violations, and state counts are
+  /// identical either way; only scaling behavior differs.
+  VisitedImpl Visited = defaultVisitedImpl();
+  /// Initial lock-free root-table capacity override: 2^k slots (clamped
+  /// to [16, 30]); 0 = the small default (see lockFreeRootLog2). The
+  /// management thread grows the tables 4x as they fill.
+  unsigned LockFreeLog2 = 0;
+  /// Max states a thief moves per steal (at least 1). Batched steals
+  /// amortize the victim-lock round-trip — the steal-throughput lever
+  /// past ~8 workers.
+  unsigned StealBatch = 8;
   /// Ample-set partial-order reduction (see ExploreOptions::UsePor).
   /// Selection is a pure function of the state, so the reduced graph —
   /// and hence verdicts, violation sets, and deadlock counts — is
@@ -190,11 +226,20 @@ public:
       obs::traceInstant(obs::TraceInstant::EngineStart, NumWorkers);
     }
     Shared Sh(NumWorkers, Opts.ShardCountLog2);
+    const bool LockFree = Opts.Visited == VisitedImpl::LockFree;
     if (Opts.CompressVisited) {
-      Sh.Interner.emplace(P.numThreads() + memComponentCount(Mem),
-                          Opts.ShardCountLog2);
+      if (LockFree)
+        Sh.LfInterner = std::make_unique<LockFreeStateInterner>(
+            P.numThreads() + memComponentCount(Mem),
+            lockFreeRootLog2(Opts.LockFreeLog2, Opts.MaxStates));
+      else
+        Sh.Interner.emplace(P.numThreads() + memComponentCount(Mem),
+                            Opts.ShardCountLog2);
       SlotOrder = buildSlotOrder(P.numThreads(), memComponentCount(Mem),
                                  memPerThreadTailComponents(Mem));
+    } else if (LockFree) {
+      Sh.LfSet = std::make_unique<LockFreeStateSet>(
+          lockFreeRootLog2(Opts.LockFreeLog2, Opts.MaxStates));
     }
     RunStart = Start;
     auto &RR = Res.Stats.Resilience;
@@ -236,8 +281,10 @@ public:
 
     if (Ready && !RR.Resumed) {
       // The initial state fast-forwards too: state 0 is its chain
-      // endpoint.
-      Init = fastForward(std::move(Init), Sh, *Sh.Workers[0], AHook);
+      // endpoint. No primed parent yet, so it takes the full-hash path.
+      uint64_t InitDirty = ~uint64_t{0};
+      Init = fastForward(std::move(Init), Sh, *Sh.Workers[0], AHook,
+                         InitDirty);
       markVisited(Sh, Init, *Sh.Workers[0]); // Workers not yet running.
       Sh.StateCount.store(1, std::memory_order_relaxed);
       if (Opts.CollectProgramStates)
@@ -290,9 +337,15 @@ public:
       Res.Stats.VisitedRawBytes =
           Sh.RawBytesAtDowngrade.load(std::memory_order_relaxed);
       Res.Approximate = true;
+    } else if (Sh.LfInterner) {
+      Res.Stats.VisitedBytes = Sh.LfInterner->bytesUsed();
+      Res.Stats.VisitedRawBytes = Sh.LfInterner->rawBytes();
     } else if (Sh.Interner) {
       Res.Stats.VisitedBytes = Sh.Interner->bytesUsed();
       Res.Stats.VisitedRawBytes = Sh.Interner->rawBytes();
+    } else if (Sh.LfSet) {
+      Res.Stats.VisitedBytes = Sh.LfSet->bytesUsed();
+      Res.Stats.VisitedRawBytes = Res.Stats.VisitedBytes;
     } else {
       Res.Stats.VisitedBytes = Sh.Visited.bytesUsed();
       Res.Stats.VisitedRawBytes = Res.Stats.VisitedBytes;
@@ -399,6 +452,8 @@ private:
     uint64_t Deadlocks = 0;
     uint64_t DedupHits = 0;
     uint64_t Steals = 0; ///< Successful steals from other deques.
+    uint64_t StealAttempts = 0;   ///< Steal probes, successful or not.
+    uint64_t StealBatchItems = 0; ///< States moved by batched steals.
     uint64_t AmpleStates = 0;   ///< States expanded via an ample set.
     uint64_t PorFullStates = 0; ///< POR-active states with no ample set.
     uint64_t PorSavedSteps = 0; ///< Pending steps skipped at ample states.
@@ -406,11 +461,29 @@ private:
     double Seconds = 0;
     uint64_t PubTransitions = 0; ///< Progress: last published transitions.
     uint64_t PubDedupHits = 0;   ///< Progress: last published dedup hits.
+    /// Lock-free probe telemetry, atomic for the same reason as Expanded:
+    /// worker 0 sums all workers' totals for the cas_retries trace track
+    /// while they run. The owner is the only writer (relaxed load+store).
+    std::atomic<uint64_t> CasRetries{0};
+    std::atomic<uint64_t> ProbeSteps{0};
+    unsigned IdleSweeps = 0; ///< Consecutive empty steal sweeps (backoff).
+    uint64_t StealRng = 0;   ///< xorshift64 state for victim selection.
     // Reused scratch for the compressed visited set (markVisited).
     std::string CompBuf;
     std::vector<uint32_t> TupleBuf;
+    std::vector<uint32_t> TreeScratch; ///< insertTuple working space.
     std::vector<ThreadStep> StepsBuf; ///< Scratch: per-thread steps (POR).
     std::vector<ThreadStep> ChainStepsBuf; ///< Scratch: fastForward walk.
+    std::vector<ProductState> StealBuf; ///< Batched-steal landing area.
+    // Incremental-hash parent cache (lock-free interner only): the state
+    // being expanded, serialized and interned once by primeParent; each
+    // successor then re-interns only its dirty chunks and XOR-updates the
+    // parent's Zobrist hash (markVisited).
+    std::vector<uint32_t> ParentIds;      ///< Component ids, by tuple slot.
+    std::vector<uint32_t> ParentChunkLen; ///< Chunk bytes, by emission idx.
+    uint64_t ParentHash = 0;   ///< zobristTuple of ParentIds.
+    uint64_t ParentRawLen = 0; ///< Raw serialized key length of the parent.
+    bool ParentValid = false;
   };
 
   /// State shared by all workers of one run.
@@ -421,9 +494,17 @@ private:
       for (unsigned I = 0; I != NumWorkers; ++I)
         Workers.push_back(std::make_unique<WorkerSlot>());
     }
-    ShardedStateSet Visited; ///< Raw mode (CompressVisited off).
-    /// Compressed mode: engaged by runWithHooks before workers start.
+    ShardedStateSet Visited; ///< Striped raw mode (CompressVisited off).
+    /// Striped compressed mode: engaged by runWithHooks before workers
+    /// start.
     std::optional<ShardedStateInterner> Interner;
+    /// Lock-free tier (Opts.Visited == VisitedImpl::LockFree): exactly
+    /// one of LfInterner (compressed) / LfSet (raw) is engaged, mirroring
+    /// Interner / Visited above. unique_ptr (not optional) because the
+    /// tables are immovable and growth swaps in a rebuilt instance under
+    /// a world pause (growLockFree).
+    std::unique_ptr<LockFreeStateInterner> LfInterner;
+    std::unique_ptr<LockFreeStateSet> LfSet;
     ShardedStateSet ProgStates;
     TerminationBarrier TB;
     std::vector<std::unique_ptr<WorkerSlot>> Workers;
@@ -559,8 +640,10 @@ private:
   uint64_t governedBytes(const Shared &Sh) const {
     uint64_t V = Sh.BitstateLog2.load(std::memory_order_relaxed)
                      ? Sh.BitstateWords * sizeof(uint64_t)
-                 : Sh.Interner ? Sh.Interner->bytesUsed()
-                               : Sh.Visited.bytesUsed();
+                 : Sh.LfInterner ? Sh.LfInterner->bytesUsed()
+                 : Sh.Interner   ? Sh.Interner->bytesUsed()
+                 : Sh.LfSet      ? Sh.LfSet->bytesUsed()
+                                 : Sh.Visited.bytesUsed();
     return V + Sh.TB.inFlight() * PayloadUnit;
   }
 
@@ -590,11 +673,21 @@ private:
     auto Seed = [&](const std::string &Key) {
       bitstateInsert(Sh, K, Key);
     };
-    if (Sh.Interner) {
+    if (Sh.LfInterner) {
+      Sh.RawBytesAtDowngrade.store(Sh.LfInterner->rawBytes(),
+                                   std::memory_order_relaxed);
+      Sh.LfInterner->forEachRawKey(SlotOrder, Seed);
+      Sh.LfInterner.reset();
+    } else if (Sh.Interner) {
       Sh.RawBytesAtDowngrade.store(Sh.Interner->rawBytes(),
                                    std::memory_order_relaxed);
       Sh.Interner->forEachRawKey(SlotOrder, Seed);
       Sh.Interner.reset();
+    } else if (Sh.LfSet) {
+      Sh.RawBytesAtDowngrade.store(Sh.LfSet->bytesUsed(),
+                                   std::memory_order_relaxed);
+      Sh.LfSet->forEach(Seed);
+      Sh.LfSet.reset();
     } else {
       Sh.RawBytesAtDowngrade.store(Sh.Visited.bytesUsed(),
                                    std::memory_order_relaxed);
@@ -619,6 +712,46 @@ private:
     resumeWorld(Sh);
   }
 
+  /// Grows the lock-free visited tier by rebuilding it 4x larger under a
+  /// world pause. Ids are slot indices, so they change wholesale: every
+  /// worker's incremental-hash parent cache is invalidated under the
+  /// pause (the PauseM handoff orders the swap before any worker's next
+  /// probe). Amortized O(states) total re-interning work by geometric
+  /// growth; full() -> Bounded remains the safety net when the tables
+  /// reach the 2^MaxLockFreeRootLog2 ceiling or fill faster than the
+  /// management poll.
+  void growLockFree(Shared &Sh) {
+    pauseWorld(Sh);
+    // Re-check under the pause: full() may have latched (Bounded is
+    // already set, growth is pointless) or a checkpoint pause may have
+    // raced us past the threshold check.
+    if (Sh.LfInterner && Sh.LfInterner->wantsGrowth() &&
+        Sh.LfInterner->rootLog2() < MaxLockFreeRootLog2 &&
+        !Sh.LfInterner->full()) {
+      auto New = std::make_unique<LockFreeStateInterner>(
+          Sh.LfInterner->numSlots(),
+          std::min(Sh.LfInterner->rootLog2() + 2, MaxLockFreeRootLog2));
+      Sh.LfInterner->migrateTo(*New);
+      Sh.LfInterner = std::move(New);
+    } else if (Sh.LfSet && Sh.LfSet->wantsGrowth() &&
+               Sh.LfSet->log2() < MaxLockFreeRootLog2 &&
+               !Sh.LfSet->full()) {
+      auto New = std::make_unique<LockFreeStateSet>(
+          std::min(Sh.LfSet->log2() + 2, MaxLockFreeRootLog2));
+      Sh.LfSet->migrateTo(*New);
+      Sh.LfSet = std::move(New);
+    } else {
+      resumeWorld(Sh);
+      return;
+    }
+    // Component ids are slot indices in the old tables; drop every
+    // worker's primed parent so the next expansion re-interns fresh.
+    for (const std::unique_ptr<WorkerSlot> &W : Sh.Workers)
+      W->ParentValid = false;
+    obs::add(obs::Ctr::VisitedGrowths);
+    resumeWorld(Sh);
+  }
+
   /// Management loop run by the main thread while workers explore:
   /// cooperative stop (SIGINT/SIGTERM), stuck-worker watchdog, memory
   /// governor, and periodic checkpoints. Returns when all workers exit.
@@ -626,8 +759,13 @@ private:
     auto &RR = Res.Stats.Resilience;
     const resilience::ResilienceOptions &RO = Opts.Resilience;
     const bool CkptOn = ckptActive();
-    const bool AnyDuty =
-        CkptOn || RO.MemBudgetBytes != 0 || RO.WatchdogSeconds > 0;
+    // The lock-free tables start small and rely on this loop to grow
+    // them ahead of full(), so their presence is a duty: poll at the
+    // fast cadence (wantsGrowth at 1/2 load leaves ~3/8 capacity of
+    // headroom against the fill rate between polls).
+    const bool GrowOn = Sh.LfInterner || Sh.LfSet;
+    const bool AnyDuty = CkptOn || GrowOn || RO.MemBudgetBytes != 0 ||
+                         RO.WatchdogSeconds > 0;
     auto LastCkptT = std::chrono::steady_clock::now();
     uint64_t NextCkptExp = Base.Expanded + RO.CheckpointEveryExpansions;
     uint64_t WatchExpanded = ~0ull;
@@ -675,6 +813,21 @@ private:
                               Sh.TB.inFlight());
             obs::traceCrashDump("watchdog: no expansion progress");
           }
+        }
+      }
+      if (GrowOn && !Sh.TB.stopped() &&
+          Sh.BitstateLog2.load(std::memory_order_relaxed) == 0) {
+        bool Wants =
+            Sh.LfInterner
+                ? (Sh.LfInterner->wantsGrowth() &&
+                   Sh.LfInterner->rootLog2() < MaxLockFreeRootLog2)
+                : (Sh.LfSet && Sh.LfSet->wantsGrowth() &&
+                   Sh.LfSet->log2() < MaxLockFreeRootLog2);
+        if (Wants) {
+          growLockFree(Sh);
+          // The pause stalls expansion; don't let it trip the watchdog.
+          WatchT = std::chrono::steady_clock::now();
+          WatchExpanded = totalExpanded(Sh);
         }
       }
       if (RO.MemBudgetBytes != 0 && !Sh.TB.stopped()) {
@@ -832,9 +985,20 @@ private:
         W.u64(Sh.BitstateWords);
         for (uint64_t I = 0; I != Sh.BitstateWords; ++I)
           W.u64(Sh.Bitstate[I].load(std::memory_order_relaxed));
+      } else if (Sh.LfInterner) {
+        // Lock-free ids are slot indices, so the capacity at save time
+        // (growth may have raised it past the initial sizing) is part of
+        // the format: restore rebuilds the instance at this log2.
+        W.u8(3);
+        W.u32(Sh.LfInterner->rootLog2());
+        Sh.LfInterner->save(W);
       } else if (Sh.Interner) {
         W.u8(0);
         Sh.Interner->save(W);
+      } else if (Sh.LfSet) {
+        W.u8(4);
+        W.u32(Sh.LfSet->log2());
+        Sh.LfSet->save(W);
       } else {
         W.u8(1);
         Sh.Visited.save(W);
@@ -934,6 +1098,8 @@ private:
           return false;
         }
         Sh.Interner.reset();
+        Sh.LfInterner.reset();
+        Sh.LfSet.reset();
         Sh.RawBytesAtDowngrade.store(R.u64(), std::memory_order_relaxed);
         uint64_t Words = R.u64();
         if (R.fail() || Words != (1ull << K) / 64 ||
@@ -950,14 +1116,53 @@ private:
         if (!Sh.Interner || !Sh.Interner->restore(R)) {
           RR.ResumeError =
               "corrupt checkpoint: compressed visited set (or "
-              "--compress-visited mismatch)";
+              "--compress-visited/--visited mismatch)";
           return false;
         }
       } else if (Tag == 1) {
-        if (Sh.Interner || !Sh.Visited.restore(R)) {
+        if (Sh.Interner || Sh.LfInterner || Sh.LfSet ||
+            !Sh.Visited.restore(R)) {
           RR.ResumeError =
-              "corrupt checkpoint: visited set (or --compress-visited "
-              "mismatch)";
+              "corrupt checkpoint: visited set (or --compress-visited/"
+              "--visited mismatch)";
+          return false;
+        }
+      } else if (Tag == 3) {
+        // Lock-free ids are slot indices, so the table capacity must
+        // round-trip exactly: rebuild the instance at the saved log2
+        // (growth may have raised it past this run's initial sizing).
+        unsigned SavedLog2 = R.u32();
+        if (!Sh.LfInterner || R.fail() || SavedLog2 < 16 ||
+            SavedLog2 > MaxLockFreeRootLog2) {
+          RR.ResumeError =
+              "corrupt checkpoint: lock-free compressed visited set (or "
+              "--visited/--compress-visited mismatch)";
+          return false;
+        }
+        if (Sh.LfInterner->rootLog2() != SavedLog2)
+          Sh.LfInterner = std::make_unique<LockFreeStateInterner>(
+              Sh.LfInterner->numSlots(), SavedLog2);
+        if (!Sh.LfInterner->restore(R)) {
+          RR.ResumeError =
+              "corrupt checkpoint: lock-free compressed visited set (or "
+              "--visited/--compress-visited mismatch)";
+          return false;
+        }
+      } else if (Tag == 4) {
+        unsigned SavedLog2 = R.u32();
+        if (Sh.LfInterner || Sh.Interner || !Sh.LfSet || R.fail() ||
+            SavedLog2 < 16 || SavedLog2 > MaxLockFreeRootLog2) {
+          RR.ResumeError =
+              "corrupt checkpoint: lock-free visited set (or --visited/"
+              "--compress-visited mismatch)";
+          return false;
+        }
+        if (Sh.LfSet->log2() != SavedLog2)
+          Sh.LfSet = std::make_unique<LockFreeStateSet>(SavedLog2);
+        if (!Sh.LfSet->restore(R)) {
+          RR.ResumeError =
+              "corrupt checkpoint: lock-free visited set (or --visited/"
+              "--compress-visited mismatch)";
           return false;
         }
       } else {
@@ -987,13 +1192,205 @@ private:
     return false;
   }
 
-  /// Dedups \p S against the active visited representation (compressed
-  /// tuple set or raw key set); returns true iff the state is new. Uses
-  /// \p W's scratch buffers so the hot path does not allocate.
-  bool markVisited(Shared &Sh, const ProductState &S, WorkerSlot &W) const {
+  /// A lock-free table hit its capacity cap: the state cannot be stored,
+  /// so the run truncates exactly like a MaxStates cut. Returning false
+  /// drops the state from exploration, which is sound for a truncated
+  /// run; it is never reported as a duplicate of anything.
+  static bool tableFull(Shared &Sh) {
+    Sh.Bounded.store(true, std::memory_order_relaxed);
+    Sh.TB.requestStop();
+    return false;
+  }
+
+  /// Folds one markVisited call's probe telemetry into the worker's
+  /// atomics (owner-only writer; relaxed load+store, no RMW cost).
+  static void flushProbeStats(WorkerSlot &W, const lf::ProbeStats &St) {
+    W.CasRetries.store(
+        W.CasRetries.load(std::memory_order_relaxed) + St.CasRetries,
+        std::memory_order_relaxed);
+    W.ProbeSteps.store(
+        W.ProbeSteps.load(std::memory_order_relaxed) + St.ProbeSteps,
+        std::memory_order_relaxed);
+  }
+
+  /// Appends emission chunk \p Idx of \p S (threads first, then the
+  /// memory subsystem's chunks — the order of markVisited's full loop)
+  /// to \p Out. Only reachable on the incremental path, which requires
+  /// the serializeComponent hook.
+  void serializeChunk(const ProductState &S, unsigned Idx,
+                      std::string &Out) const {
+    unsigned NT = P.numThreads();
+    if (Idx < NT) {
+      appendThreadStateKey(Out, S.Threads[Idx]);
+      return;
+    }
+    if constexpr (HasIncrementalHash<MemSys>)
+      Mem.serializeComponent(S.M, Idx - NT, Out);
+  }
+
+  // Emission-index dirty masks for one successor relative to its parent:
+  // bit t = thread t's chunk, bit NumThreads + j = memory chunk j. The
+  // subsystem hook reports over its own chunk indices; the shift lines
+  // them up. ~0 (everything dirty) doubles as the "no parent / unknown"
+  // sentinel that routes markVisited to the full path, and is what
+  // subsystems without the hooks — or programs too wide for a 64-bit
+  // mask — always get.
+
+  uint64_t dirtyMaskLocal(unsigned T) const {
+    if constexpr (HasIncrementalHash<MemSys>) {
+      if (P.numThreads() < 64)
+        return uint64_t{1} << T;
+    }
+    return ~uint64_t{0};
+  }
+
+  uint64_t dirtyMaskAccess(unsigned T, const MemAccess &A) const {
+    if constexpr (HasIncrementalHash<MemSys>) {
+      if (P.numThreads() < 64)
+        return (uint64_t{1} << T) |
+               (Mem.dirtyComponents(static_cast<ThreadId>(T), &A)
+                << P.numThreads());
+    }
+    return ~uint64_t{0};
+  }
+
+  uint64_t dirtyMaskInternal(ThreadId T) const {
+    if constexpr (HasIncrementalHash<MemSys>) {
+      if (P.numThreads() < 64)
+        return Mem.dirtyComponents(T, nullptr) << P.numThreads();
+    }
+    return ~uint64_t{0};
+  }
+
+  /// Caches the state being expanded — per-slot component ids, per-chunk
+  /// byte lengths, raw key length, and the tuple's Zobrist hash — so each
+  /// successor re-interns only its dirty chunks. The chunks were already
+  /// interned when \p S itself was marked visited, so every probe here is
+  /// a hit (one memoized-hash compare); the cost is one serialization per
+  /// expansion, repaid (successors × clean chunks) times.
+  void primeParent(Shared &Sh, const ProductState &S, WorkerSlot &W) const {
+    W.ParentValid = false;
+    if constexpr (HasIncrementalHash<MemSys>) {
+      if (!Sh.LfInterner ||
+          Sh.BitstateLog2.load(std::memory_order_acquire))
+        return;
+      LockFreeStateInterner &In = *Sh.LfInterner;
+      unsigned NumEmit = In.numSlots();
+      if (NumEmit > 64)
+        return;
+      lf::ProbeStats St;
+      W.ParentIds.resize(NumEmit);
+      W.ParentChunkLen.resize(NumEmit);
+      W.CompBuf.clear();
+      uint64_t RawLen = 0;
+      unsigned Idx = 0;
+      bool Ok = true;
+      auto Cut = [&] {
+        unsigned Slot = SlotOrder[Idx];
+        uint32_t Id = In.internComponent(Slot, W.CompBuf, St);
+        if (Id == LockFreeStateInterner::InvalidId)
+          Ok = false;
+        W.ParentIds[Slot] = Id;
+        W.ParentChunkLen[Idx] = static_cast<uint32_t>(W.CompBuf.size());
+        RawLen += W.CompBuf.size();
+        ++Idx;
+        W.CompBuf.clear();
+      };
+      for (const ThreadState &TS : S.Threads) {
+        appendThreadStateKey(W.CompBuf, TS);
+        Cut();
+      }
+      serializeMemComponents(Mem, S.M, W.CompBuf, Cut);
+      flushProbeStats(W, St);
+      if (!Ok)
+        return; // Full table: successors take the (also failing) full path.
+      W.ParentHash = zobristTuple(W.ParentIds.data(), NumEmit);
+      W.ParentRawLen = RawLen;
+      W.ParentValid = true;
+    }
+  }
+
+  /// Lock-free compressed insert. With a valid parent cache and a
+  /// bounded dirty mask, only the dirty chunks are re-serialized and
+  /// re-interned and the Zobrist hash is XOR-updated (O(changed
+  /// components) instead of O(state)); otherwise every chunk is handled,
+  /// as in the striped path.
+  bool lockFreeIntern(Shared &Sh, const ProductState &S, WorkerSlot &W,
+                      uint64_t Dirty) const {
+    LockFreeStateInterner &In = *Sh.LfInterner;
+    unsigned NumEmit = In.numSlots();
+    lf::ProbeStats St;
+    bool Ok = true;
+    if constexpr (HasIncrementalHash<MemSys>) {
+      if (W.ParentValid && Dirty != ~uint64_t{0} && NumEmit <= 64) {
+        W.TupleBuf = W.ParentIds;
+        uint64_t H = W.ParentHash;
+        uint64_t RawLen = W.ParentRawLen;
+        uint64_t Mask = NumEmit == 64 ? ~uint64_t{0}
+                                      : (uint64_t{1} << NumEmit) - 1;
+        for (uint64_t Rest = Dirty & Mask; Rest; Rest &= Rest - 1) {
+          unsigned Idx = static_cast<unsigned>(std::countr_zero(Rest));
+          unsigned Slot = SlotOrder[Idx];
+          W.CompBuf.clear();
+          serializeChunk(S, Idx, W.CompBuf);
+          uint32_t Id = In.internComponent(Slot, W.CompBuf, St);
+          if (Id == LockFreeStateInterner::InvalidId) {
+            Ok = false;
+            break;
+          }
+          RawLen += W.CompBuf.size();
+          RawLen -= W.ParentChunkLen[Idx];
+          H = zobristUpdate(H, Slot, W.TupleBuf[Slot], Id);
+          W.TupleBuf[Slot] = Id;
+        }
+        bool New = Ok && In.insertTuple(W.TupleBuf.data(), H,
+                                        stringNodeBytes(RawLen, 0), St,
+                                        W.TreeScratch);
+        flushProbeStats(W, St);
+        if (!New && (!Ok || In.full()))
+          return tableFull(Sh);
+        return New;
+      }
+    }
+    W.TupleBuf.resize(NumEmit);
+    W.CompBuf.clear();
+    uint64_t RawLen = 0;
+    unsigned Idx = 0;
+    auto Cut = [&] {
+      RawLen += W.CompBuf.size();
+      unsigned Slot = SlotOrder[Idx++];
+      uint32_t Id = In.internComponent(Slot, W.CompBuf, St);
+      if (Id == LockFreeStateInterner::InvalidId)
+        Ok = false;
+      W.TupleBuf[Slot] = Id;
+      W.CompBuf.clear();
+    };
+    for (const ThreadState &TS : S.Threads) {
+      appendThreadStateKey(W.CompBuf, TS);
+      Cut();
+    }
+    serializeMemComponents(Mem, S.M, W.CompBuf, Cut);
+    bool New =
+        Ok && In.insertTuple(W.TupleBuf.data(),
+                             zobristTuple(W.TupleBuf.data(), NumEmit),
+                             stringNodeBytes(RawLen, 0), St, W.TreeScratch);
+    flushProbeStats(W, St);
+    if (!New && (!Ok || In.full()))
+      return tableFull(Sh);
+    return New;
+  }
+
+  /// Dedups \p S against the active visited representation; returns true
+  /// iff the state is new. \p Dirty is the emission-chunk dirty mask of
+  /// \p S relative to \p W's primed parent (~0 = unknown: full path).
+  /// Uses \p W's scratch buffers so the hot path does not allocate.
+  bool markVisited(Shared &Sh, const ProductState &S, WorkerSlot &W,
+                   uint64_t Dirty = ~uint64_t{0}) const {
     obs::Span Sp(obs::Phase::VisitedProbe);
     if (unsigned K = Sh.BitstateLog2.load(std::memory_order_acquire))
       return bitstateInsert(Sh, K, productStateKey(Mem, S.Threads, S.M));
+    if (Sh.LfInterner)
+      return lockFreeIntern(Sh, S, W, Dirty);
     if (Sh.Interner) {
       W.TupleBuf.resize(Sh.Interner->numSlots());
       W.CompBuf.clear();
@@ -1014,6 +1411,15 @@ private:
       return Sh.Interner->insertTuple(W.TupleBuf.data(),
                                       stringNodeBytes(RawLen, 0));
     }
+    if (Sh.LfSet) {
+      lf::ProbeStats St;
+      bool New =
+          Sh.LfSet->insert(productStateKey(Mem, S.Threads, S.M), St);
+      flushProbeStats(W, St);
+      if (!New && Sh.LfSet->full())
+        return tableFull(Sh);
+      return New;
+    }
     return Sh.Visited.insert(productStateKey(Mem, S.Threads, S.M));
   }
 
@@ -1031,8 +1437,8 @@ private:
   /// state on the discovering worker's deque.
   template <typename StateHook>
   void internChild(Shared &Sh, WorkerSlot &W, ProductState &&Next,
-                   StateHook &SHook) {
-    if (!markVisited(Sh, Next, W)) {
+                   StateHook &SHook, uint64_t Dirty = ~uint64_t{0}) {
+    if (!markVisited(Sh, Next, W, Dirty)) {
       ++W.DedupHits;
       return;
     }
@@ -1059,6 +1465,10 @@ private:
     obs::Span PhaseSp(obs::Phase::Explore);
     WorkerSlot &W = *Sh.Workers[Me];
     size_t NumWorkers = Sh.Workers.size();
+    // Deterministic per-worker seed; the exploration order is racy
+    // anyway, so decorrelating thieves is all the randomness is for.
+    W.StealRng = hashMix64(Me * 0x9e3779b97f4a7c15ull + 1) | 1;
+    const size_t StealMax = std::max(1u, Opts.StealBatch);
     while (!Sh.TB.stopped()) {
       // Park at the barrier (holding no popped state) when the
       // management thread pauses the world for a checkpoint/downgrade.
@@ -1066,22 +1476,52 @@ private:
         parkAtBarrier(Sh);
       std::optional<ProductState> S = W.Deque.pop();
       if (!S) {
-        size_t Victim = 0;
-        for (size_t I = 1; !S && I != NumWorkers; ++I) {
-          Victim = (Me + I) % NumWorkers;
-          S = Sh.Workers[Victim]->Deque.steal();
-        }
-        if (S) {
+        // Randomized sweep start (xorshift64) so idle thieves fan out
+        // over different victims instead of convoying on the same deque;
+        // batched steals then amortize the victim lock over StealBatch
+        // states. Both matter only past ~8 workers, but cost nothing
+        // below.
+        W.StealRng ^= W.StealRng << 13;
+        W.StealRng ^= W.StealRng >> 7;
+        W.StealRng ^= W.StealRng << 17;
+        size_t Start = static_cast<size_t>(W.StealRng % NumWorkers);
+        for (size_t I = 0; !S && I != NumWorkers; ++I) {
+          size_t Victim = (Start + I) % NumWorkers;
+          if (Victim == Me)
+            continue;
+          ++W.StealAttempts;
+          W.StealBuf.clear();
+          size_t N =
+              Sh.Workers[Victim]->Deque.stealBatch(W.StealBuf, StealMax);
+          if (!N)
+            continue;
           ++W.Steals;
+          W.StealBatchItems += N;
           obs::traceInstant(obs::TraceInstant::Steal, Victim);
+          S = std::move(W.StealBuf.front());
+          // The surplus lands on the own deque immediately: the states
+          // stay enqueued for the termination barrier and stay visible
+          // to checkpoint cuts (a parked worker holds no hidden work).
+          for (size_t J = 1; J != N; ++J)
+            W.Deque.push(std::move(W.StealBuf[J]));
+          W.StealBuf.clear();
         }
       }
       if (!S) {
         if (Sh.TB.inFlight() == 0)
           break;
-        std::this_thread::yield();
+        // Backoff after repeatedly empty sweeps: yields first, then
+        // capped exponential micro-sleeps, so spinning thieves stop
+        // hammering the deque locks while a few workers drain a long
+        // tail. Reset on any successful pop or steal below.
+        if (++W.IdleSweeps <= 16)
+          std::this_thread::yield();
+        else
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              1u << std::min(W.IdleSweeps - 16u, 8u)));
         continue;
       }
+      W.IdleSweeps = 0;
       fi::maybeStall("worker.stall");
       expandState(Sh, W, *S, AHook, SHook);
       Sh.TB.retired();
@@ -1116,6 +1556,12 @@ private:
     obs::add(obs::Ctr::DedupHits, W.DedupHits);
     obs::add(obs::Ctr::VisitedProbes, W.Transitions);
     obs::add(obs::Ctr::Steals, W.Steals);
+    obs::add(obs::Ctr::StealAttempts, W.StealAttempts);
+    obs::add(obs::Ctr::StealBatchItems, W.StealBatchItems);
+    obs::add(obs::Ctr::VisitedCasRetries,
+             W.CasRetries.load(std::memory_order_relaxed));
+    obs::add(obs::Ctr::VisitedProbeSteps,
+             W.ProbeSteps.load(std::memory_order_relaxed));
     obs::add(obs::Ctr::AmpleHits, W.AmpleStates);
     obs::add(obs::Ctr::PorFallbacks, W.PorFullStates);
     obs::add(obs::Ctr::PorSavedSteps, W.PorSavedSteps);
@@ -1144,10 +1590,18 @@ private:
       uint64_t VisitedB =
           Sh.BitstateLog2.load(std::memory_order_relaxed)
               ? Sh.BitstateWords * sizeof(uint64_t)
-          : Sh.Interner ? Sh.Interner->bytesUsed()
-                        : Sh.Visited.bytesUsed();
+          : Sh.LfInterner ? Sh.LfInterner->bytesUsed()
+          : Sh.Interner   ? Sh.Interner->bytesUsed()
+          : Sh.LfSet      ? Sh.LfSet->bytesUsed()
+                          : Sh.Visited.bytesUsed();
       obs::progressVisitedBytes(VisitedB);
       obs::traceCounter(obs::TraceCounterTrack::VisitedBytes, VisitedB);
+      if (obs::traceActive() && (Sh.LfInterner || Sh.LfSet)) {
+        uint64_t Retries = 0;
+        for (const std::unique_ptr<WorkerSlot> &WS : Sh.Workers)
+          Retries += WS->CasRetries.load(std::memory_order_relaxed);
+        obs::traceCounter(obs::TraceCounterTrack::CasRetries, Retries);
+      }
     }
   }
 
@@ -1243,7 +1697,7 @@ private:
   /// RecordParents), keeping state counts equal under identical options.
   template <typename AccessHook>
   ProductState fastForward(ProductState &&S, Shared &Sh, WorkerSlot &W,
-                           AccessHook &AHook) {
+                           AccessHook &AHook, uint64_t &Dirty) {
     if (Opts.RecordTrace)
       return std::move(S);
     for (;;) {
@@ -1266,6 +1720,12 @@ private:
       ++W.ChainedStates;
       obs::traceInstant(obs::TraceInstant::FastForward, W.ChainedStates);
       const ThreadStep &Step = W.ChainStepsBuf[Ample];
+      // The chain endpoint's dirty mask vs. the original parent is the
+      // union over every step walked (supersets compose transitively).
+      if (Step.K == ThreadStep::Kind::Local)
+        Dirty |= dirtyMaskLocal(static_cast<unsigned>(Ample));
+      else
+        Dirty |= dirtyMaskAccess(static_cast<unsigned>(Ample), Step.A);
       if (Step.K == ThreadStep::Kind::Local) {
         S.Threads[Ample] = Step.Next;
         if (Opts.CollapseLocalSteps) {
@@ -1320,6 +1780,11 @@ private:
     std::vector<NaAccess> NaAccesses;
     bool AnyStep = false;
     bool AllHalted = true;
+
+    // Incremental-hash setup: serialize/intern the parent once so each
+    // successor below pays only for its dirty chunks (no-op unless the
+    // lock-free interner is active and the subsystem has the hooks).
+    primeParent(Sh, S, W);
 
     // Ample-set POR, exactly as in ProductExplorer::expand: selection is
     // a pure function of the state (no visited-set or order dependence),
@@ -1376,8 +1841,10 @@ private:
           }
         }
         ++W.Transitions;
-        internChild(Sh, W, fastForward(std::move(Next), Sh, W, AHook),
-                    SHook);
+        uint64_t Dirty = dirtyMaskLocal(T);
+        ProductState End = fastForward(std::move(Next), Sh, W, AHook,
+                                       Dirty);
+        internChild(Sh, W, std::move(End), SHook, Dirty);
         AnyStep = true;
         break;
       }
@@ -1425,10 +1892,11 @@ private:
                                         S.Threads[T], A, L);
                         Next.M = std::move(M2);
                         ++W.Transitions;
-                        internChild(Sh, W,
-                                    fastForward(std::move(Next), Sh, W,
-                                                AHook),
-                                    SHook);
+                        uint64_t Dirty = dirtyMaskAccess(T, A);
+                        ProductState End = fastForward(std::move(Next),
+                                                       Sh, W, AHook,
+                                                       Dirty);
+                        internChild(Sh, W, std::move(End), SHook, Dirty);
                       });
         break;
       }
@@ -1473,9 +1941,10 @@ private:
         Next.Threads = S.Threads;
         Next.M = std::move(M2);
         ++W.Transitions;
-        internChild(Sh, W, fastForward(std::move(Next), Sh, W, AHook),
-                    SHook);
-        (void)T;
+        uint64_t Dirty = dirtyMaskInternal(T);
+        ProductState End = fastForward(std::move(Next), Sh, W, AHook,
+                                       Dirty);
+        internChild(Sh, W, std::move(End), SHook, Dirty);
       });
 
     if (!AnyStep && !AllHalted)

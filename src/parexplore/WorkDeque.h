@@ -16,10 +16,12 @@
 #ifndef ROCKER_PAREXPLORE_WORKDEQUE_H
 #define ROCKER_PAREXPLORE_WORKDEQUE_H
 
+#include <algorithm>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace rocker {
 
@@ -50,6 +52,23 @@ public:
     std::optional<T> V(std::move(Q.front()));
     Q.pop_front();
     return V;
+  }
+
+  /// Thief side, batched: moves up to min(\p Max, half the queue, but at
+  /// least one) oldest items into \p Out. One lock acquisition amortizes
+  /// over the whole batch, and leaving half behind keeps the victim fed —
+  /// the steal-throughput lever past ~8 workers. Returns the number
+  /// taken.
+  size_t stealBatch(std::vector<T> &Out, size_t Max) {
+    std::lock_guard<std::mutex> L(M);
+    if (Q.empty())
+      return 0;
+    size_t N = std::min(Max, std::max<size_t>(Q.size() / 2, 1));
+    for (size_t I = 0; I != N; ++I) {
+      Out.push_back(std::move(Q.front()));
+      Q.pop_front();
+    }
+    return N;
   }
 
   size_t size() const {

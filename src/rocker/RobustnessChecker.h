@@ -17,6 +17,7 @@
 #include "explore/Explorer.h"
 #include "lang/Program.h"
 #include "sample/Schedule.h"
+#include "support/LockFreeVisited.h"
 
 #include <string>
 
@@ -60,6 +61,18 @@ struct RockerOptions {
   /// and reports — see ExploreOptions::CompressVisited). `rocker_cli
   /// --no-compress` turns it off.
   bool CompressVisited = defaultCompressVisited();
+  /// Visited-tier implementation for the parallel engine: the lock-free
+  /// CAS-published tables (default) or the striped-lock sharded tier
+  /// (`rocker_cli --visited=striped` / ROCKER_VISITED=striped). Verdicts,
+  /// counts, and traces are identical either way; the sequential engine
+  /// ignores this.
+  VisitedImpl Visited = defaultVisitedImpl();
+  /// log2 of the lock-free tier's *initial* root-table capacity (0 =
+  /// default 2^18). The tables grow automatically (4x rebuild under a
+  /// world pause at 1/2 load); a run truncates (Complete == false, like
+  /// a MaxStates cut) only at the 2^30 growth ceiling, or if a table
+  /// fills faster than the management thread polls.
+  unsigned LockFreeLog2 = 0;
   /// Monitor-aware ample-set partial-order reduction (explore/Por.h):
   /// identical verdicts and violation sets with typically far fewer
   /// expanded states. `rocker_cli --no-por` / ROCKER_NO_POR=1 turns it

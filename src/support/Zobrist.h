@@ -1,0 +1,62 @@
+//===- support/Zobrist.h - Incremental component-tuple hashing -*- C++ -*-===//
+///
+/// \file
+/// Zobrist-style incremental hashing for interned state tuples (LTSmin's
+/// zobrist.c idea, adapted to the collapse-compressed visited set): the
+/// hash of a state is the XOR over its tuple slots of a per-(slot, id)
+/// mixing value, so re-hashing a successor that differs from its parent
+/// in d slots costs d XOR pairs instead of re-hashing the whole
+/// serialized key. Used as the probe hash of the lock-free root table
+/// (support/LockFreeVisited.h); equality there is still decided on the
+/// exact tuple encoding, so a Zobrist collision costs a probe step, never
+/// correctness.
+///
+/// The classic construction tabulates random values per (slot, id). Ids
+/// here are unbounded (component tables grow with the state space), so
+/// the table is replaced by a splitmix64-style mix of slot and id — the
+/// same finalizer the rest of the hashing layer uses (hashMix64). That
+/// keeps the incremental identity trivial:
+///
+///   H(S') = H(S) ^ z(slot, oldId) ^ z(slot, newId)   for each changed slot
+///
+/// because XOR is self-inverse, and makes z stateless (no shared table to
+/// size or synchronize).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ROCKER_SUPPORT_ZOBRIST_H
+#define ROCKER_SUPPORT_ZOBRIST_H
+
+#include "support/Hashing.h"
+
+#include <cstdint>
+
+namespace rocker {
+
+/// Mixing value for component id \p Id sitting in tuple slot \p Slot.
+/// Slot is offset so slot 0 does not degenerate to hashMix64(hashMix64(Id)).
+inline uint64_t zobristComponent(unsigned Slot, uint32_t Id) {
+  return hashMix64((Slot + 1) * 0x9e3779b97f4a7c15ull ^
+                   hashMix64(0x100000001b3ull * Id + 0xcbf29ce484222325ull));
+}
+
+/// Full (non-incremental) hash of a tuple of \p N component ids — the
+/// anchor the incremental updates start from, and the reference the
+/// delta-vs-full property tests compare against.
+inline uint64_t zobristTuple(const uint32_t *Ids, unsigned N) {
+  uint64_t H = 0x9ae16a3b2f90404full; // Non-zero seed: empty != zeros.
+  for (unsigned I = 0; I != N; ++I)
+    H ^= zobristComponent(I, Ids[I]);
+  return H;
+}
+
+/// One incremental slot update: removes \p OldId and installs \p NewId at
+/// \p Slot of a hash produced by zobristTuple / previous updates.
+inline uint64_t zobristUpdate(uint64_t H, unsigned Slot, uint32_t OldId,
+                              uint32_t NewId) {
+  return H ^ zobristComponent(Slot, OldId) ^ zobristComponent(Slot, NewId);
+}
+
+} // namespace rocker
+
+#endif // ROCKER_SUPPORT_ZOBRIST_H

@@ -19,6 +19,7 @@
 
 #include "explore/Explorer.h"
 #include "lang/Program.h"
+#include "support/LockFreeVisited.h"
 
 namespace rocker {
 
@@ -44,6 +45,11 @@ struct TSOOptions {
   /// Collapse-compressed visited sets for both explorations (exact; see
   /// ExploreOptions::CompressVisited).
   bool CompressVisited = defaultCompressVisited();
+  /// Parallel-engine visited tier (see ParExploreOptions::Visited);
+  /// ignored at Threads <= 1.
+  VisitedImpl Visited = defaultVisitedImpl();
+  /// Initial lock-free root-table log2 (see ParExploreOptions).
+  unsigned LockFreeLog2 = 0;
   /// Ample-set partial-order reduction (explore/Por.h). Plumbed through
   /// to both explorations for uniformity, but state robustness compares
   /// the *full* reachable program-state projections, so the engines'

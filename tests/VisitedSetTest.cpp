@@ -13,16 +13,25 @@
 //    transition/dedup counts, and violation reports are byte-identical to
 //    the raw visited set, corpus-wide, at 1 and 4 threads.
 //  * unit tests of StateInterner / ShardedStateInterner themselves.
+//  * the lock-free visited tier (support/LockFreeVisited.h): CAS-table
+//    unit tests (concurrent exactness, save/restore, sticky full()),
+//    Zobrist delta-vs-full property checks, growth/migration identity,
+//    and lock-free-vs-striped verdict/count equivalence at 1, 4, and 16
+//    workers (16 is oversubscribed on small machines — that is the
+//    point: heavy interleaving, same answers).
 //
 //===----------------------------------------------------------------------===//
 
 #include "lang/Parser.h"
 #include "litmus/Corpus.h"
 #include "memory/SCMemory.h"
+#include "obs/Telemetry.h"
 #include "parexplore/ParallelExplorer.h"
 #include "rocker/RobustnessChecker.h"
+#include "support/LockFreeVisited.h"
 #include "support/StateInterner.h"
 #include "support/StateKey.h"
+#include "support/Zobrist.h"
 #include "tso/TSORobustness.h"
 
 #include <gtest/gtest.h>
@@ -371,4 +380,429 @@ TEST(CompressedVisited, StatsReportBytesAndRatio) {
   // is slightly below the sequential map-based estimate.
   EXPECT_GT(Par.Stats.VisitedRawBytes, 0u);
   EXPECT_LT(Par.Stats.VisitedRawBytes, On.Stats.VisitedRawBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Zobrist hashing: the incremental identity the lock-free tier relies on
+//===----------------------------------------------------------------------===//
+
+TEST(Zobrist, DeltaEqualsFullForEverySingleSlotChange) {
+  constexpr unsigned N = 9;
+  uint32_t Ids[N];
+  for (unsigned I = 0; I != N; ++I)
+    Ids[I] = I * 17 + 3;
+  uint64_t H = zobristTuple(Ids, N);
+  for (unsigned Slot = 0; Slot != N; ++Slot) {
+    uint32_t Mutated[N];
+    std::copy(Ids, Ids + N, Mutated);
+    Mutated[Slot] = Ids[Slot] + 100000;
+    EXPECT_EQ(zobristUpdate(H, Slot, Ids[Slot], Mutated[Slot]),
+              zobristTuple(Mutated, N))
+        << "slot " << Slot;
+    // And the update is self-inverse (remove == undo install).
+    EXPECT_EQ(zobristUpdate(zobristUpdate(H, Slot, Ids[Slot],
+                                          Mutated[Slot]),
+                            Slot, Mutated[Slot], Ids[Slot]),
+              H);
+  }
+}
+
+TEST(Zobrist, DeltaEqualsFullOnRandomMultiSlotWalk) {
+  // Deterministic xorshift walk: mutate 1-4 slots per step and keep the
+  // hash incrementally; it must track the full re-hash at every step.
+  constexpr unsigned N = 13;
+  uint32_t Ids[N] = {};
+  uint64_t H = zobristTuple(Ids, N);
+  uint64_t Rng = 0x243f6a8885a308d3ull;
+  auto Next = [&Rng] {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+  for (unsigned Step = 0; Step != 2000; ++Step) {
+    unsigned Changes = 1 + Next() % 4;
+    for (unsigned C = 0; C != Changes; ++C) {
+      unsigned Slot = Next() % N;
+      uint32_t NewId = static_cast<uint32_t>(Next());
+      H = zobristUpdate(H, Slot, Ids[Slot], NewId);
+      Ids[Slot] = NewId;
+    }
+    ASSERT_EQ(H, zobristTuple(Ids, N)) << "step " << Step;
+  }
+}
+
+TEST(Zobrist, DistinctTuplesRarelyCollide) {
+  // Not a correctness requirement (equality is decided on the tuple, a
+  // collision only costs probe steps), but a sanity check that the
+  // mixing is not degenerate.
+  constexpr unsigned N = 4;
+  std::vector<uint64_t> Hashes;
+  for (uint32_t A = 0; A != 16; ++A)
+    for (uint32_t B = 0; B != 16; ++B)
+      for (uint32_t C = 0; C != 16; ++C) {
+        uint32_t Ids[N] = {A, B, C, A ^ B};
+        Hashes.push_back(zobristTuple(Ids, N));
+      }
+  std::sort(Hashes.begin(), Hashes.end());
+  EXPECT_EQ(std::unique(Hashes.begin(), Hashes.end()), Hashes.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Lock-free table unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(LockFreeTables, PairTableInternsAndDedups) {
+  lf::PairTable T(10);
+  lf::ProbeStats St;
+  bool New = false;
+  uint32_t A = T.intern(lf::packPair(1, 2), 12345, St, New);
+  EXPECT_TRUE(New);
+  EXPECT_EQ(T.get(A), lf::packPair(1, 2));
+  uint32_t B = T.intern(lf::packPair(1, 2), 12345, St, New);
+  EXPECT_FALSE(New);
+  EXPECT_EQ(A, B);
+  // Same hash, different payload: linear probing must separate them.
+  uint32_t C = T.intern(lf::packPair(3, 4), 12345, St, New);
+  EXPECT_TRUE(New);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(T.get(C), lf::packPair(3, 4));
+  EXPECT_EQ(T.used(), 2u);
+  EXPECT_FALSE(T.full());
+}
+
+TEST(LockFreeTables, PairTableConcurrentInsertsAreExact) {
+  // 4 threads intern the same 8192 payloads: every id must map back to
+  // its payload and the used count must be exact (no double-claims).
+  constexpr uint32_t N = 8192;
+  lf::PairTable T(14);
+  auto Work = [&] {
+    lf::ProbeStats St;
+    for (uint32_t I = 0; I != N; ++I) {
+      bool New = false;
+      uint32_t Id = T.intern(I, hashMix64(I), St, New);
+      ASSERT_NE(Id, lf::PairTable::InvalidId);
+      ASSERT_EQ(T.get(Id), I);
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W != 4; ++W)
+    Threads.emplace_back(Work);
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(T.used(), N);
+  EXPECT_FALSE(T.full());
+}
+
+TEST(LockFreeTables, StringTableConcurrentInsertsAreExact) {
+  constexpr uint32_t N = 4096;
+  lf::StringTable T(13);
+  auto Work = [&] {
+    lf::ProbeStats St;
+    for (uint32_t I = 0; I != N; ++I) {
+      std::string S = "key-" + std::to_string(I);
+      bool New = false;
+      uint32_t Id = T.intern(S, St, New);
+      ASSERT_NE(Id, lf::StringTable::InvalidId);
+      ASSERT_EQ(T.get(Id), S);
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W != 4; ++W)
+    Threads.emplace_back(Work);
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(T.used(), N);
+  EXPECT_GT(T.bytesUsed(), N * sizeof(uint64_t));
+}
+
+TEST(LockFreeTables, PairTableSaveRestoreKeepsSlotPlacement) {
+  lf::PairTable T(10);
+  lf::ProbeStats St;
+  std::vector<std::pair<uint32_t, uint64_t>> Entries;
+  for (uint32_t I = 0; I != 100; ++I) {
+    bool New = false;
+    uint64_t P = lf::packPair(I, I * 7);
+    Entries.emplace_back(T.intern(P, hashMix64(P), St, New), P);
+  }
+  BinWriter W;
+  T.save(W);
+  lf::PairTable R(10);
+  BinReader Rd(W.Buf);
+  ASSERT_TRUE(R.restore(Rd));
+  EXPECT_EQ(R.used(), T.used());
+  for (auto [Id, P] : Entries)
+    EXPECT_EQ(R.get(Id), P); // Ids are slot indices: placement-exact.
+  // A capacity mismatch must be rejected, not silently rehashed.
+  lf::PairTable Wrong(11);
+  BinReader Rd2(W.Buf);
+  EXPECT_FALSE(Wrong.restore(Rd2));
+}
+
+TEST(LockFreeTables, StringTableSaveRestoreKeepsSlotPlacement) {
+  lf::StringTable T(10);
+  lf::ProbeStats St;
+  std::vector<std::pair<uint32_t, std::string>> Entries;
+  for (uint32_t I = 0; I != 100; ++I) {
+    bool New = false;
+    std::string S(1 + I % 40, static_cast<char>('a' + I % 26));
+    S += std::to_string(I);
+    Entries.emplace_back(T.intern(S, St, New), S);
+  }
+  BinWriter W;
+  T.save(W);
+  lf::StringTable R(10);
+  BinReader Rd(W.Buf);
+  ASSERT_TRUE(R.restore(Rd));
+  EXPECT_EQ(R.used(), T.used());
+  for (const auto &[Id, S] : Entries)
+    EXPECT_EQ(R.get(Id), S);
+}
+
+TEST(LockFreeTables, FullTableLatchesStickyAndRejectsInserts) {
+  // 2^8 slots, load cap 7/8 → 224 claims; the next distinct payload must
+  // fail with InvalidId and latch full() without corrupting dedup.
+  lf::PairTable T(8);
+  lf::ProbeStats St;
+  bool New = false;
+  uint32_t Cap = 256 - 256 / 8;
+  for (uint32_t I = 0; I != Cap; ++I)
+    ASSERT_NE(T.intern(I, hashMix64(I), St, New), lf::PairTable::InvalidId);
+  EXPECT_FALSE(T.full());
+  EXPECT_TRUE(T.wantsGrowth()); // Growth should have been asked long ago.
+  EXPECT_EQ(T.intern(9999, hashMix64(9999), St, New),
+            lf::PairTable::InvalidId);
+  EXPECT_TRUE(T.full()); // Sticky.
+  // Existing payloads still dedup exactly while full.
+  EXPECT_NE(T.intern(5, hashMix64(5), St, New), lf::PairTable::InvalidId);
+  EXPECT_FALSE(New);
+}
+
+//===----------------------------------------------------------------------===//
+// Growth migration: rebuilds must preserve the stored state set exactly
+//===----------------------------------------------------------------------===//
+
+TEST(LockFreeVisited, SetMigrationPreservesKeys) {
+  LockFreeStateSet Small(10);
+  lf::ProbeStats St;
+  for (uint32_t I = 0; I != 600; ++I)
+    EXPECT_TRUE(Small.insert("state-" + std::to_string(I), St));
+  EXPECT_TRUE(Small.wantsGrowth()); // 600/1024 is past the 1/2 trigger.
+  LockFreeStateSet Big(12);
+  Small.migrateTo(Big);
+  EXPECT_EQ(Big.size(), Small.size());
+  for (uint32_t I = 0; I != 600; ++I)
+    EXPECT_FALSE(Big.insert("state-" + std::to_string(I), St)) << I;
+  EXPECT_TRUE(Big.insert("state-new", St));
+}
+
+TEST(LockFreeVisited, InternerMigrationPreservesStates) {
+  // 5 slots exercises the odd-width reduction levels (5 -> 3 -> 2).
+  constexpr unsigned Slots = 5;
+  LockFreeStateInterner Small(Slots, 16);
+  lf::ProbeStats St;
+  std::vector<uint32_t> Scratch;
+  auto Insert = [&](LockFreeStateInterner &In, uint32_t Seed) {
+    uint32_t Ids[Slots];
+    uint64_t RawLen = 0;
+    for (unsigned S = 0; S != Slots; ++S) {
+      std::string C = "c" + std::to_string(S) + "-" +
+                      std::to_string(Seed % (37 + S));
+      RawLen += C.size();
+      Ids[S] = In.internComponent(S, C, St);
+    }
+    return In.insertTuple(Ids, zobristTuple(Ids, Slots),
+                          stringNodeBytes(RawLen, 0), St, Scratch);
+  };
+  constexpr uint32_t N = 5000;
+  for (uint32_t I = 0; I != N; ++I)
+    Insert(Small, I);
+  uint64_t Stored = Small.size();
+  ASSERT_GT(Stored, 1000u);
+  LockFreeStateInterner Big(Slots, 18);
+  Small.migrateTo(Big);
+  EXPECT_EQ(Big.size(), Stored);
+  EXPECT_EQ(Big.rawBytes(), Small.rawBytes());
+  // Every original state must dedup against the migrated instance (ids
+  // changed, state identity did not)...
+  for (uint32_t I = 0; I != N; ++I)
+    EXPECT_FALSE(Insert(Big, I)) << I;
+  EXPECT_EQ(Big.size(), Stored);
+  // ...and fresh states must still be accepted as new.
+  EXPECT_TRUE(Insert(Big, N * 1000 + 1));
+}
+
+TEST(LockFreeVisited, GrownInternerSaveRestoreRoundTrips) {
+  // The engine checkpoints the grown size and reconstructs at it; the
+  // payload itself must round-trip through save/restore at that size.
+  constexpr unsigned Slots = 3;
+  LockFreeStateInterner A(Slots, 16);
+  lf::ProbeStats St;
+  std::vector<uint32_t> Scratch;
+  auto Insert = [&](LockFreeStateInterner &In, uint32_t Seed) {
+    uint32_t Ids[Slots];
+    for (unsigned S = 0; S != Slots; ++S) {
+      std::string C = std::to_string(Seed * (S + 1) % 101);
+      Ids[S] = In.internComponent(S, C, St);
+    }
+    return In.insertTuple(Ids, zobristTuple(Ids, Slots),
+                          stringNodeBytes(8, 0), St, Scratch);
+  };
+  for (uint32_t I = 0; I != 2000; ++I)
+    Insert(A, I);
+  LockFreeStateInterner Grown(Slots, 18);
+  A.migrateTo(Grown);
+  BinWriter W;
+  Grown.save(W);
+  LockFreeStateInterner Restored(Slots, 18);
+  BinReader R(W.Buf);
+  ASSERT_TRUE(Restored.restore(R));
+  EXPECT_EQ(Restored.size(), Grown.size());
+  EXPECT_EQ(Restored.rawBytes(), Grown.rawBytes());
+  for (uint32_t I = 0; I != 2000; ++I)
+    EXPECT_FALSE(Insert(Restored, I)) << I;
+  // Restoring into the wrong capacity must be rejected (slot indices
+  // would not round-trip).
+  LockFreeStateInterner Wrong(Slots, 16);
+  BinReader R2(W.Buf);
+  EXPECT_FALSE(Wrong.restore(R2));
+}
+
+//===----------------------------------------------------------------------===//
+// Lock-free vs striped: identical verdicts and counts, 1/4/16 workers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+RockerOptions implOpts(unsigned Threads, VisitedImpl V) {
+  RockerOptions O = fullOpts(Threads, true);
+  O.Visited = V;
+  return O;
+}
+
+} // namespace
+
+TEST(LockFreeVisited, CorpusCountsIdenticalToStripedAt4Threads) {
+  unsigned Compared = 0;
+  for (const auto &[Name, P] : loadCorpusDir()) {
+    RockerReport Lf =
+        checkRobustness(P, implOpts(4, VisitedImpl::LockFree));
+    RockerReport Str =
+        checkRobustness(P, implOpts(4, VisitedImpl::Striped));
+    if (!Lf.Complete || !Str.Complete)
+      continue;
+    EXPECT_EQ(Lf.Robust, Str.Robust) << Name;
+    EXPECT_EQ(Lf.Stats.NumStates, Str.Stats.NumStates) << Name;
+    EXPECT_EQ(Lf.Stats.NumTransitions, Str.Stats.NumTransitions) << Name;
+    EXPECT_EQ(Lf.Stats.NumDeadlockStates, Str.Stats.NumDeadlockStates)
+        << Name;
+    ++Compared;
+  }
+  EXPECT_GT(Compared, 40u);
+}
+
+TEST(LockFreeVisited, VerdictsIdenticalToStripedAt16Workers) {
+  // Heavily oversubscribed on small machines — deliberately: more
+  // preemption points, same answers required. A named mix of robust and
+  // non-robust programs keeps the runtime bounded.
+  for (const char *Name :
+       {"SB", "MP", "peterson-ra", "dekker-sc", "lamport2-ra"}) {
+    const CorpusEntry &E = findCorpusEntry(Name);
+    Program P = E.parse();
+    RockerReport Lf =
+        checkRobustness(P, implOpts(16, VisitedImpl::LockFree));
+    RockerReport Str =
+        checkRobustness(P, implOpts(16, VisitedImpl::Striped));
+    EXPECT_EQ(Lf.Robust, E.ExpectRobust) << Name;
+    EXPECT_EQ(Lf.Robust, Str.Robust) << Name;
+    EXPECT_EQ(Lf.Stats.NumStates, Str.Stats.NumStates) << Name;
+    EXPECT_EQ(Lf.FirstViolationText, Str.FirstViolationText) << Name;
+  }
+}
+
+TEST(LockFreeVisited, SingleWorkerParallelMatchesSequential) {
+  // Drives the parallel engine directly at 1 worker (checkRobustness
+  // routes Threads=1 to the sequential engine): both visited impls must
+  // reproduce the sequential state count exactly.
+  for (const char *Name : {"peterson-ra", "SB"}) {
+    Program P = findCorpusEntry(Name).parse();
+    SCMemory Mem(P);
+    ExploreOptions EO;
+    EO.RecordParents = false;
+    EO.StopOnViolation = false;
+    EO.CheckAssertions = false;
+    ProductExplorer<SCMemory> Seq(P, Mem, EO);
+    uint64_t Expect = Seq.run().Stats.NumStates;
+    for (VisitedImpl V : {VisitedImpl::LockFree, VisitedImpl::Striped}) {
+      for (unsigned Threads : {1u, 4u}) {
+        ParExploreOptions PO;
+        PO.Threads = Threads;
+        PO.RecordTrace = false;
+        PO.StopOnViolation = false;
+        PO.CheckAssertions = false;
+        PO.Visited = V;
+        ParallelExplorer<SCMemory> Ex(P, Mem, PO);
+        EXPECT_EQ(Ex.run().Stats.NumStates, Expect)
+            << Name << " " << visitedImplName(V) << " x" << Threads;
+      }
+    }
+  }
+}
+
+TEST(LockFreeVisited, UncompressedLfSetMatchesStriped) {
+  // The raw (no-compression) lock-free path: LockFreeStateSet vs the
+  // striped ShardedStateSet.
+  for (const char *Name : {"peterson-ra", "dekker-sc"}) {
+    Program P = findCorpusEntry(Name).parse();
+    RockerOptions Lf = fullOpts(4, false);
+    Lf.Visited = VisitedImpl::LockFree;
+    RockerOptions Str = fullOpts(4, false);
+    Str.Visited = VisitedImpl::Striped;
+    RockerReport A = checkRobustness(P, Lf);
+    RockerReport B = checkRobustness(P, Str);
+    EXPECT_EQ(A.Robust, B.Robust) << Name;
+    EXPECT_EQ(A.Stats.NumStates, B.Stats.NumStates) << Name;
+  }
+}
+
+TEST(LockFreeVisited, TsoOracleIdenticalAcrossImpls) {
+  // The TSO baseline's projection sets under the lock-free tier (with
+  // the TSOMachine dirty-component hooks feeding the incremental path)
+  // must match the striped tier's.
+  for (const char *Name : {"SB", "MP", "peterson-ra"}) {
+    Program P = findCorpusEntry(Name).parse();
+    TSOOptions Lf;
+    Lf.Threads = 4;
+    Lf.Visited = VisitedImpl::LockFree;
+    TSOOptions Str = Lf;
+    Str.Visited = VisitedImpl::Striped;
+    TSORobustnessResult A = checkTSORobustness(P, Lf);
+    TSORobustnessResult B = checkTSORobustness(P, Str);
+    EXPECT_EQ(A.Robust, B.Robust) << Name;
+    EXPECT_EQ(A.Stats.NumStates, B.Stats.NumStates) << Name;
+  }
+}
+
+TEST(LockFreeVisited, GrowthFiresAndPreservesCounts) {
+  // End-to-end growth: seqlock's 327k states cross the minimal initial
+  // table's 1/2-load trigger (2^16 roots grow at 2^15 states), the
+  // management thread rebuilds under pause — invalidating every
+  // worker's incremental-hash parent cache — and the verdict and counts
+  // still match a striped run exactly.
+  Program P = findCorpusEntry("seqlock").parse();
+  RockerOptions Lf = implOpts(2, VisitedImpl::LockFree);
+  Lf.MaxStates = 1'000'000;
+  Lf.LockFreeLog2 = 16;
+  obs::Snapshot Before = obs::snapshot();
+  RockerReport A = checkRobustness(P, Lf);
+  uint64_t Growths = obs::snapshot().counter(obs::Ctr::VisitedGrowths) -
+                     Before.counter(obs::Ctr::VisitedGrowths);
+  RockerOptions Str = implOpts(2, VisitedImpl::Striped);
+  Str.MaxStates = 1'000'000;
+  RockerReport B = checkRobustness(P, Str);
+  EXPECT_EQ(A.Robust, B.Robust);
+  EXPECT_EQ(A.Stats.NumStates, B.Stats.NumStates);
+  EXPECT_TRUE(A.Complete);
+  if (obs::telemetryEnabled())
+    EXPECT_GE(Growths, 1u);
 }
